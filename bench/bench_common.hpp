@@ -1,0 +1,37 @@
+#pragma once
+/// \file bench_common.hpp
+/// Shared helpers for the table/figure harnesses: proxy construction at
+/// bench-friendly scale, formatting, and banner printing. Every harness
+/// prints (a) the paper's reported numbers and (b) our measured/modelled
+/// reproduction, so EXPERIMENTS.md can be cross-checked against the output.
+
+#include <cstdio>
+#include <string>
+
+#include "graph/datasets.hpp"
+#include "util/table.hpp"
+
+namespace plexus::bench {
+
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void note(const std::string& text) { std::printf("note: %s\n", text.c_str()); }
+
+/// Proxy scaled for functional simulation on this machine (see DESIGN.md
+/// scale protocol): structure class and average degree of the real dataset,
+/// at `target_nodes` scale.
+inline graph::Graph bench_proxy(const std::string& dataset, std::int64_t target_nodes,
+                                std::uint64_t seed = 0xbe7c4) {
+  return graph::make_proxy(graph::dataset_info(dataset), target_nodes, seed);
+}
+
+inline std::string ms(double seconds, int digits = 1) {
+  return util::Table::fmt(seconds * 1e3, digits);
+}
+
+}  // namespace plexus::bench

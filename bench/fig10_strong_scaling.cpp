@@ -1,0 +1,106 @@
+// Figure 10: strong scaling of Plexus on all six datasets, on Perlmutter
+// (GPUs) and Frontier (GCDs). Epoch times come from the unified performance
+// model at the predicted-best 3D configuration per point; a functional
+// cluster-simulation cross-check at 16 ranks validates the model's absolute
+// scale on the proxies.
+#include "bench_common.hpp"
+#include "core/trainer.hpp"
+#include "perfmodel/perfmodel.hpp"
+#include "sim/machine.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using plexus::util::Table;
+namespace pp = plexus::perf;
+namespace pg = plexus::graph;
+
+struct Range {
+  const char* dataset;
+  int min_gpus;
+  int max_gpus;
+};
+
+void machine_table(const plexus::sim::Machine& m, const char* unit,
+                   const std::vector<Range>& ranges, int global_max) {
+  std::printf("\n-- Strong scaling on all datasets (%s), time per epoch (ms) --\n",
+              m.name.c_str());
+  std::vector<std::string> headers{std::string("#") + unit};
+  for (const auto& r : ranges) headers.push_back(r.dataset);
+  Table t(headers);
+  for (int gpus = 4; gpus <= global_max; gpus *= 2) {
+    std::vector<std::string> row{std::to_string(gpus)};
+    for (const auto& r : ranges) {
+      if (gpus < r.min_gpus || gpus > r.max_gpus) {
+        row.push_back("-");
+        continue;
+      }
+      const auto w = pp::WorkloadStats::from_dataset(pg::dataset_info(r.dataset));
+      const auto grid = pp::best_configuration(m, w, gpus);
+      row.push_back(plexus::bench::ms(pp::predict_epoch(m, w, grid).total(), 1));
+    }
+    t.add_row(row);
+  }
+  t.print();
+
+  // Best configurations chosen by the model at the largest scale per dataset.
+  std::printf("model-selected configs at max scale: ");
+  for (const auto& r : ranges) {
+    const auto w = pp::WorkloadStats::from_dataset(pg::dataset_info(r.dataset));
+    std::printf("%s:%s  ", r.dataset,
+                pp::grid_to_string(pp::best_configuration(m, w, r.max_gpus)).c_str());
+  }
+  std::printf("\n");
+}
+
+void functional_cross_check() {
+  namespace pc = plexus::core;
+  std::printf("\n-- functional cross-check (16 simulated ranks, proxies) --\n");
+  Table t({"Dataset proxy", "Functional sim (ms)", "Model prediction (ms)"});
+  const auto& m = plexus::sim::Machine::perlmutter_a100();
+  for (const char* name : {"Reddit", "ogbn-products"}) {
+    const auto g = plexus::bench::bench_proxy(name, 4000);
+    pc::TrainOptions opt;
+    opt.grid = {2, 4, 2};
+    opt.machine = &m;
+    opt.model.hidden_dims = {128, 128};
+    opt.epochs = 3;
+    const auto res = pc::train_plexus(g, opt);
+
+    pp::WorkloadStats w;
+    w.num_nodes = g.num_nodes;
+    w.num_nonzeros = g.num_edges() + g.num_nodes;
+    w.layer_dims = {g.feature_dim(), 128, 128, g.num_classes};
+    t.add_row({name, plexus::bench::ms(res.avg_epoch_seconds(1), 2),
+               plexus::bench::ms(pp::predict_epoch(m, w, opt.grid).total(), 2)});
+  }
+  t.print();
+}
+
+}  // namespace
+
+int main() {
+  plexus::bench::banner("Figure 10: Plexus strong scaling on six datasets, both machines",
+                        "Figure 10 (section 7.2)");
+
+  const std::vector<Range> perlmutter_ranges = {
+      {"Reddit", 4, 512},        {"ogbn-products", 4, 1024}, {"Isolate-3-8M", 16, 1024},
+      {"products-14M", 8, 1024}, {"europe_osm", 16, 1024},   {"ogbn-papers100M", 64, 2048},
+  };
+  machine_table(plexus::sim::Machine::perlmutter_a100(), "GPUs", perlmutter_ranges, 2048);
+
+  const std::vector<Range> frontier_ranges = {
+      {"Reddit", 4, 512},        {"ogbn-products", 4, 1024}, {"Isolate-3-8M", 32, 2048},
+      {"products-14M", 8, 2048}, {"europe_osm", 16, 1024},   {"ogbn-papers100M", 128, 2048},
+  };
+  machine_table(plexus::sim::Machine::frontier_mi250x_gcd(), "GCDs", frontier_ranges, 2048);
+
+  functional_cross_check();
+
+  std::printf(
+      "\nexpected shapes (paper section 7.2): denser graphs (Reddit, Isolate) scale further "
+      "than sparser ones (ogbn-products, europe_osm); Frontier scales better overall because "
+      "its SpMM is ~10x slower, keeping runs compute-bound longer; papers100M reaches the "
+      "largest scale reported for full-graph GNN training.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Section 5.4: parallel data loading. The paper reports, for ogbn-papers100M
+// on 64 GPUs with 16x16 shard files, CPU memory dropping from 146 GB to 9 GB
+// (16.2x) and loading time from 139 s to 7 s (19.9x). We write a papers100M
+// proxy as 16x16 shard files and compare the naive whole-dataset loader with
+// the per-rank parallel loader for a 64-rank (8x8 shard) job.
+#include <filesystem>
+
+#include "bench_common.hpp"
+#include "loader/shard_io.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/partition2d.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using plexus::util::Table;
+  namespace pio = plexus::io;
+
+  plexus::bench::banner("Section 5.4: parallel data loading vs naive full load",
+                        "section 5.4, ogbn-papers100M on 64 GPUs, 16x16 shard files");
+  const auto g = plexus::bench::bench_proxy("ogbn-papers100M", 160'000);
+  const auto adj = plexus::sparse::normalize_adjacency(g.adjacency(), g.num_nodes);
+
+  const auto dir = std::filesystem::temp_directory_path() / "plexus_loader_bench";
+  std::filesystem::remove_all(dir);
+  pio::write_sharded_dataset(dir.string(), adj, g.features, g.labels, g.num_classes, 16, 16);
+
+  // 64 ranks arranged as an 8x8 adjacency decomposition: each rank needs the
+  // (N/8 x N/8) window of its (row, col) block.
+  const auto bounds = plexus::sparse::block_bounds(adj.rows(), 8);
+  pio::LoadStats naive;
+  pio::LoadStats parallel;
+  for (int r = 0; r < 8; ++r) {
+    for (int c = 0; c < 8; ++c) {
+      pio::LoadStats s;
+      const auto blk = pio::load_adjacency_block(
+          dir.string(), bounds[static_cast<std::size_t>(r)],
+          bounds[static_cast<std::size_t>(r) + 1], bounds[static_cast<std::size_t>(c)],
+          bounds[static_cast<std::size_t>(c) + 1], &s);
+      parallel.bytes_read += s.bytes_read;
+      parallel.files_opened += s.files_opened;
+      parallel.seconds += s.seconds;
+      parallel.peak_host_bytes = std::max(parallel.peak_host_bytes, s.peak_host_bytes);
+      (void)blk;
+    }
+  }
+  // Naive: one whole-dataset load (what a single host does before scattering).
+  const auto blk = pio::load_adjacency_block_naive(dir.string(), bounds[0], bounds[1], bounds[0],
+                                                   bounds[1], &naive);
+  (void)blk;
+
+  Table t({"Loader", "Bytes read", "Peak host bytes", "Files opened", "Wall time (s)"});
+  t.add_row({"Naive full load (one rank)", Table::fmt_count(naive.bytes_read),
+             Table::fmt_count(naive.peak_host_bytes), Table::fmt_count(naive.files_opened),
+             Table::fmt(naive.seconds, 3)});
+  t.add_row({"Parallel loader (all 64 ranks)", Table::fmt_count(parallel.bytes_read),
+             Table::fmt_count(parallel.peak_host_bytes), Table::fmt_count(parallel.files_opened),
+             Table::fmt(parallel.seconds, 3)});
+  t.print();
+
+  std::printf("\nper-rank reductions vs naive (measured | paper):\n");
+  std::printf("  peak host memory: %.1fx | 16.2x (146 GB -> 9 GB)\n",
+              static_cast<double>(naive.peak_host_bytes) /
+                  static_cast<double>(std::max<std::int64_t>(1, parallel.peak_host_bytes)));
+  std::printf("  load time:        %.1fx | 19.9x (139 s -> 7 s)\n",
+              naive.seconds * 64.0 / std::max(1e-9, parallel.seconds));
+  plexus::bench::note("naive time is per-rank; with 64 ranks each loading everything, the "
+                      "aggregate I/O is 64x the dataset, which is what the paper avoids.");
+  std::filesystem::remove_all(dir);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// google-benchmark micro-suite for the shared-memory collectives: wall-time
+// throughput of the simulated-cluster communication layer itself.
+#include <benchmark/benchmark.h>
+
+#include "comm/communicator.hpp"
+#include "comm/world.hpp"
+#include "sim/cluster.hpp"
+#include "sim/machine.hpp"
+
+namespace {
+
+void BM_AllReduce(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const auto elems = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    plexus::comm::World world(ranks);
+    plexus::sim::run_cluster(
+        world, plexus::sim::Machine::test_machine(),
+        [&](plexus::sim::RankContext& ctx) {
+          std::vector<float> buf(elems, 1.0f);
+          for (int i = 0; i < 8; ++i) {
+            ctx.comm.all_reduce_sum<float>(ctx.comm.world().world_group(), buf);
+          }
+          benchmark::DoNotOptimize(buf[0]);
+        },
+        /*enable_clock=*/false);
+  }
+  state.SetBytesProcessed(state.iterations() * 8 * static_cast<std::int64_t>(elems) * 4 * ranks);
+}
+BENCHMARK(BM_AllReduce)->Args({4, 1 << 14})->Args({8, 1 << 14})->Unit(benchmark::kMillisecond);
+
+void BM_AllGather(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const auto elems = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    plexus::comm::World world(ranks);
+    plexus::sim::run_cluster(
+        world, plexus::sim::Machine::test_machine(),
+        [&](plexus::sim::RankContext& ctx) {
+          std::vector<float> in(elems, 1.0f);
+          std::vector<float> out(elems * static_cast<std::size_t>(ranks));
+          for (int i = 0; i < 8; ++i) {
+            ctx.comm.all_gather<float>(ctx.comm.world().world_group(), in, out);
+          }
+          benchmark::DoNotOptimize(out[0]);
+        },
+        /*enable_clock=*/false);
+  }
+  state.SetBytesProcessed(state.iterations() * 8 * static_cast<std::int64_t>(elems) * 4 * ranks);
+}
+BENCHMARK(BM_AllGather)->Args({4, 1 << 14})->Args({8, 1 << 14})->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

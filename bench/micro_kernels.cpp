@@ -1,0 +1,79 @@
+// google-benchmark micro-suite for the host kernels backing the simulator:
+// SpMM (square vs tall-skinny dense operand), GEMM transpose modes, CSR
+// transforms. These measure *this machine's* kernels (wall time), not the
+// simulated GPUs.
+#include <benchmark/benchmark.h>
+
+#include "dense/gemm.hpp"
+#include "graph/generators.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/spmm.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+plexus::sparse::Csr make_adj(std::int64_t nodes, double degree) {
+  const auto coo =
+      plexus::graph::erdos_renyi(nodes, static_cast<std::int64_t>(nodes * degree / 2), 3);
+  return plexus::sparse::Csr::from_coo(coo, false);
+}
+
+plexus::dense::Matrix make_dense(std::int64_t r, std::int64_t c) {
+  plexus::util::CounterRng rng(5);
+  plexus::dense::Matrix m(r, c);
+  for (std::int64_t i = 0; i < m.size(); ++i) {
+    m.flat()[static_cast<std::size_t>(i)] = rng.uniform_at(static_cast<std::uint64_t>(i), -1, 1);
+  }
+  return m;
+}
+
+void BM_Spmm(benchmark::State& state) {
+  const auto nodes = state.range(0);
+  const auto cols = state.range(1);
+  const auto a = make_adj(nodes, 16.0);
+  const auto b = make_dense(nodes, cols);
+  plexus::dense::Matrix c(nodes, cols);
+  for (auto _ : state) {
+    plexus::sparse::spmm(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz() * cols * 2);
+}
+BENCHMARK(BM_Spmm)->Args({4096, 128})->Args({4096, 8})->Args({16384, 32});
+
+void BM_GemmModes(benchmark::State& state) {
+  const auto n = state.range(0);
+  const auto ta = state.range(1) != 0 ? plexus::dense::Trans::T : plexus::dense::Trans::N;
+  const auto a = make_dense(n, n);
+  const auto b = make_dense(n, n);
+  plexus::dense::Matrix c(n, n);
+  for (auto _ : state) {
+    plexus::dense::gemm(ta, plexus::dense::Trans::N, 1.0f, a, b, 0.0f, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmModes)->Args({256, 0})->Args({256, 1});
+
+void BM_CsrTranspose(benchmark::State& state) {
+  const auto a = make_adj(state.range(0), 16.0);
+  for (auto _ : state) {
+    auto t = a.transposed();
+    benchmark::DoNotOptimize(t.nnz());
+  }
+}
+BENCHMARK(BM_CsrTranspose)->Arg(8192);
+
+void BM_CsrPermute(benchmark::State& state) {
+  const auto a = make_adj(state.range(0), 16.0);
+  const auto p = plexus::util::random_permutation(a.rows(), 9);
+  for (auto _ : state) {
+    auto b = a.permuted(p, p);
+    benchmark::DoNotOptimize(b.nnz());
+  }
+}
+BENCHMARK(BM_CsrPermute)->Arg(8192);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Table 2: Nsight-Compute-style metrics for SpMM(A, H) under two 64-GPU
+// Plexus configurations of ogbn-products:
+//   U: Gz=1, Gx=64, Gy=1  (common dimension sharded by 64)
+//   V: Gz=1, Gx=1,  Gy=64 (dense columns sharded by 64 -> tall-skinny)
+// Paper: grid 20,223 vs 1,313,241; uncoalesced 84,960 vs 3,939,912;
+// L2 throughput 61.31 vs 12.65; DRAM throughput 72.83 vs 8.24.
+#include "bench_common.hpp"
+#include "sim/kernel_analyzer.hpp"
+#include "sim/kernels.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using plexus::util::Table;
+  namespace psim = plexus::sim;
+
+  plexus::bench::banner("Table 2: SpMM kernel metrics for configs U (Gx=64) and V (Gy=64)",
+                        "Table 2 (section 4.1), ogbn-products on 64 GPUs");
+  const auto& m = psim::Machine::perlmutter_a100();
+  const auto g = plexus::bench::bench_proxy("ogbn-products", 120'000);
+  // Plexus shards the permuted adjacency (section 5.1).
+  const auto perm = plexus::util::random_permutation(g.num_nodes, 77);
+  const auto a = g.adjacency().permuted(perm, perm);
+
+  // U: per-GPU shard has 1/64 of the columns (and hence ~1/64 of nnz) with the
+  // full 100-column dense operand. V: the full matrix with 100/64 -> 2 columns.
+  const auto u_shard = a.block(0, a.rows(), 0, a.cols() / 64);
+  const auto mu = psim::analyze_spmm(m, u_shard, 100);
+  const auto mv = psim::analyze_spmm(m, a, 2);
+
+  Table t({"Metric", "U (measured)", "V (measured)", "V/U", "V/U (paper)"});
+  auto ratio = [](double v, double u) { return Table::fmt(u != 0.0 ? v / u : 0.0, 1); };
+  t.add_row({"Grid Size", Table::fmt_count(mu.grid_size), Table::fmt_count(mv.grid_size),
+             ratio(static_cast<double>(mv.grid_size), static_cast<double>(mu.grid_size)),
+             "64.9"});
+  t.add_row({"Uncoalesced Global Memory Access Sectors", Table::fmt_count(mu.uncoalesced_sectors),
+             Table::fmt_count(mv.uncoalesced_sectors),
+             ratio(static_cast<double>(mv.uncoalesced_sectors),
+                   static_cast<double>(mu.uncoalesced_sectors)),
+             "46.4"});
+  t.add_row({"L2 Cache Throughput (%)", Table::fmt(mu.l2_throughput_pct, 2),
+             Table::fmt(mv.l2_throughput_pct, 2),
+             ratio(mv.l2_throughput_pct, mu.l2_throughput_pct), "0.21"});
+  t.add_row({"DRAM Throughput (%)", Table::fmt(mu.dram_throughput_pct, 2),
+             Table::fmt(mv.dram_throughput_pct, 2),
+             ratio(mv.dram_throughput_pct, mu.dram_throughput_pct), "0.11"});
+  t.add_row({"Modelled kernel time (ms)", plexus::bench::ms(mu.time_seconds, 3),
+             plexus::bench::ms(mv.time_seconds, 3),
+             ratio(mv.time_seconds, mu.time_seconds), "~8 (observed slowdown)"});
+  t.print();
+
+  // Kernel-time ratio at the *full* dataset scale (the paper's ~8x).
+  const std::int64_t n_full = 2'449'029;
+  const std::int64_t nnz_full = 126'167'053;
+  const double tu_full = psim::spmm_time(m, {nnz_full / 64, n_full, n_full / 64, 100});
+  const double tv_full = psim::spmm_time(m, {nnz_full, n_full, n_full, 2});
+  std::printf("\nfull-scale modelled kernel times: U %.2f ms, V %.2f ms -> V/U = %.1fx "
+              "(paper observed ~8x)\n",
+              tu_full * 1e3, tv_full * 1e3, tv_full / tu_full);
+
+  plexus::bench::note(
+      "proxy-scale counts; the paper's absolute counts are for the full 126M-nnz matrix. "
+      "The mechanism (more blocks ~ nnz, sector waste for narrow rows, throughput collapse) "
+      "is what the table demonstrates.");
+  return 0;
+}

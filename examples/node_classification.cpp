@@ -1,0 +1,45 @@
+// Node classification on a citation-network proxy (the workload class of
+// ogbn-papers100M): trains with each permutation scheme and reports loss,
+// accuracy, shard balance, and simulated epoch time — showing why the double
+// permutation is the default (same convergence, better balance, faster epoch).
+#include <cstdio>
+
+#include "core/preprocess.hpp"
+#include "core/trainer.hpp"
+#include "graph/datasets.hpp"
+#include "sim/machine.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using plexus::util::Table;
+  namespace pc = plexus::core;
+
+  const auto g = plexus::graph::make_proxy(plexus::graph::dataset_info("ogbn-papers100M"),
+                                           8000, /*seed=*/4);
+  std::printf("citation proxy: %lld nodes, %lld edges, %lld classes\n",
+              static_cast<long long>(g.num_nodes), static_cast<long long>(g.num_edges()),
+              static_cast<long long>(g.num_classes));
+
+  Table t({"Scheme", "8x8 max/mean nnz", "final loss", "val acc", "sim epoch (ms)"});
+  for (const auto scheme : {pc::PermutationScheme::None, pc::PermutationScheme::Single,
+                            pc::PermutationScheme::Double}) {
+    pc::TrainOptions opt;
+    opt.grid = {2, 2, 4};
+    opt.machine = &plexus::sim::Machine::perlmutter_a100();
+    opt.scheme = scheme;
+    opt.model.hidden_dims = {64, 64};
+    opt.model.options.adam.lr = 0.01f;
+    opt.epochs = 20;
+    opt.evaluate_validation = true;
+    const auto result = plexus::core::train_plexus(g, opt);
+
+    const double imbalance = pc::scheme_imbalance(g, scheme, 8, 8, opt.preprocess_seed);
+    t.add_row({pc::scheme_name(scheme), Table::fmt(imbalance, 3),
+               Table::fmt(result.epochs.back().loss, 4), Table::fmt(result.val_accuracy, 3),
+               Table::fmt(result.avg_epoch_seconds(2) * 1e3, 3)});
+  }
+  t.print();
+  std::printf("\nconvergence is scheme-independent (no approximations); the double permutation\n"
+              "balances shards, removing the straggler that natural hub ordering creates.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Command-line training driver — the "plexus run" entry point a downstream
+// user would script:
+//
+//   ./build/examples/plexus_train [dataset] [nodes] [gx] [gy] [gz] [epochs]
+//   ./build/examples/plexus_train ogbn-products 8000 4 2 2 10
+//
+// dataset: any Table 4 name (a scaled proxy is generated at `nodes` scale).
+// Pass gx=0 to let the performance model choose the grid for gx*gy*gz... i.e.
+// `plexus_train ogbn-products 8000 0 16` asks the model for the best 16-GPU
+// configuration.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/trainer.hpp"
+#include "graph/datasets.hpp"
+#include "perfmodel/perfmodel.hpp"
+#include "sim/machine.hpp"
+
+int main(int argc, char** argv) {
+  const std::string dataset = argc > 1 ? argv[1] : "ogbn-products";
+  const std::int64_t nodes = argc > 2 ? std::atoll(argv[2]) : 4000;
+  int gx = argc > 3 ? std::atoi(argv[3]) : 2;
+  int gy = argc > 4 ? std::atoi(argv[4]) : 2;
+  int gz = argc > 5 ? std::atoi(argv[5]) : 2;
+  const int epochs = argc > 6 ? std::atoi(argv[6]) : 10;
+
+  const auto& info = plexus::graph::dataset_info(dataset);
+  const auto g = plexus::graph::make_proxy(info, nodes, /*seed=*/1);
+  const auto& machine = plexus::sim::Machine::perlmutter_a100();
+
+  if (gx == 0) {
+    // Model-selected configuration for a `gy`-GPU budget (section 4.3).
+    const auto w = plexus::perf::WorkloadStats::from_dataset(info);
+    const auto best = plexus::perf::best_configuration(machine, w, gy);
+    gx = best.x;
+    gz = best.z;
+    gy = best.y;
+    std::printf("performance model selected %s\n",
+                plexus::perf::grid_to_string(best).c_str());
+  }
+
+  std::printf("training %s proxy (%lld nodes, %lld edges) on a %dx%dx%d grid, %d epochs\n",
+              dataset.c_str(), static_cast<long long>(g.num_nodes),
+              static_cast<long long>(g.num_edges()), gx, gy, gz, epochs);
+
+  plexus::core::TrainOptions opt;
+  opt.grid = {gx, gy, gz};
+  opt.machine = &machine;
+  opt.model.hidden_dims = {128, 128};
+  opt.epochs = epochs;
+  opt.evaluate_validation = true;
+
+  const auto result = plexus::core::train_plexus(g, opt);
+  for (std::size_t e = 0; e < result.epochs.size(); ++e) {
+    const auto& s = result.epochs[e];
+    std::printf("epoch %2zu  loss %.4f  acc %.3f  sim %.2f ms (spmm %.2f, gemm %.2f, comm %.2f)\n",
+                e + 1, s.loss, s.train_accuracy, s.epoch_seconds * 1e3, s.spmm_seconds * 1e3,
+                s.gemm_seconds * 1e3, s.exposed_comm_seconds() * 1e3);
+  }
+  std::printf("validation accuracy %.3f | avg epoch %.2f ms on %s\n", result.val_accuracy,
+              result.avg_epoch_seconds(2) * 1e3, machine.name.c_str());
+  return 0;
+}

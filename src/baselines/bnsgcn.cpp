@@ -1,0 +1,313 @@
+#include "baselines/bnsgcn.hpp"
+
+#include <algorithm>
+
+#include "comm/world.hpp"
+#include "core/shard.hpp"
+#include "dense/gemm.hpp"
+#include "dense/ops.hpp"
+#include "partition/halo.hpp"
+#include "partition/partitioner.hpp"
+#include "sim/cluster.hpp"
+#include "sim/kernels.hpp"
+#include "sim/topology.hpp"
+#include "sparse/spmm.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace plexus::base {
+
+std::vector<double> BnsGcnResult::losses() const {
+  std::vector<double> out;
+  out.reserve(epochs.size());
+  for (const auto& e : epochs) out.push_back(e.loss);
+  return out;
+}
+
+double BnsGcnResult::avg_epoch_seconds(int skip) const {
+  if (epochs.empty()) return 0.0;
+  const auto start = std::min<std::size_t>(static_cast<std::size_t>(skip), epochs.size() - 1);
+  double sum = 0.0;
+  for (std::size_t i = start; i < epochs.size(); ++i) sum += epochs[i].epoch_seconds;
+  return sum / static_cast<double>(epochs.size() - start);
+}
+
+namespace {
+
+/// Per-rank training state for one partition.
+struct RankState {
+  const part::PartSubgraph* plan = nullptr;
+  sparse::Csr adj_t;  ///< transpose of local_adj (backward)
+  dense::Matrix features;
+  std::vector<dense::Matrix> weights;
+  std::vector<dense::Adam> w_adams;
+  dense::Adam f_adam;
+  std::vector<std::int32_t> labels;
+  std::vector<std::uint8_t> train_mask;
+  std::vector<std::int64_t> dims;
+};
+
+/// Exchange rows of `local` (owned-row matrix) according to the halo plan and
+/// write them into rows [num_owned ...) of `assembled`. Charged as all-to-all.
+void exchange_halo_forward(sim::RankContext& ctx, const part::PartSubgraph& plan,
+                           const dense::Matrix& local, dense::Matrix& assembled,
+                           const std::vector<std::uint8_t>& halo_live, double inv_rate) {
+  const int parts = static_cast<int>(plan.send_rows.size());
+  const std::int64_t d = local.cols();
+  std::vector<std::vector<float>> send(static_cast<std::size_t>(parts));
+  for (int q = 0; q < parts; ++q) {
+    const auto& rows = plan.send_rows[static_cast<std::size_t>(q)];
+    auto& buf = send[static_cast<std::size_t>(q)];
+    buf.reserve(rows.size() * static_cast<std::size_t>(d));
+    for (const auto r : rows) {
+      buf.insert(buf.end(), local.row(r), local.row(r) + d);
+    }
+  }
+  std::vector<std::vector<float>> recv;
+  ctx.comm.all_to_all_v<float>(ctx.comm.world().world_group(), send, recv);
+  for (int q = 0; q < parts; ++q) {
+    const auto& slots = plan.recv_halo[static_cast<std::size_t>(q)];
+    const auto& buf = recv[static_cast<std::size_t>(q)];
+    PLEXUS_CHECK(buf.size() == slots.size() * static_cast<std::size_t>(d), "halo recv size");
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      const std::int64_t row = plan.num_owned() + slots[i];
+      if (halo_live.empty() || halo_live[static_cast<std::size_t>(slots[i])] != 0) {
+        const float scale = halo_live.empty() ? 1.0f : static_cast<float>(inv_rate);
+        float* dst = assembled.row(row);
+        const float* src = buf.data() + i * static_cast<std::size_t>(d);
+        for (std::int64_t j = 0; j < d; ++j) dst[j] = scale * src[j];
+      }
+      // dead halo rows stay zero (their edges are dropped this epoch)
+    }
+  }
+}
+
+/// Reverse exchange: halo-row gradients go back to their owners, which
+/// accumulate them into their owned-row gradient matrix.
+void exchange_halo_backward(sim::RankContext& ctx, const part::PartSubgraph& plan,
+                            const dense::Matrix& dx, dense::Matrix& dlocal,
+                            const std::vector<std::uint8_t>& halo_live, double inv_rate) {
+  const int parts = static_cast<int>(plan.send_rows.size());
+  const std::int64_t d = dx.cols();
+  std::vector<std::vector<float>> send(static_cast<std::size_t>(parts));
+  for (int q = 0; q < parts; ++q) {
+    const auto& slots = plan.recv_halo[static_cast<std::size_t>(q)];
+    auto& buf = send[static_cast<std::size_t>(q)];
+    buf.reserve(slots.size() * static_cast<std::size_t>(d));
+    for (const auto h : slots) {
+      const float* src = dx.row(plan.num_owned() + h);
+      if (halo_live.empty() || halo_live[static_cast<std::size_t>(h)] != 0) {
+        const float scale = halo_live.empty() ? 1.0f : static_cast<float>(inv_rate);
+        for (std::int64_t j = 0; j < d; ++j) buf.push_back(scale * src[j]);
+      } else {
+        buf.insert(buf.end(), static_cast<std::size_t>(d), 0.0f);
+      }
+    }
+  }
+  std::vector<std::vector<float>> recv;
+  ctx.comm.all_to_all_v<float>(ctx.comm.world().world_group(), send, recv);
+  for (int q = 0; q < parts; ++q) {
+    const auto& rows = plan.send_rows[static_cast<std::size_t>(q)];
+    const auto& buf = recv[static_cast<std::size_t>(q)];
+    PLEXUS_CHECK(buf.size() == rows.size() * static_cast<std::size_t>(d), "halo grad recv size");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      float* dst = dlocal.row(rows[i]);
+      const float* src = buf.data() + i * static_cast<std::size_t>(d);
+      for (std::int64_t j = 0; j < d; ++j) dst[j] += src[j];
+    }
+  }
+}
+
+}  // namespace
+
+BnsGcnResult train_bnsgcn(const graph::Graph& g, const BnsGcnOptions& opt) {
+  PLEXUS_CHECK(opt.parts >= 1, "parts must be positive");
+  PLEXUS_CHECK(opt.boundary_rate > 0.0 && opt.boundary_rate <= 1.0, "bad boundary rate");
+
+  const sparse::Csr a_norm = sparse::normalize_adjacency(g.adjacency(), g.num_nodes);
+  part::Partitioning partn;
+  switch (opt.partitioner) {
+    case PartitionerKind::Fennel:
+      partn = part::fennel_partition(g.adjacency(), opt.parts, opt.seed);
+      break;
+    case PartitionerKind::Random:
+      partn = part::random_partition(g.num_nodes, opt.parts, opt.seed);
+      break;
+    case PartitionerKind::NnzBalanced:
+      partn = part::nnz_balanced_partition(g.adjacency(), opt.parts);
+      break;
+  }
+  const auto plans = part::build_halo_plans(a_norm, partn);
+  const auto bstats = part::boundary_stats(a_norm, partn);
+
+  BnsGcnResult result;
+  result.total_nodes_with_boundary = bstats.total_with_boundary;
+  result.edge_cut = part::edge_cut(g.adjacency(), partn);
+  result.epochs.resize(static_cast<std::size_t>(opt.epochs));
+
+  comm::World world(opt.parts);
+  // Partition parallelism exchanges over the flat world group; configure its
+  // link + all-to-all distance penalty from the machine topology.
+  auto& wg = world.group(world.world_group());
+  wg.link = sim::link_for_flat_group(*opt.machine, opt.parts);
+  wg.a2a_distance_penalty = sim::a2a_distance_penalty(*opt.machine, opt.parts);
+
+  const double norm = static_cast<double>(g.train_count());
+  const int L = static_cast<int>(opt.hidden_dims.size()) + 1;
+
+  sim::run_cluster(world, *opt.machine, [&](sim::RankContext& ctx) {
+    const auto& plan = plans[static_cast<std::size_t>(ctx.rank())];
+    RankState st;
+    st.plan = &plan;
+    st.adj_t = plan.local_adj.transposed();
+    st.dims.push_back(g.feature_dim());
+    for (const auto h : opt.hidden_dims) st.dims.push_back(h);
+    st.dims.push_back(g.num_classes);
+
+    // Local features / labels / masks; replicated weights.
+    st.features = dense::Matrix(plan.num_owned(), g.feature_dim());
+    st.labels.resize(static_cast<std::size_t>(plan.num_owned()));
+    st.train_mask.resize(static_cast<std::size_t>(plan.num_owned()));
+    for (std::size_t i = 0; i < plan.owned.size(); ++i) {
+      const auto v = plan.owned[i];
+      std::copy(g.features.row(v), g.features.row(v) + g.feature_dim(),
+                st.features.row(static_cast<std::int64_t>(i)));
+      st.labels[i] = g.labels[static_cast<std::size_t>(v)];
+      st.train_mask[i] = g.train_mask[static_cast<std::size_t>(v)];
+    }
+    for (int l = 0; l < L; ++l) {
+      const auto din = st.dims[static_cast<std::size_t>(l)];
+      const auto dout = st.dims[static_cast<std::size_t>(l) + 1];
+      st.weights.push_back(core::init_weight_block(opt.seed, l, 0, 0, din, dout, din, dout));
+      st.w_adams.emplace_back(static_cast<std::size_t>(din * dout), opt.adam);
+    }
+    st.f_adam = dense::Adam(static_cast<std::size_t>(st.features.size()), opt.adam);
+
+    const sim::Machine& m = *ctx.machine;
+    const std::int64_t cols_total = plan.num_owned() + plan.num_halo();
+
+    for (int epoch = 0; epoch < opt.epochs; ++epoch) {
+      const double t0 = ctx.clock.time();
+      core::KernelTimers timers;
+
+      // BNS sampling: each halo node is live with probability boundary_rate
+      // this epoch (deterministic in (seed, epoch, node)); rate 1.0 => exact.
+      std::vector<std::uint8_t> halo_live;
+      double inv_rate = 1.0;
+      if (opt.boundary_rate < 1.0) {
+        halo_live.resize(plan.halo.size());
+        util::CounterRng rng(util::hash_combine(opt.seed, 0xb0b + epoch));
+        for (std::size_t h = 0; h < plan.halo.size(); ++h) {
+          halo_live[h] =
+              rng.uniform_at(static_cast<std::uint64_t>(plan.halo[h])) < opt.boundary_rate ? 1 : 0;
+        }
+        inv_rate = 1.0 / opt.boundary_rate;
+      }
+
+      // ---- Forward.
+      std::vector<dense::Matrix> h_save(static_cast<std::size_t>(L));
+      std::vector<dense::Matrix> q_save(static_cast<std::size_t>(L));
+      dense::Matrix f = st.features;
+      for (int l = 0; l < L; ++l) {
+        dense::Matrix x(cols_total, f.cols());
+        x.set_block(0, 0, f);
+        exchange_halo_forward(ctx, plan, f, x, halo_live, inv_rate);
+        dense::Matrix h = sparse::spmm(plan.local_adj, x);
+        {
+          const sim::SpmmShape shape{plan.local_adj.nnz(), plan.num_owned(), cols_total,
+                                     f.cols()};
+          const double t = sim::spmm_time(m, shape) *
+                           sim::spmm_noise_factor(m, shape,
+                                                  util::hash_combine(opt.seed,
+                                                                     0xee00 + epoch * 31 + l));
+          ctx.comm.charge_compute(t);
+          timers.spmm += t;
+        }
+        dense::Matrix q = dense::matmul(h, st.weights[static_cast<std::size_t>(l)]);
+        {
+          const double t = sim::gemm_time(m, h.rows(), q.cols(), h.cols(), dense::Trans::N,
+                                          dense::Trans::N);
+          ctx.comm.charge_compute(t);
+          timers.gemm += t;
+        }
+        h_save[static_cast<std::size_t>(l)] = std::move(h);
+        if (l == L - 1) {
+          q_save[static_cast<std::size_t>(l)] = std::move(q);
+        } else {
+          f = dense::relu(q);
+          q_save[static_cast<std::size_t>(l)] = std::move(q);
+        }
+      }
+
+      // ---- Loss on owned rows.
+      const auto& logits = q_save[static_cast<std::size_t>(L - 1)];
+      dense::Matrix dlogits(logits.rows(), logits.cols());
+      const auto ce =
+          dense::softmax_cross_entropy(logits, st.labels, st.train_mask, norm, &dlogits);
+      const double loss_total =
+          ctx.comm.all_reduce_sum_scalar(world.world_group(), ce.loss_sum);
+      const double count_total = ctx.comm.all_reduce_sum_scalar(
+          world.world_group(), static_cast<double>(ce.count));
+      const double correct_total = ctx.comm.all_reduce_sum_scalar(
+          world.world_group(), static_cast<double>(ce.correct));
+
+      // ---- Backward.
+      dense::Matrix dq = std::move(dlogits);
+      for (int l = L - 1; l >= 0; --l) {
+        const auto& h = h_save[static_cast<std::size_t>(l)];
+        dense::Matrix dw = dense::matmul(h, dq, dense::Trans::T, dense::Trans::N);
+        {
+          const double t = sim::gemm_time(m, dw.rows(), dw.cols(), h.rows(), dense::Trans::T,
+                                          dense::Trans::N);
+          ctx.comm.charge_compute(t);
+          timers.gemm += t;
+        }
+        ctx.comm.all_reduce_sum<float>(world.world_group(), dw.flat());
+        dense::Matrix dh =
+            dense::matmul(dq, st.weights[static_cast<std::size_t>(l)], dense::Trans::N,
+                          dense::Trans::T);
+        {
+          const double t = sim::gemm_time(m, dh.rows(), dh.cols(), dq.cols(), dense::Trans::N,
+                                          dense::Trans::T);
+          ctx.comm.charge_compute(t);
+          timers.gemm += t;
+        }
+        dense::Matrix dx = sparse::spmm(st.adj_t, dh);  // (owned+halo) x Din
+        {
+          const sim::SpmmShape shape{st.adj_t.nnz(), cols_total, plan.num_owned(), dh.cols()};
+          const double t = sim::spmm_time(m, shape);
+          ctx.comm.charge_compute(t);
+          timers.spmm += t;
+        }
+        dense::Matrix df = dx.block(0, plan.num_owned(), 0, dx.cols());
+        exchange_halo_backward(ctx, plan, dx, df, halo_live, inv_rate);
+
+        st.w_adams[static_cast<std::size_t>(l)].step(
+            st.weights[static_cast<std::size_t>(l)].flat(), dw.flat());
+        if (l > 0) {
+          dense::Matrix next_dq(df.rows(), df.cols());
+          dense::relu_backward(q_save[static_cast<std::size_t>(l - 1)], df, next_dq);
+          dq = std::move(next_dq);
+        } else {
+          st.f_adam.step(st.features.flat(), df.flat());
+        }
+      }
+
+      core::EpochStats s;
+      s.loss = count_total > 0 ? loss_total / count_total : 0.0;
+      s.train_accuracy = count_total > 0 ? correct_total / count_total : 0.0;
+      s.epoch_seconds = ctx.clock.time() - t0;
+      s.spmm_seconds = timers.spmm;
+      s.gemm_seconds = timers.gemm;
+      s.elementwise_seconds = timers.elementwise;
+      const auto wg2 = world.world_group();
+      s.epoch_seconds = ctx.comm.all_reduce_max_scalar(wg2, s.epoch_seconds);
+      s.spmm_seconds = ctx.comm.all_reduce_max_scalar(wg2, s.spmm_seconds);
+      s.gemm_seconds = ctx.comm.all_reduce_max_scalar(wg2, s.gemm_seconds);
+      if (ctx.rank() == 0) result.epochs[static_cast<std::size_t>(epoch)] = s;
+    }
+  });
+  return result;
+}
+
+}  // namespace plexus::base

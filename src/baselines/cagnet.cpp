@@ -1,0 +1,292 @@
+#include "baselines/cagnet.hpp"
+
+#include <algorithm>
+
+#include "comm/world.hpp"
+#include "core/shard.hpp"
+#include "dense/gemm.hpp"
+#include "dense/ops.hpp"
+#include "partition/partitioner.hpp"
+#include "sim/cluster.hpp"
+#include "sim/kernels.hpp"
+#include "sim/topology.hpp"
+#include "sparse/partition2d.hpp"
+#include "sparse/spmm.hpp"
+#include "util/error.hpp"
+
+namespace plexus::base {
+
+std::vector<double> CagnetResult::losses() const {
+  std::vector<double> out;
+  out.reserve(epochs.size());
+  for (const auto& e : epochs) out.push_back(e.loss);
+  return out;
+}
+
+double CagnetResult::avg_epoch_seconds(int skip) const {
+  if (epochs.empty()) return 0.0;
+  const auto start = std::min<std::size_t>(static_cast<std::size_t>(skip), epochs.size() - 1);
+  double sum = 0.0;
+  for (std::size_t i = start; i < epochs.size(); ++i) sum += epochs[i].epoch_seconds;
+  return sum / static_cast<double>(epochs.size() - start);
+}
+
+namespace {
+
+/// Stage blocks of the 1D algorithm for one rank pair: A_ij with columns
+/// compacted to the referenced-row list, plus its transpose for backward.
+struct StageBlock {
+  sparse::Csr a;    ///< rows_i x |needed|
+  sparse::Csr a_t;  ///< |needed| x rows_i
+};
+
+struct ExchangePlan {
+  std::vector<std::int64_t> bounds;  ///< block-row boundaries, size parts+1
+  /// needed[i][j]: rows of block j (local ids) that rank i's A_ij references.
+  std::vector<std::vector<std::vector<std::int32_t>>> needed;
+  /// blocks[i][j]: compacted stage blocks for rank i.
+  std::vector<std::vector<StageBlock>> blocks;
+  double received_row_fraction = 0.0;
+};
+
+ExchangePlan build_plan(const sparse::Csr& a_norm, int parts, bool sparsity_aware,
+                        bool gvb_partition) {
+  ExchangePlan plan;
+  const std::int64_t n = a_norm.rows();
+  if (gvb_partition) {
+    const auto p = part::nnz_balanced_partition(a_norm, parts);
+    // Contiguous by construction: recover boundaries from the assignment.
+    plan.bounds.assign(static_cast<std::size_t>(parts) + 1, n);
+    plan.bounds[0] = 0;
+    for (std::int64_t v = 1; v < n; ++v) {
+      const auto prev = p.assignment[static_cast<std::size_t>(v - 1)];
+      const auto cur = p.assignment[static_cast<std::size_t>(v)];
+      for (int b = prev + 1; b <= cur; ++b) plan.bounds[static_cast<std::size_t>(b)] = v;
+    }
+  } else {
+    plan.bounds = sparse::block_bounds(n, parts);
+  }
+
+  plan.needed.resize(static_cast<std::size_t>(parts));
+  plan.blocks.resize(static_cast<std::size_t>(parts));
+  double received_rows = 0.0;
+  for (int i = 0; i < parts; ++i) {
+    const auto r0 = plan.bounds[static_cast<std::size_t>(i)];
+    const auto r1 = plan.bounds[static_cast<std::size_t>(i) + 1];
+    const sparse::Csr a_i = a_norm.row_slice(r0, r1);
+    plan.needed[static_cast<std::size_t>(i)].resize(static_cast<std::size_t>(parts));
+    plan.blocks[static_cast<std::size_t>(i)].resize(static_cast<std::size_t>(parts));
+    for (int j = 0; j < parts; ++j) {
+      const auto c0 = plan.bounds[static_cast<std::size_t>(j)];
+      const auto c1 = plan.bounds[static_cast<std::size_t>(j) + 1];
+      auto& needed = plan.needed[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      if (sparsity_aware) {
+        for (const auto c : a_i.referenced_cols(c0, c1)) {
+          needed.push_back(static_cast<std::int32_t>(c - c0));
+        }
+      } else {
+        needed.resize(static_cast<std::size_t>(c1 - c0));
+        for (std::int64_t k = 0; k < c1 - c0; ++k) needed[static_cast<std::size_t>(k)] =
+            static_cast<std::int32_t>(k);
+      }
+      if (j != i) received_rows += static_cast<double>(needed.size());
+
+      // Compacted block: columns renumbered to positions in `needed`.
+      const sparse::Csr full_block = a_i.block(0, r1 - r0, c0, c1);
+      sparse::Coo coo;
+      coo.num_rows = full_block.rows();
+      coo.num_cols = static_cast<std::int64_t>(needed.size());
+      const auto rp = full_block.row_ptr();
+      const auto ci = full_block.col_idx();
+      const auto va = full_block.vals();
+      for (std::int64_t r = 0; r < full_block.rows(); ++r) {
+        for (std::int64_t k = rp[static_cast<std::size_t>(r)];
+             k < rp[static_cast<std::size_t>(r) + 1]; ++k) {
+          const auto c = ci[static_cast<std::size_t>(k)];
+          const auto it = std::lower_bound(needed.begin(), needed.end(), c);
+          PLEXUS_CHECK(it != needed.end() && *it == c, "column missing from needed list");
+          coo.push(r, it - needed.begin(), va[static_cast<std::size_t>(k)]);
+        }
+      }
+      auto& blk = plan.blocks[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      blk.a = sparse::Csr::from_coo(coo, false);
+      blk.a_t = blk.a.transposed();
+    }
+  }
+  plan.received_row_fraction = received_rows / (static_cast<double>(n) * parts);
+  return plan;
+}
+
+}  // namespace
+
+CagnetResult train_cagnet(const graph::Graph& g, const CagnetOptions& opt) {
+  PLEXUS_CHECK(opt.parts >= 1, "parts must be positive");
+  const sparse::Csr a_norm = sparse::normalize_adjacency(g.adjacency(), g.num_nodes);
+  const ExchangePlan plan = build_plan(a_norm, opt.parts, opt.sparsity_aware, opt.gvb_partition);
+
+  CagnetResult result;
+  result.received_row_fraction = plan.received_row_fraction;
+  result.epochs.resize(static_cast<std::size_t>(opt.epochs));
+
+  comm::World world(opt.parts);
+  auto& wg = world.group(world.world_group());
+  wg.link = sim::link_for_flat_group(*opt.machine, opt.parts);
+  wg.a2a_distance_penalty = sim::a2a_distance_penalty(*opt.machine, opt.parts);
+
+  const double norm = static_cast<double>(g.train_count());
+  const int L = static_cast<int>(opt.hidden_dims.size()) + 1;
+
+  sim::run_cluster(world, *opt.machine, [&](sim::RankContext& ctx) {
+    const int me = ctx.rank();
+    const auto r0 = plan.bounds[static_cast<std::size_t>(me)];
+    const auto r1 = plan.bounds[static_cast<std::size_t>(me) + 1];
+    const std::int64_t rows = r1 - r0;
+    const sim::Machine& m = *ctx.machine;
+
+    std::vector<std::int64_t> dims;
+    dims.push_back(g.feature_dim());
+    for (const auto h : opt.hidden_dims) dims.push_back(h);
+    dims.push_back(g.num_classes);
+
+    dense::Matrix features = g.features.block(r0, r1, 0, g.feature_dim());
+    std::vector<std::int32_t> labels(g.labels.begin() + r0, g.labels.begin() + r1);
+    std::vector<std::uint8_t> mask(g.train_mask.begin() + r0, g.train_mask.begin() + r1);
+    std::vector<dense::Matrix> weights;
+    std::vector<dense::Adam> w_adams;
+    for (int l = 0; l < L; ++l) {
+      weights.push_back(core::init_weight_block(opt.seed, l, 0, 0,
+                                                dims[static_cast<std::size_t>(l)],
+                                                dims[static_cast<std::size_t>(l) + 1],
+                                                dims[static_cast<std::size_t>(l)],
+                                                dims[static_cast<std::size_t>(l) + 1]));
+      w_adams.emplace_back(static_cast<std::size_t>(weights.back().size()), opt.adam);
+    }
+    dense::Adam f_adam(static_cast<std::size_t>(features.size()), opt.adam);
+
+    // Distributed SpMM H_me = sum_j A_mej F_j with index-targeted exchange.
+    auto aggregate = [&](const dense::Matrix& f, core::KernelTimers& timers) {
+      std::vector<std::vector<float>> send(static_cast<std::size_t>(opt.parts));
+      const std::int64_t d = f.cols();
+      for (int q = 0; q < opt.parts; ++q) {
+        const auto& idx = plan.needed[static_cast<std::size_t>(q)][static_cast<std::size_t>(me)];
+        auto& buf = send[static_cast<std::size_t>(q)];
+        buf.reserve(idx.size() * static_cast<std::size_t>(d));
+        for (const auto r : idx) buf.insert(buf.end(), f.row(r), f.row(r) + d);
+      }
+      std::vector<std::vector<float>> recv;
+      ctx.comm.all_to_all_v<float>(world.world_group(), send, recv);
+      dense::Matrix h(rows, d);
+      for (int j = 0; j < opt.parts; ++j) {
+        const auto& blk =
+            plan.blocks[static_cast<std::size_t>(me)][static_cast<std::size_t>(j)];
+        if (blk.a.nnz() == 0) continue;
+        dense::Matrix fj(blk.a.cols(), d);
+        std::copy(recv[static_cast<std::size_t>(j)].begin(),
+                  recv[static_cast<std::size_t>(j)].end(), fj.data());
+        sparse::spmm_accumulate(blk.a, fj, h);
+        const sim::SpmmShape shape{blk.a.nnz(), rows, blk.a.cols(), d};
+        const double t = sim::spmm_time(m, shape);
+        ctx.comm.charge_compute(t);
+        timers.spmm += t;
+      }
+      return h;
+    };
+
+    // Backward scatter dF_j += A_mej^T dH_me with the reverse exchange.
+    auto scatter_grads = [&](const dense::Matrix& dh, core::KernelTimers& timers) {
+      const std::int64_t d = dh.cols();
+      std::vector<std::vector<float>> send(static_cast<std::size_t>(opt.parts));
+      for (int j = 0; j < opt.parts; ++j) {
+        const auto& blk =
+            plan.blocks[static_cast<std::size_t>(me)][static_cast<std::size_t>(j)];
+        dense::Matrix part_grad = sparse::spmm(blk.a_t, dh);
+        const sim::SpmmShape shape{blk.a_t.nnz(), blk.a_t.rows(), rows, d};
+        const double t = sim::spmm_time(m, shape);
+        ctx.comm.charge_compute(t);
+        timers.spmm += t;
+        auto& buf = send[static_cast<std::size_t>(j)];
+        buf.assign(part_grad.data(), part_grad.data() + part_grad.size());
+      }
+      std::vector<std::vector<float>> recv;
+      ctx.comm.all_to_all_v<float>(world.world_group(), send, recv);
+      dense::Matrix df(rows, d);
+      for (int q = 0; q < opt.parts; ++q) {
+        const auto& idx = plan.needed[static_cast<std::size_t>(q)][static_cast<std::size_t>(me)];
+        const auto& buf = recv[static_cast<std::size_t>(q)];
+        PLEXUS_CHECK(buf.size() == idx.size() * static_cast<std::size_t>(d), "grad recv size");
+        for (std::size_t i = 0; i < idx.size(); ++i) {
+          float* dst = df.row(idx[i]);
+          const float* src = buf.data() + i * static_cast<std::size_t>(d);
+          for (std::int64_t k = 0; k < d; ++k) dst[k] += src[k];
+        }
+      }
+      return df;
+    };
+
+    for (int epoch = 0; epoch < opt.epochs; ++epoch) {
+      const double t0 = ctx.clock.time();
+      core::KernelTimers timers;
+
+      std::vector<dense::Matrix> h_save(static_cast<std::size_t>(L));
+      std::vector<dense::Matrix> q_save(static_cast<std::size_t>(L));
+      dense::Matrix f = features;
+      for (int l = 0; l < L; ++l) {
+        dense::Matrix h = aggregate(f, timers);
+        dense::Matrix q = dense::matmul(h, weights[static_cast<std::size_t>(l)]);
+        const double t = sim::gemm_time(m, h.rows(), q.cols(), h.cols(), dense::Trans::N,
+                                        dense::Trans::N);
+        ctx.comm.charge_compute(t);
+        timers.gemm += t;
+        h_save[static_cast<std::size_t>(l)] = std::move(h);
+        if (l < L - 1) f = dense::relu(q);
+        q_save[static_cast<std::size_t>(l)] = std::move(q);
+      }
+
+      const auto& logits = q_save[static_cast<std::size_t>(L - 1)];
+      dense::Matrix dlogits(logits.rows(), logits.cols());
+      const auto ce = dense::softmax_cross_entropy(logits, labels, mask, norm, &dlogits);
+      const double loss_total = ctx.comm.all_reduce_sum_scalar(world.world_group(), ce.loss_sum);
+      const double count_total =
+          ctx.comm.all_reduce_sum_scalar(world.world_group(), static_cast<double>(ce.count));
+      const double correct_total =
+          ctx.comm.all_reduce_sum_scalar(world.world_group(), static_cast<double>(ce.correct));
+
+      dense::Matrix dq = std::move(dlogits);
+      for (int l = L - 1; l >= 0; --l) {
+        const auto& h = h_save[static_cast<std::size_t>(l)];
+        dense::Matrix dw = dense::matmul(h, dq, dense::Trans::T, dense::Trans::N);
+        const double tg = sim::gemm_time(m, dw.rows(), dw.cols(), h.rows(), dense::Trans::T,
+                                         dense::Trans::N);
+        ctx.comm.charge_compute(tg);
+        timers.gemm += tg;
+        ctx.comm.all_reduce_sum<float>(world.world_group(), dw.flat());
+        dense::Matrix dh = dense::matmul(dq, weights[static_cast<std::size_t>(l)],
+                                         dense::Trans::N, dense::Trans::T);
+        dense::Matrix df = scatter_grads(dh, timers);
+        w_adams[static_cast<std::size_t>(l)].step(weights[static_cast<std::size_t>(l)].flat(),
+                                                  dw.flat());
+        if (l > 0) {
+          dense::Matrix next_dq(df.rows(), df.cols());
+          dense::relu_backward(q_save[static_cast<std::size_t>(l - 1)], df, next_dq);
+          dq = std::move(next_dq);
+        } else {
+          f_adam.step(features.flat(), df.flat());
+        }
+      }
+
+      core::EpochStats s;
+      s.loss = count_total > 0 ? loss_total / count_total : 0.0;
+      s.train_accuracy = count_total > 0 ? correct_total / count_total : 0.0;
+      s.epoch_seconds = ctx.clock.time() - t0;
+      s.spmm_seconds = timers.spmm;
+      s.gemm_seconds = timers.gemm;
+      s.epoch_seconds = ctx.comm.all_reduce_max_scalar(world.world_group(), s.epoch_seconds);
+      s.spmm_seconds = ctx.comm.all_reduce_max_scalar(world.world_group(), s.spmm_seconds);
+      s.gemm_seconds = ctx.comm.all_reduce_max_scalar(world.world_group(), s.gemm_seconds);
+      if (ctx.rank() == 0) result.epochs[static_cast<std::size_t>(epoch)] = s;
+    }
+  });
+  return result;
+}
+
+}  // namespace plexus::base

@@ -1,0 +1,24 @@
+#pragma once
+/// \file clock.hpp
+/// Per-rank logical clock for performance simulation.
+///
+/// Local kernels advance a rank's clock by modelled kernel time; collectives
+/// synchronise all participants to `max(member clocks) + T_collective`. Load
+/// imbalance is therefore emergent: a straggler (e.g. a rank holding a dense
+/// adjacency shard) delays every collective it participates in, exactly the
+/// ripple effect section 1 of the paper describes.
+
+namespace plexus::comm {
+
+class SimClock {
+ public:
+  double time() const { return t_; }
+  void advance(double seconds) { t_ += seconds; }
+  void set(double seconds) { t_ = seconds; }
+  void reset() { t_ = 0.0; }
+
+ private:
+  double t_ = 0.0;
+};
+
+}  // namespace plexus::comm

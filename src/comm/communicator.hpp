@@ -1,0 +1,290 @@
+#pragma once
+/// \file communicator.hpp
+/// Per-rank communicator: NCCL/MPI-style collectives over shared memory.
+///
+/// Every simulated GPU thread owns one `Communicator`. Collectives move real
+/// data between ranks (so the distributed algebra is exact) and synchronise
+/// the ranks' simulated clocks to `max(member clocks) + T_collective`, where
+/// T_collective comes from the ring cost model (comm/cost.hpp) with the
+/// group's effective link parameters.
+///
+/// Synchronisation protocol per collective (all members must call together):
+///   1. publish: write own buffer pointer + clock into the group's slots
+///   2. barrier
+///   3. read phase: read *other members'* published buffers; private writes ok
+///   4. barrier
+///   5. write phase: writes to own published buffer (if in-place op)
+/// The trailing writes are ordered before any subsequent collective's reads by
+/// that collective's first barrier (std::barrier has acquire/release
+/// semantics), so back-to-back collectives are race-free.
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "comm/clock.hpp"
+#include "comm/cost.hpp"
+#include "comm/world.hpp"
+#include "util/error.hpp"
+
+namespace plexus::comm {
+
+/// Per-rank accounting of communication volume and simulated time.
+struct CommStats {
+  struct Entry {
+    std::int64_t calls = 0;
+    std::int64_t bytes = 0;
+    double sim_seconds = 0.0;
+  };
+  std::array<Entry, 7> by_op{};
+
+  Entry& entry(Collective op) { return by_op[static_cast<std::size_t>(op)]; }
+  const Entry& entry(Collective op) const { return by_op[static_cast<std::size_t>(op)]; }
+
+  double total_seconds() const {
+    double t = 0.0;
+    for (const auto& e : by_op) t += e.sim_seconds;
+    return t;
+  }
+  std::int64_t total_bytes() const {
+    std::int64_t b = 0;
+    for (const auto& e : by_op) b += e.bytes;
+    return b;
+  }
+  void reset() { by_op = {}; }
+};
+
+class Communicator {
+ public:
+  /// `clock` may be null (functional-only mode, no time simulation).
+  Communicator(World& world, int rank, SimClock* clock = nullptr)
+      : world_(&world), rank_(rank), clock_(clock) {
+    PLEXUS_CHECK(rank >= 0 && rank < world.size(), "rank out of range");
+  }
+
+  int rank() const { return rank_; }
+  int world_size() const { return world_->size(); }
+  World& world() { return *world_; }
+  SimClock* clock() { return clock_; }
+  CommStats& stats() { return stats_; }
+  const CommStats& stats() const { return stats_; }
+
+  /// Advance this rank's clock by modelled local-kernel time.
+  void charge_compute(double seconds) {
+    if (clock_ != nullptr) clock_->advance(seconds);
+  }
+
+  void barrier(GroupId gid) {
+    auto& g = world_->group(gid);
+    const int pos = g.position_of(rank_);
+    publish(g, pos, nullptr);
+    g.barrier->arrive_and_wait();
+    const double t = finish(g, Collective::Barrier, 0);
+    g.barrier->arrive_and_wait();
+    (void)t;
+  }
+
+  /// out[i * chunk .. ] = member i's `in`. `in.size()` must be equal across the
+  /// group; `out.size() == in.size() * group size`.
+  template <typename T>
+  void all_gather(GroupId gid, std::span<const T> in, std::span<T> out) {
+    auto& g = world_->group(gid);
+    const int pos = g.position_of(rank_);
+    PLEXUS_CHECK(out.size() == in.size() * static_cast<std::size_t>(g.size()),
+                 "all_gather: bad output size");
+    publish(g, pos, in.data());
+    g.barrier->arrive_and_wait();
+    for (int m = 0; m < g.size(); ++m) {
+      const T* src = static_cast<const T*>(g.slots[static_cast<std::size_t>(m)]);
+      std::memcpy(out.data() + static_cast<std::size_t>(m) * in.size(), src,
+                  in.size() * sizeof(T));
+    }
+    finish(g, Collective::AllGather, static_cast<std::int64_t>(out.size() * sizeof(T)));
+    g.barrier->arrive_and_wait();
+  }
+
+  /// Elementwise sum across the group, in place. `overlap_credit` (seconds)
+  /// models communication/computation overlap: when the caller has issued this
+  /// collective asynchronously behind `overlap_credit` seconds of independent
+  /// compute (the blocked-aggregation pipeline of paper section 5.2), only the
+  /// *exposed* time max(0, T - credit) is charged to the clocks.
+  template <typename T>
+  void all_reduce_sum(GroupId gid, std::span<T> inout, double overlap_credit = 0.0) {
+    auto& g = world_->group(gid);
+    const int pos = g.position_of(rank_);
+    publish(g, pos, inout.data());
+    g.barrier->arrive_and_wait();
+    scratch_.resize(inout.size() * sizeof(T));
+    T* tmp = reinterpret_cast<T*>(scratch_.data());
+    std::memcpy(tmp, g.slots[0], inout.size() * sizeof(T));
+    for (int m = 1; m < g.size(); ++m) {
+      const T* src = static_cast<const T*>(g.slots[static_cast<std::size_t>(m)]);
+      for (std::size_t i = 0; i < inout.size(); ++i) tmp[i] += src[i];
+    }
+    finish(g, Collective::AllReduce, static_cast<std::int64_t>(inout.size() * sizeof(T)),
+           overlap_credit);
+    g.barrier->arrive_and_wait();
+    std::memcpy(inout.data(), tmp, inout.size() * sizeof(T));
+  }
+
+  /// Sum across the group, scattering chunk `pos` to member `pos`.
+  /// `in.size() == out.size() * group size`; `out` must not alias `in`.
+  template <typename T>
+  void reduce_scatter_sum(GroupId gid, std::span<const T> in, std::span<T> out) {
+    auto& g = world_->group(gid);
+    const int pos = g.position_of(rank_);
+    PLEXUS_CHECK(in.size() == out.size() * static_cast<std::size_t>(g.size()),
+                 "reduce_scatter: bad sizes");
+    publish(g, pos, in.data());
+    g.barrier->arrive_and_wait();
+    const std::size_t off = static_cast<std::size_t>(pos) * out.size();
+    const T* first = static_cast<const T*>(g.slots[0]);
+    std::memcpy(out.data(), first + off, out.size() * sizeof(T));
+    for (int m = 1; m < g.size(); ++m) {
+      const T* src = static_cast<const T*>(g.slots[static_cast<std::size_t>(m)]) + off;
+      for (std::size_t i = 0; i < out.size(); ++i) out[i] += src[i];
+    }
+    finish(g, Collective::ReduceScatter, static_cast<std::int64_t>(in.size() * sizeof(T)));
+    g.barrier->arrive_and_wait();
+  }
+
+  /// Copy root's buffer to every member (root given as group position).
+  template <typename T>
+  void broadcast(GroupId gid, std::span<T> buf, int root_pos) {
+    auto& g = world_->group(gid);
+    const int pos = g.position_of(rank_);
+    publish(g, pos, buf.data());
+    g.barrier->arrive_and_wait();
+    if (pos != root_pos) {
+      const T* src = static_cast<const T*>(g.slots[static_cast<std::size_t>(root_pos)]);
+      std::memcpy(buf.data(), src, buf.size() * sizeof(T));
+    }
+    finish(g, Collective::Broadcast, static_cast<std::int64_t>(buf.size() * sizeof(T)));
+    g.barrier->arrive_and_wait();
+  }
+
+  /// Equal-chunk all-to-all: member m receives chunk `pos` of member m's `in`
+  /// ... i.e. out[m*chunk ..] = in_m[pos*chunk ..].
+  template <typename T>
+  void all_to_all(GroupId gid, std::span<const T> in, std::span<T> out) {
+    auto& g = world_->group(gid);
+    const int pos = g.position_of(rank_);
+    PLEXUS_CHECK(in.size() == out.size(), "all_to_all: sizes must match");
+    PLEXUS_CHECK(in.size() % static_cast<std::size_t>(g.size()) == 0, "all_to_all: chunking");
+    const std::size_t chunk = in.size() / static_cast<std::size_t>(g.size());
+    publish(g, pos, in.data());
+    g.barrier->arrive_and_wait();
+    for (int m = 0; m < g.size(); ++m) {
+      const T* src =
+          static_cast<const T*>(g.slots[static_cast<std::size_t>(m)]) + static_cast<std::size_t>(pos) * chunk;
+      std::memcpy(out.data() + static_cast<std::size_t>(m) * chunk, src, chunk * sizeof(T));
+    }
+    finish(g, Collective::AllToAll, static_cast<std::int64_t>(in.size() * sizeof(T)));
+    g.barrier->arrive_and_wait();
+  }
+
+  /// Variable all-to-all: `send[m]` goes to member m; `recv[m]` receives from
+  /// member m (resized by the call). Cost is charged on the maximum per-rank
+  /// send volume (the straggler determines the exchange time).
+  template <typename T>
+  void all_to_all_v(GroupId gid, const std::vector<std::vector<T>>& send,
+                    std::vector<std::vector<T>>& recv) {
+    auto& g = world_->group(gid);
+    const int pos = g.position_of(rank_);
+    PLEXUS_CHECK(send.size() == static_cast<std::size_t>(g.size()), "all_to_all_v: send size");
+    recv.assign(static_cast<std::size_t>(g.size()), {});
+    std::int64_t my_bytes = 0;
+    for (const auto& s : send) my_bytes += static_cast<std::int64_t>(s.size() * sizeof(T));
+    aux_value(g, pos) = static_cast<double>(my_bytes);
+    publish(g, pos, &send);
+    g.barrier->arrive_and_wait();
+    double max_bytes = 0.0;
+    for (int m = 0; m < g.size(); ++m) {
+      const auto* their_send =
+          static_cast<const std::vector<std::vector<T>>*>(g.slots[static_cast<std::size_t>(m)]);
+      recv[static_cast<std::size_t>(m)] = (*their_send)[static_cast<std::size_t>(pos)];
+      max_bytes = std::max(max_bytes, aux_value(g, m));
+    }
+    finish(g, Collective::AllToAll, static_cast<std::int64_t>(max_bytes));
+    g.barrier->arrive_and_wait();
+  }
+
+  /// Max of a scalar across the group (costed as a latency-only reduction).
+  double all_reduce_max_scalar(GroupId gid, double value) {
+    auto& g = world_->group(gid);
+    const int pos = g.position_of(rank_);
+    aux_value(g, pos) = value;
+    publish(g, pos, nullptr);
+    g.barrier->arrive_and_wait();
+    double mx = value;
+    for (int m = 0; m < g.size(); ++m) mx = std::max(mx, aux_value(g, m));
+    finish(g, Collective::AllReduce, 8);
+    g.barrier->arrive_and_wait();
+    return mx;
+  }
+
+  /// Sum of a scalar across the group.
+  double all_reduce_sum_scalar(GroupId gid, double value) {
+    auto& g = world_->group(gid);
+    const int pos = g.position_of(rank_);
+    aux_value(g, pos) = value;
+    publish(g, pos, nullptr);
+    g.barrier->arrive_and_wait();
+    double sum = 0.0;
+    for (int m = 0; m < g.size(); ++m) sum += aux_value(g, m);
+    finish(g, Collective::AllReduce, 8);
+    g.barrier->arrive_and_wait();
+    return sum;
+  }
+
+ private:
+  /// Scalar-exchange slot for member `pos`: the second half of clock_slots
+  /// (World::create_group sizes it to 2 * members).
+  double& aux_value(GroupShared& g, int pos) {
+    return g.clock_slots[static_cast<std::size_t>(g.size() + pos)];
+  }
+
+  void publish(GroupShared& g, int pos, const void* ptr) {
+    ensure_aux_capacity(g);
+    g.slots[static_cast<std::size_t>(pos)] = ptr;
+    g.clock_slots[static_cast<std::size_t>(pos)] = clock_ != nullptr ? clock_->time() : 0.0;
+  }
+
+  void ensure_aux_capacity(GroupShared& g) {
+    // clock_slots doubles as clock publication (first `size` entries) and
+    // scalar exchange (next `size` entries). Grown once, single-threadedly, at
+    // first use: World::create_group sizes it to 2 * size already; this is a
+    // safety net for tests that build GroupShared manually.
+    PLEXUS_CHECK(g.clock_slots.size() >= 2 * static_cast<std::size_t>(g.size()),
+                 "group clock_slots under-sized");
+  }
+
+  /// Compute collective cost, record stats, and synchronise this rank's clock.
+  /// Must be called in the read phase (between the two barriers).
+  double finish(GroupShared& g, Collective op, std::int64_t bytes, double overlap_credit = 0.0) {
+    const double full = collective_time(op, bytes, g.size(), g.link, g.a2a_distance_penalty);
+    const double t = std::max(0.0, full - overlap_credit);
+    auto& e = stats_.entry(op);
+    e.calls += 1;
+    e.bytes += bytes;
+    e.sim_seconds += t;
+    if (clock_ != nullptr) {
+      double mx = 0.0;
+      for (int m = 0; m < g.size(); ++m) {
+        mx = std::max(mx, g.clock_slots[static_cast<std::size_t>(m)]);
+      }
+      clock_->set(mx + t);
+    }
+    return t;
+  }
+
+  World* world_;
+  int rank_;
+  SimClock* clock_;
+  CommStats stats_;
+  std::vector<unsigned char> scratch_;
+};
+
+}  // namespace plexus::comm

@@ -1,0 +1,43 @@
+#pragma once
+/// \file cost.hpp
+/// Analytic collective cost model (paper section 4.2).
+///
+/// Ring-algorithm bandwidth terms after Thakur & Gropp / Rabenseifner, the same
+/// equations the paper's communication model uses (eq. 4.5). `bytes` is the
+/// *full logical buffer* size: for all-reduce the buffer being reduced, for
+/// all-gather / reduce-scatter the gathered (full) buffer. A latency term
+/// `alpha` per ring step is included; the paper omits it for its large messages
+/// but small-group simulations keep it for fidelity.
+
+#include <cstdint>
+
+namespace plexus::comm {
+
+enum class Collective {
+  Barrier,
+  Broadcast,
+  AllGather,
+  AllReduce,
+  ReduceScatter,
+  AllToAll,
+  Send,  ///< point-to-point (used by halo exchange accounting)
+};
+
+struct LinkParams {
+  double bandwidth = 100e9;  ///< bytes/sec effective for this group's ring
+  double latency = 5e-6;     ///< seconds per message hop
+  /// Per-peer software overhead of all-to-all exchanges (NCCL p2p setup,
+  /// staging of many small buffers). Applied as overhead * (G-1)^0.8; zero
+  /// for ring collectives, which pipeline a single neighbour stream.
+  double a2a_peer_overhead = 0.0;
+};
+
+/// Time for one collective on a group of `group_size` ranks.
+/// AllToAll uses `bytes` = data each rank sends in total, and models the
+/// non-neighbour traffic penalty via `a2a_distance_penalty` (>= 1) that the
+/// caller derives from topology (long-distance messages; section 7.1 discusses
+/// why all-to-all scales worse than ring collectives).
+double collective_time(Collective op, std::int64_t bytes, int group_size,
+                       const LinkParams& link, double a2a_distance_penalty = 1.0);
+
+}  // namespace plexus::comm

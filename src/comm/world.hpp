@@ -1,0 +1,70 @@
+#pragma once
+/// \file world.hpp
+/// Shared state of the simulated cluster: the rank set and all process groups.
+///
+/// Mirrors the MPI model: a `World` of G ranks, and process groups (sub-
+/// communicators) created *before* the SPMD region starts (group creation is
+/// not thread-safe by design — matching the collective-creation requirement of
+/// MPI_Comm_create / NCCL communicator init, which Plexus performs once when
+/// arranging GPUs into the 3D virtual grid).
+///
+/// Each group carries `LinkParams` (effective ring bandwidth + latency) so that
+/// collectives advance the simulated clocks by the paper's eq. 4.5/4.6 costs.
+
+#include <barrier>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "comm/cost.hpp"
+#include "util/error.hpp"
+
+namespace plexus::comm {
+
+using GroupId = int;
+
+/// Shared per-group state. `slots` hold pointers published by members during a
+/// collective; `clock_slots` carry their simulated clocks for synchronisation.
+struct GroupShared {
+  std::vector<int> members;  ///< global ranks, ascending
+  LinkParams link;
+  double a2a_distance_penalty = 1.0;
+  std::unique_ptr<std::barrier<>> barrier;
+  std::vector<const void*> slots;
+  std::vector<double> clock_slots;
+
+  int size() const { return static_cast<int>(members.size()); }
+
+  int position_of(int rank) const {
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (members[i] == rank) return static_cast<int>(i);
+    }
+    PLEXUS_CHECK(false, "rank not in group");
+    return -1;
+  }
+};
+
+class World {
+ public:
+  explicit World(int size);
+
+  int size() const { return size_; }
+
+  /// Group 0: all ranks, default link parameters.
+  GroupId world_group() const { return 0; }
+
+  /// Create a process group. NOT thread-safe: call before the SPMD region.
+  GroupId create_group(std::vector<int> members, LinkParams link = {},
+                       double a2a_distance_penalty = 1.0);
+
+  GroupShared& group(GroupId id) {
+    PLEXUS_CHECK(id >= 0 && static_cast<std::size_t>(id) < groups_.size(), "bad group id");
+    return *groups_[static_cast<std::size_t>(id)];
+  }
+
+ private:
+  int size_;
+  std::vector<std::unique_ptr<GroupShared>> groups_;
+};
+
+}  // namespace plexus::comm

@@ -1,0 +1,44 @@
+#pragma once
+/// \file adjacency_store.hpp
+/// Per-rank adjacency shards for every layer (paper section 3.2 + 5.1).
+///
+/// Layer l needs the adjacency *version* (l mod 2: P_r-rows vs P_c-rows under
+/// double permutation) sharded on the *plane* given by its roles (rows along
+/// axis R_l, cols along axis P_l; the plane cycles with period 3). Distinct
+/// (version, plane) combinations are built once and shared between layers —
+/// min(3, L) shards without double permutation, min(6, 2L) with it. Each shard
+/// is stored together with its transpose (the backward pass computes
+/// SpMM(A^T, dH), eq. 2.7).
+
+#include <map>
+#include <memory>
+
+#include "core/grid.hpp"
+#include "core/preprocess.hpp"
+#include "core/roles.hpp"
+#include "sparse/csr.hpp"
+
+namespace plexus::core {
+
+struct AdjacencyShard {
+  sparse::Csr a;    ///< (N/R x N/P) block of the layer's adjacency version
+  sparse::Csr a_t;  ///< its transpose, for the backward SpMM
+};
+
+class AdjacencyStore {
+ public:
+  /// Extracts this rank's shards for layers [0, num_layers). Pure reads of the
+  /// shared dataset: safe to run concurrently on all ranks.
+  AdjacencyStore(const PlexusDataset& dataset, const Grid3D& grid, int rank, int num_layers);
+
+  const AdjacencyShard& layer(int l) const;
+
+  /// Number of distinct shards stored (tested against min(3,L)/min(6,2L)).
+  std::size_t unique_shards() const { return shards_.size(); }
+
+ private:
+  std::map<std::pair<int, int>, std::shared_ptr<AdjacencyShard>> shards_;  // (version, plane)
+  std::vector<std::shared_ptr<AdjacencyShard>> by_layer_;
+};
+
+}  // namespace plexus::core

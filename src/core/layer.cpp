@@ -1,0 +1,192 @@
+#include "core/layer.hpp"
+
+#include <algorithm>
+
+#include "dense/gemm.hpp"
+#include "dense/ops.hpp"
+#include "sim/kernels.hpp"
+#include "sparse/partition2d.hpp"
+#include "sparse/spmm.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace plexus::core {
+
+DistGcnLayer::DistGcnLayer(const PlexusDataset& ds, const Grid3D& grid, int rank, int layer_index,
+                           int num_layers, std::int64_t in_dim_padded, std::int64_t out_dim_padded,
+                           std::int64_t in_dim_valid, std::int64_t out_dim_valid,
+                           const AdjacencyShard* adj, const PlexusOptions& opts,
+                           std::uint64_t seed)
+    : ds_(&ds),
+      grid_(&grid),
+      adj_(adj),
+      opts_(opts),
+      layer_(layer_index),
+      roles_(roles_for_layer(layer_index)) {
+  PLEXUS_CHECK(layer_index >= 0 && layer_index < num_layers, "bad layer index");
+  const Coords c = grid.coords_of(rank);
+  ext_p_ = grid.extent(roles_.p);
+  ext_q_ = grid.extent(roles_.q);
+  ext_r_ = grid.extent(roles_.r);
+  coord_p_ = Grid3D::coord(c, roles_.p);
+  coord_q_ = Grid3D::coord(c, roles_.q);
+  coord_r_ = Grid3D::coord(c, roles_.r);
+  p_group_ = grid.group_along(roles_.p, rank);
+  q_group_ = grid.group_along(roles_.q, rank);
+  r_group_ = grid.group_along(roles_.r, rank);
+
+  rows_r_ = ds.padded_nodes / ext_r_;
+  rows_p_ = ds.padded_nodes / ext_p_;
+  din_q_ = in_dim_padded / ext_q_;
+  dout_p_ = out_dim_padded / ext_p_;
+  PLEXUS_CHECK(in_dim_padded % ext_q_ == 0 && out_dim_padded % ext_p_ == 0,
+               "layer dims must be padded to the grid volume");
+  PLEXUS_CHECK(adj_->a.rows() == rows_r_ && adj_->a.cols() == rows_p_,
+               "adjacency shard does not match layer roles");
+
+  // W block (rows = Q slice of Din, cols = P slice of Dout), flat 1/R slice.
+  const Slice wrows = uniform_slice(in_dim_padded, ext_q_, coord_q_);
+  const Slice wcols = uniform_slice(out_dim_padded, ext_p_, coord_p_);
+  const dense::Matrix w_block = init_weight_block(seed, layer_index, wrows.begin, wcols.begin,
+                                                  wrows.size(), wcols.size(), in_dim_valid,
+                                                  out_dim_valid);
+  w_slice_ = flat_slice(w_block, ext_r_, coord_r_);
+  dw_slice_.assign(w_slice_.size(), 0.0f);
+  adam_ = dense::Adam(w_slice_.size(), opts.adam);
+}
+
+dense::Matrix DistGcnLayer::gathered_weights(sim::RankContext& ctx) {
+  dense::Matrix w_block(din_q_, dout_p_);
+  ctx.comm.all_gather<float>(r_group_, w_slice_, w_block.flat());
+  return w_block;
+}
+
+dense::Matrix DistGcnLayer::gather_weight_block(sim::RankContext& ctx) {
+  return gathered_weights(ctx);
+}
+
+dense::Matrix DistGcnLayer::forward(sim::RankContext& ctx, const dense::Matrix& f_in, bool last,
+                                    std::uint64_t epoch_seed, KernelTimers& timers) {
+  PLEXUS_CHECK(f_in.rows() == rows_p_ && f_in.cols() == din_q_, "forward input block shape");
+  const sim::Machine& m = *ctx.machine;
+
+  // ---- Step 1: aggregation H = SpMM(A, F), all-reduced over the P group.
+  // With blocked aggregation (section 5.2) the shard is processed in row
+  // blocks; block k's all-reduce overlaps block k+1's SpMM, so only the
+  // exposed communication is charged (overlap credit).
+  h_ = dense::Matrix(rows_r_, din_q_);
+  const int nb = std::max(1, opts_.agg_row_blocks);
+  const auto bounds = sparse::block_bounds(rows_r_, nb);
+  double pending_credit = 0.0;
+  std::int64_t prev_b0 = 0;
+  std::int64_t prev_b1 = 0;
+  bool have_pending = false;
+  for (int k = 0; k < nb; ++k) {
+    const std::int64_t b0 = bounds[static_cast<std::size_t>(k)];
+    const std::int64_t b1 = bounds[static_cast<std::size_t>(k) + 1];
+    sparse::spmm_rows(adj_->a, f_in, h_, b0, b1);
+    const std::int64_t block_nnz =
+        adj_->a.row_ptr()[static_cast<std::size_t>(b1)] - adj_->a.row_ptr()[static_cast<std::size_t>(b0)];
+    const sim::SpmmShape shape{block_nnz, b1 - b0, rows_p_, din_q_};
+    const std::uint64_t noise_seed = util::hash_combine(
+        epoch_seed, util::hash_combine(static_cast<std::uint64_t>(layer_),
+                                       util::hash_combine(static_cast<std::uint64_t>(ctx.rank()),
+                                                          static_cast<std::uint64_t>(k))));
+    const double t_block = sim::spmm_time(m, shape) * sim::spmm_noise_factor(m, shape, noise_seed);
+    ctx.comm.charge_compute(t_block);
+    timers.spmm += t_block;
+    if (have_pending) {
+      std::span<float> rows{h_.row(prev_b0), static_cast<std::size_t>((prev_b1 - prev_b0) * din_q_)};
+      ctx.comm.all_reduce_sum<float>(p_group_, rows, /*overlap_credit=*/t_block);
+    }
+    prev_b0 = b0;
+    prev_b1 = b1;
+    have_pending = true;
+  }
+  {
+    std::span<float> rows{h_.row(prev_b0), static_cast<std::size_t>((prev_b1 - prev_b0) * din_q_)};
+    ctx.comm.all_reduce_sum<float>(p_group_, rows);
+  }
+
+  // ---- Step 2: combination Q = SGEMM(H, W), all-reduced over the Q group.
+  const dense::Matrix w_block = gathered_weights(ctx);
+  q_pre_ = dense::matmul(h_, w_block);
+  const double t_gemm = sim::gemm_time(m, rows_r_, dout_p_, din_q_, dense::Trans::N,
+                                       dense::Trans::N);
+  ctx.comm.charge_compute(t_gemm);
+  timers.gemm += t_gemm;
+  ctx.comm.all_reduce_sum<float>(q_group_, q_pre_.flat());
+
+  // ---- Step 3: activation.
+  if (last) return q_pre_;
+  dense::Matrix f_out = dense::relu(q_pre_);
+  const double t_act = sim::elementwise_time(m, q_pre_.size());
+  ctx.comm.charge_compute(t_act);
+  timers.elementwise += t_act;
+  return f_out;
+}
+
+dense::Matrix DistGcnLayer::backward(sim::RankContext& ctx, const dense::Matrix& df_out,
+                                     bool last, KernelTimers& timers) {
+  PLEXUS_CHECK(df_out.rows() == rows_r_ && df_out.cols() == dout_p_, "backward input shape");
+  const sim::Machine& m = *ctx.machine;
+
+  // dQ = dF_out (last layer: loss grad) or dF_out ⊙ relu'(Q) (eq. 2.4).
+  dense::Matrix dq(rows_r_, dout_p_);
+  if (last) {
+    dq = df_out;
+  } else {
+    dense::relu_backward(q_pre_, df_out, dq);
+    const double t = sim::elementwise_time(m, dq.size(), 3.0);
+    ctx.comm.charge_compute(t);
+    timers.elementwise += t;
+  }
+
+  // dW = H^T dQ (eq. 2.5), reduce-scattered over the R group (Alg. 2 line 3).
+  // Section 5.3 tuning replaces the slow transpose-first GEMM by the reversed
+  // order (SGEMM(dQ^T, H))^T, which dispatches in the fast mode.
+  dense::Matrix dw_block;
+  if (opts_.gemm_dw_tuning) {
+    dw_block = dense::matmul(dq, h_, dense::Trans::T, dense::Trans::N).transposed();
+    const double t = sim::gemm_time(m, din_q_, dout_p_, rows_r_, dense::Trans::N, dense::Trans::T) +
+                     sim::elementwise_time(m, dw_block.size());
+    ctx.comm.charge_compute(t);
+    timers.gemm += t;
+  } else {
+    dw_block = dense::matmul(h_, dq, dense::Trans::T, dense::Trans::N);
+    const double t = sim::gemm_time(m, din_q_, dout_p_, rows_r_, dense::Trans::T, dense::Trans::N);
+    ctx.comm.charge_compute(t);
+    timers.gemm += t;
+  }
+  ctx.comm.reduce_scatter_sum<float>(r_group_, dw_block.flat(), dw_slice_);
+
+  // dH = dQ W^T (eq. 2.6), all-reduced over the P group (Alg. 2 lines 4-6).
+  const dense::Matrix w_block = gathered_weights(ctx);
+  dense::Matrix dh = dense::matmul(dq, w_block, dense::Trans::N, dense::Trans::T);
+  {
+    const double t = sim::gemm_time(m, rows_r_, din_q_, dout_p_, dense::Trans::N, dense::Trans::T);
+    ctx.comm.charge_compute(t);
+    timers.gemm += t;
+  }
+  ctx.comm.all_reduce_sum<float>(p_group_, dh.flat());
+
+  // dF = SpMM(A^T, dH) (eq. 2.7); final collective over R applied by caller.
+  dense::Matrix df_in = sparse::spmm(adj_->a_t, dh);
+  {
+    const sim::SpmmShape shape{adj_->a_t.nnz(), rows_p_, rows_r_, din_q_};
+    const double t = sim::spmm_time(m, shape);
+    ctx.comm.charge_compute(t);
+    timers.spmm += t;
+  }
+  return df_in;
+}
+
+void DistGcnLayer::apply_grad(sim::RankContext& ctx, KernelTimers& timers) {
+  adam_.step(w_slice_, dw_slice_);
+  const double t = sim::elementwise_time(*ctx.machine, static_cast<std::int64_t>(w_slice_.size()),
+                                         6.0);
+  ctx.comm.charge_compute(t);
+  timers.elementwise += t;
+}
+
+}  // namespace plexus::core

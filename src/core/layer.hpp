@@ -1,0 +1,104 @@
+#pragma once
+/// \file layer.hpp
+/// One distributed GCN layer: the forward pass of Algorithm 1 and backward
+/// pass of Algorithm 2, generalised to every layer through the role rotation
+/// (roles.hpp). Includes the two kernel-level optimisations of section 5:
+/// blocked aggregation with pipelined per-block all-reduce (5.2) and the
+/// reversed-order dL/dW GEMM (5.3).
+///
+/// A layer owns its weight shard (the (Din/Q x Dout/P) block, flat-sharded
+/// across the R-parallel group) and that shard's Adam state. All simulated
+/// kernel time is charged onto the rank's clock; collectives charge and
+/// synchronise through the communicator.
+
+#include <cstdint>
+
+#include "core/adjacency_store.hpp"
+#include "core/grid.hpp"
+#include "core/preprocess.hpp"
+#include "core/roles.hpp"
+#include "core/shard.hpp"
+#include "dense/matrix.hpp"
+#include "dense/optim.hpp"
+#include "sim/cluster.hpp"
+
+namespace plexus::core {
+
+/// Tunables of the parallel algorithm (paper section 5).
+struct PlexusOptions {
+  int agg_row_blocks = 1;       ///< >1 enables blocked aggregation (section 5.2)
+  bool gemm_dw_tuning = false;  ///< reversed dL/dW multiplication order (section 5.3)
+  dense::AdamConfig adam;
+};
+
+/// Per-rank accumulated simulated kernel time, by category.
+struct KernelTimers {
+  double spmm = 0.0;
+  double gemm = 0.0;
+  double elementwise = 0.0;
+  double total() const { return spmm + gemm + elementwise; }
+};
+
+class DistGcnLayer {
+ public:
+  DistGcnLayer(const PlexusDataset& ds, const Grid3D& grid, int rank, int layer_index,
+               int num_layers, std::int64_t in_dim_padded, std::int64_t out_dim_padded,
+               std::int64_t in_dim_valid, std::int64_t out_dim_valid, const AdjacencyShard* adj,
+               const PlexusOptions& opts, std::uint64_t seed);
+
+  /// Forward: f_in is the (N/P x Din/Q) input block (layer 0's flat-sharded
+  /// features must be gathered by the caller). Applies ReLU unless `last`.
+  /// `epoch_seed` feeds the per-kernel variability model.
+  dense::Matrix forward(sim::RankContext& ctx, const dense::Matrix& f_in, bool last,
+                        std::uint64_t epoch_seed, KernelTimers& timers);
+
+  /// Backward: df_out is the gradient w.r.t. this layer's output (same block
+  /// layout as the forward output, replicated over Q). Returns the *partial*
+  /// dF_in block (N/P x Din/Q); the caller applies the final collective over
+  /// the R-group (reduce-scatter at layer 0, all-reduce otherwise — the
+  /// section 3.2 distinction). Stores dW internally for apply_grad().
+  dense::Matrix backward(sim::RankContext& ctx, const dense::Matrix& df_out, bool last,
+                         KernelTimers& timers);
+
+  /// Adam step on the local weight slice using the gradient from backward().
+  void apply_grad(sim::RankContext& ctx, KernelTimers& timers);
+
+  const LayerRoles& roles() const { return roles_; }
+  comm::GroupId r_group() const { return r_group_; }
+  std::int64_t weight_slice_size() const { return static_cast<std::int64_t>(w_slice_.size()); }
+
+  /// Gathered weight block (tests): (Din/Q x Dout/P).
+  dense::Matrix gather_weight_block(sim::RankContext& ctx);
+
+ private:
+  dense::Matrix gathered_weights(sim::RankContext& ctx);
+
+  const PlexusDataset* ds_;
+  const Grid3D* grid_;
+  const AdjacencyShard* adj_;
+  PlexusOptions opts_;
+  int layer_;
+  LayerRoles roles_;
+
+  // Axis extents and this rank's coordinates along the role axes.
+  int ext_p_, ext_q_, ext_r_;
+  int coord_p_, coord_q_, coord_r_;
+  comm::GroupId p_group_, q_group_, r_group_;
+
+  // Padded block dims.
+  std::int64_t rows_r_;   ///< N'/R: output rows
+  std::int64_t rows_p_;   ///< N'/P: input rows
+  std::int64_t din_q_;    ///< Din'/Q
+  std::int64_t dout_p_;   ///< Dout'/P
+
+  // Weight slice (1/R of the (Din/Q x Dout/P) block, flattened) + Adam.
+  std::vector<float> w_slice_;
+  std::vector<float> dw_slice_;
+  dense::Adam adam_;
+
+  // Saved forward state.
+  dense::Matrix h_;      ///< aggregated H block (N'/R x Din'/Q)
+  dense::Matrix q_pre_;  ///< pre-activation combination output
+};
+
+}  // namespace plexus::core

@@ -1,0 +1,136 @@
+#include "core/model.hpp"
+
+#include "core/shard.hpp"
+#include "sim/kernels.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace plexus::core {
+
+namespace {
+
+std::int64_t round_up(std::int64_t v, std::int64_t multiple) {
+  return (v + multiple - 1) / multiple * multiple;
+}
+
+}  // namespace
+
+DistGcn::DistGcn(sim::RankContext& ctx, const PlexusDataset& ds, const Grid3D& grid, GcnSpec spec)
+    : ds_(&ds), grid_(&grid), spec_(std::move(spec)) {
+  const int L = spec_.num_layers();
+  const std::int64_t volume = grid.size();
+
+  // Valid layer dims: [D, hidden..., C]; padded to the grid volume.
+  std::vector<std::int64_t> valid_dims;
+  valid_dims.push_back(ds.feature_dim);
+  for (const auto h : spec_.hidden_dims) valid_dims.push_back(h);
+  valid_dims.push_back(ds.num_classes);
+  padded_dims_.clear();
+  for (const auto d : valid_dims) padded_dims_.push_back(round_up(d, volume));
+  PLEXUS_CHECK(padded_dims_[0] == ds.padded_feature_dim,
+               "dataset must be preprocessed with the same pad multiple as the grid volume");
+
+  adj_store_ = std::make_unique<AdjacencyStore>(ds, grid, ctx.rank(), L);
+  for (int l = 0; l < L; ++l) {
+    layers_.push_back(std::make_unique<DistGcnLayer>(
+        ds, grid, ctx.rank(), l, L, padded_dims_[static_cast<std::size_t>(l)],
+        padded_dims_[static_cast<std::size_t>(l) + 1], valid_dims[static_cast<std::size_t>(l)],
+        valid_dims[static_cast<std::size_t>(l) + 1], &adj_store_->layer(l), spec_.options,
+        spec_.seed));
+  }
+
+  // Input feature shard: block (rows along P0, cols along Q0), flat-sharded
+  // across R0 because the trainable embeddings carry Adam state (section 3.1).
+  const LayerRoles r0 = roles_for_layer(0);
+  const Coords c = grid.coords_of(ctx.rank());
+  const auto blk = matrix_shard(ds.padded_nodes, padded_dims_[0], grid, c, r0.p, r0.q);
+  f_block_rows_ = blk.rows.size();
+  f_block_cols_ = blk.cols.size();
+  const dense::Matrix f_block = extract_block(ds.features, blk.rows, blk.cols);
+  f_slice_ = flat_slice(f_block, grid.extent(r0.r), Grid3D::coord(c, r0.r));
+  df_slice_.assign(f_slice_.size(), 0.0f);
+  f_adam_ = dense::Adam(f_slice_.size(), spec_.options.adam);
+}
+
+dense::Matrix DistGcn::gather_input_features(sim::RankContext& ctx) {
+  dense::Matrix block(f_block_rows_, f_block_cols_);
+  ctx.comm.all_gather<float>(layers_[0]->r_group(), f_slice_, block.flat());
+  return block;
+}
+
+dense::Matrix DistGcn::forward_all(sim::RankContext& ctx, std::uint64_t epoch_seed,
+                                   KernelTimers& timers) {
+  // Alg. 1 line 3: layer 0 all-gathers the flat-sharded features across Z (R0);
+  // later layers receive full blocks from the previous layer (section 3.2).
+  dense::Matrix f = gather_input_features(ctx);
+  const int L = spec_.num_layers();
+  for (int l = 0; l < L; ++l) {
+    f = layers_[static_cast<std::size_t>(l)]->forward(ctx, f, /*last=*/l == L - 1, epoch_seed,
+                                                      timers);
+  }
+  return f;
+}
+
+EpochStats DistGcn::train_epoch(sim::RankContext& ctx, int epoch) {
+  const double t0 = ctx.clock.time();
+  const double comm0 = ctx.comm.stats().total_seconds();
+  KernelTimers timers;
+  const std::uint64_t epoch_seed = util::hash_combine(spec_.seed, 0xe90c000 + epoch);
+  const int L = spec_.num_layers();
+
+  const dense::Matrix logits = forward_all(ctx, epoch_seed, timers);
+
+  LossResult loss = distributed_softmax_ce(ctx, *grid_, L - 1, *ds_, logits, ds_->train_mask,
+                                           static_cast<double>(ds_->train_total));
+
+  // Backward sweep (Alg. 2 per layer). Between layers the partial dF_in is
+  // all-reduced over that layer's R group; at layer 0 it is reduce-scattered
+  // onto the trainable feature slices instead (section 3.2).
+  dense::Matrix df = std::move(loss.dlogits);
+  for (int l = L - 1; l >= 0; --l) {
+    auto& layer = *layers_[static_cast<std::size_t>(l)];
+    dense::Matrix df_partial = layer.backward(ctx, df, /*last=*/l == L - 1, timers);
+    if (l > 0) {
+      ctx.comm.all_reduce_sum<float>(layer.r_group(), df_partial.flat());
+      df = std::move(df_partial);
+    } else if (spec_.train_input_features) {
+      ctx.comm.reduce_scatter_sum<float>(layer.r_group(), df_partial.flat(), df_slice_);
+    }
+  }
+
+  // Optimizer step.
+  for (auto& layer : layers_) layer->apply_grad(ctx, timers);
+  if (spec_.train_input_features) {
+    f_adam_.step(f_slice_, df_slice_);
+    const double t = sim::elementwise_time(*ctx.machine,
+                                           static_cast<std::int64_t>(f_slice_.size()), 6.0);
+    ctx.comm.charge_compute(t);
+    timers.elementwise += t;
+  }
+
+  EpochStats s;
+  s.loss = loss.loss;
+  s.train_accuracy = loss.accuracy;
+  s.epoch_seconds = ctx.clock.time() - t0;
+  s.spmm_seconds = timers.spmm;
+  s.gemm_seconds = timers.gemm;
+  s.elementwise_seconds = timers.elementwise;
+  s.comm_seconds = ctx.comm.stats().total_seconds() - comm0;
+  return s;
+}
+
+dense::Matrix DistGcn::forward_logits(sim::RankContext& ctx) {
+  KernelTimers timers;
+  return forward_all(ctx, /*epoch_seed=*/0, timers);
+}
+
+double DistGcn::evaluate(sim::RankContext& ctx, const std::vector<std::uint8_t>& mask) {
+  KernelTimers timers;
+  const dense::Matrix logits = forward_all(ctx, /*epoch_seed=*/0, timers);
+  const LossResult r = distributed_softmax_ce(ctx, *grid_, spec_.num_layers() - 1, *ds_, logits,
+                                              mask, static_cast<double>(ds_->train_total),
+                                              /*want_grad=*/false);
+  return r.accuracy;
+}
+
+}  // namespace plexus::core

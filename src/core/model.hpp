@@ -1,0 +1,84 @@
+#pragma once
+/// \file model.hpp
+/// The per-rank distributed GCN: a stack of DistGcnLayers plus the trainable
+/// input features (Plexus learns node embeddings, so layer 0's inputs carry
+/// gradients and optimizer state and are flat-sharded across the R-group —
+/// section 3.1). One train_epoch = forward, masked loss, backward, Adam.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/adjacency_store.hpp"
+#include "core/grid.hpp"
+#include "core/layer.hpp"
+#include "core/loss.hpp"
+#include "core/preprocess.hpp"
+#include "dense/optim.hpp"
+#include "sim/cluster.hpp"
+
+namespace plexus::core {
+
+/// Model hyper-parameters. `hidden_dims` are the widths between the input
+/// features and the classes; 3 GCN layers with hidden 128 is the paper's
+/// evaluation model (section 6.2).
+struct GcnSpec {
+  std::vector<std::int64_t> hidden_dims = {128, 128};
+  PlexusOptions options;
+  std::uint64_t seed = 42;
+  bool train_input_features = true;
+
+  int num_layers() const { return static_cast<int>(hidden_dims.size()) + 1; }
+};
+
+/// What one epoch reports (simulated times in seconds; maxima across ranks are
+/// taken by the trainer).
+struct EpochStats {
+  double loss = 0.0;
+  double train_accuracy = 0.0;
+  double epoch_seconds = 0.0;  ///< simulated clock delta
+  double spmm_seconds = 0.0;
+  double gemm_seconds = 0.0;
+  double elementwise_seconds = 0.0;
+  double comm_seconds = 0.0;  ///< collective time charged to this rank
+  double compute_seconds() const { return spmm_seconds + gemm_seconds + elementwise_seconds; }
+  /// Wait due to load imbalance + collectives = epoch - local compute.
+  double exposed_comm_seconds() const { return epoch_seconds - compute_seconds(); }
+};
+
+class DistGcn {
+ public:
+  DistGcn(sim::RankContext& ctx, const PlexusDataset& ds, const Grid3D& grid, GcnSpec spec);
+
+  EpochStats train_epoch(sim::RankContext& ctx, int epoch);
+
+  /// Forward-only accuracy on a mask (e.g. validation/test split).
+  double evaluate(sim::RankContext& ctx, const std::vector<std::uint8_t>& mask);
+
+  /// Forward pass returning this rank's logits block (tests / inference).
+  dense::Matrix forward_logits(sim::RankContext& ctx);
+
+  int num_layers() const { return spec_.num_layers(); }
+  const std::vector<std::int64_t>& padded_dims() const { return padded_dims_; }
+
+ private:
+  dense::Matrix gather_input_features(sim::RankContext& ctx);
+  dense::Matrix forward_all(sim::RankContext& ctx, std::uint64_t epoch_seed,
+                            KernelTimers& timers);
+
+  const PlexusDataset* ds_;
+  const Grid3D* grid_;
+  GcnSpec spec_;
+  std::vector<std::int64_t> padded_dims_;  ///< per-layer in/out dims, size L+1
+  std::unique_ptr<AdjacencyStore> adj_store_;
+  std::vector<std::unique_ptr<DistGcnLayer>> layers_;
+
+  // Trainable input features: flat 1/R0 slice of the (N/P0 x D0/Q0) block.
+  std::vector<float> f_slice_;
+  std::vector<float> df_slice_;
+  dense::Adam f_adam_;
+  std::int64_t f_block_rows_ = 0;
+  std::int64_t f_block_cols_ = 0;
+};
+
+}  // namespace plexus::core

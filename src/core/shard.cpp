@@ -1,0 +1,62 @@
+#include "core/shard.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace plexus::core {
+
+Slice uniform_slice(std::int64_t extent, int parts, int idx) {
+  PLEXUS_CHECK(parts > 0 && idx >= 0 && idx < parts, "bad slice index");
+  PLEXUS_CHECK(extent % parts == 0,
+               "extent not divisible by parts; preprocessing must pad to the grid volume");
+  const std::int64_t w = extent / parts;
+  return {idx * w, (idx + 1) * w};
+}
+
+BlockShard matrix_shard(std::int64_t rows, std::int64_t cols, const Grid3D& grid,
+                        const Coords& c, Axis row_axis, Axis col_axis) {
+  BlockShard s;
+  s.rows = uniform_slice(rows, grid.extent(row_axis), Grid3D::coord(c, row_axis));
+  s.cols = uniform_slice(cols, grid.extent(col_axis), Grid3D::coord(c, col_axis));
+  return s;
+}
+
+dense::Matrix extract_block(const dense::Matrix& global, const Slice& rows, const Slice& cols) {
+  return global.block(rows.begin, rows.end, cols.begin, cols.end);
+}
+
+Slice flat_slice_range(std::int64_t total_elems, int parts, int idx) {
+  return uniform_slice(total_elems, parts, idx);
+}
+
+std::vector<float> flat_slice(const dense::Matrix& block, int parts, int idx) {
+  const Slice s = flat_slice_range(block.size(), parts, idx);
+  const auto flat = block.flat();
+  return {flat.begin() + s.begin, flat.begin() + s.end};
+}
+
+float weight_init_value(std::uint64_t seed, int layer, std::int64_t r, std::int64_t c,
+                        std::int64_t valid_rows, std::int64_t valid_cols) {
+  if (r >= valid_rows || c >= valid_cols) return 0.0f;
+  const float limit =
+      std::sqrt(6.0f / static_cast<float>(std::max<std::int64_t>(1, valid_rows + valid_cols)));
+  const util::CounterRng rng(util::hash_combine(seed, 0xabcd0000ULL + static_cast<std::uint64_t>(layer)));
+  return rng.uniform_at(static_cast<std::uint64_t>(r * valid_cols + c), -limit, limit);
+}
+
+dense::Matrix init_weight_block(std::uint64_t seed, int layer, std::int64_t row_off,
+                                std::int64_t col_off, std::int64_t rows, std::int64_t cols,
+                                std::int64_t valid_rows, std::int64_t valid_cols) {
+  dense::Matrix out(rows, cols);
+  for (std::int64_t i = 0; i < rows; ++i) {
+    for (std::int64_t j = 0; j < cols; ++j) {
+      out.at(i, j) = weight_init_value(seed, layer, row_off + i, col_off + j, valid_rows,
+                                       valid_cols);
+    }
+  }
+  return out;
+}
+
+}  // namespace plexus::core

@@ -1,0 +1,80 @@
+#include "core/trainer.hpp"
+
+#include <mutex>
+
+#include "comm/world.hpp"
+#include "sim/cluster.hpp"
+#include "util/error.hpp"
+
+namespace plexus::core {
+
+double TrainResult::avg_epoch_seconds(int skip) const {
+  if (epochs.empty()) return 0.0;
+  const auto start = std::min<std::size_t>(static_cast<std::size_t>(skip), epochs.size() - 1);
+  double sum = 0.0;
+  for (std::size_t i = start; i < epochs.size(); ++i) sum += epochs[i].epoch_seconds;
+  return sum / static_cast<double>(epochs.size() - start);
+}
+
+double TrainResult::avg_comm_seconds(int skip) const {
+  if (epochs.empty()) return 0.0;
+  const auto start = std::min<std::size_t>(static_cast<std::size_t>(skip), epochs.size() - 1);
+  double sum = 0.0;
+  for (std::size_t i = start; i < epochs.size(); ++i) sum += epochs[i].exposed_comm_seconds();
+  return sum / static_cast<double>(epochs.size() - start);
+}
+
+double TrainResult::avg_compute_seconds(int skip) const {
+  if (epochs.empty()) return 0.0;
+  const auto start = std::min<std::size_t>(static_cast<std::size_t>(skip), epochs.size() - 1);
+  double sum = 0.0;
+  for (std::size_t i = start; i < epochs.size(); ++i) sum += epochs[i].compute_seconds();
+  return sum / static_cast<double>(epochs.size() - start);
+}
+
+std::vector<double> TrainResult::losses() const {
+  std::vector<double> out;
+  out.reserve(epochs.size());
+  for (const auto& e : epochs) out.push_back(e.loss);
+  return out;
+}
+
+TrainResult train_plexus(const PlexusDataset& ds, const TrainOptions& opt) {
+  PLEXUS_CHECK(ds.padded_nodes % opt.grid.size() == 0,
+               "dataset not padded for this grid volume");
+  comm::World world(opt.grid.size());
+  Grid3D grid(world, opt.grid, *opt.machine);
+
+  TrainResult result;
+  result.epochs.resize(static_cast<std::size_t>(opt.epochs));
+
+  sim::run_cluster(world, *opt.machine, [&](sim::RankContext& ctx) {
+    DistGcn model(ctx, ds, grid, opt.model);
+    for (int e = 0; e < opt.epochs; ++e) {
+      EpochStats s = model.train_epoch(ctx, e);
+      // Aggregate straggler-defining maxima; every rank computes the same
+      // values so rank 0 can record them.
+      const auto wg = grid.world_group();
+      s.epoch_seconds = ctx.comm.all_reduce_max_scalar(wg, s.epoch_seconds);
+      s.spmm_seconds = ctx.comm.all_reduce_max_scalar(wg, s.spmm_seconds);
+      s.gemm_seconds = ctx.comm.all_reduce_max_scalar(wg, s.gemm_seconds);
+      s.elementwise_seconds = ctx.comm.all_reduce_max_scalar(wg, s.elementwise_seconds);
+      s.comm_seconds = ctx.comm.all_reduce_max_scalar(wg, s.comm_seconds);
+      if (ctx.rank() == 0) result.epochs[static_cast<std::size_t>(e)] = s;
+    }
+    if (opt.evaluate_validation) {
+      const double acc = model.evaluate(ctx, ds.val_mask);
+      if (ctx.rank() == 0) result.val_accuracy = acc;
+    }
+  });
+  return result;
+}
+
+TrainResult train_plexus(const graph::Graph& g, const TrainOptions& opt) {
+  const PlexusDataset ds = preprocess_graph(g, opt.scheme, opt.model.num_layers(),
+                                            /*pad_multiple=*/opt.grid.size(),
+                                            opt.preprocess_seed);
+  return train_plexus(ds, opt);
+}
+
+}  // namespace plexus::core

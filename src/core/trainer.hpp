@@ -1,0 +1,54 @@
+#pragma once
+/// \file trainer.hpp
+/// Top-level training API: give it a graph, a 3D grid shape and a machine
+/// model; it preprocesses the dataset, spins up the simulated cluster, trains
+/// for the requested epochs and returns losses plus per-epoch simulated
+/// timing breakdowns (max over ranks — the straggler defines the epoch).
+///
+/// This is the public entry point the examples and benches use:
+///
+///   plexus::core::TrainOptions opt;
+///   opt.grid = {2, 2, 2};
+///   auto result = plexus::core::train_plexus(graph, opt);
+
+#include <vector>
+
+#include "core/model.hpp"
+#include "core/preprocess.hpp"
+#include "graph/graph.hpp"
+#include "sim/machine.hpp"
+#include "sim/topology.hpp"
+
+namespace plexus::core {
+
+struct TrainOptions {
+  sim::GridShape grid{1, 1, 1};
+  const sim::Machine* machine = &sim::Machine::perlmutter_a100();
+  PermutationScheme scheme = PermutationScheme::Double;
+  GcnSpec model;
+  int epochs = 10;
+  std::uint64_t preprocess_seed = 7;
+  bool evaluate_validation = false;  ///< adds a val-accuracy pass after training
+};
+
+struct TrainResult {
+  std::vector<EpochStats> epochs;  ///< max-over-ranks timings, rank-0 loss
+  double val_accuracy = 0.0;
+
+  /// Mean epoch time skipping the first `skip` epochs ("average performance of
+  /// the last eight epochs to account for initial fluctuations", section 6.2).
+  double avg_epoch_seconds(int skip = 2) const;
+  double avg_comm_seconds(int skip = 2) const;
+  double avg_compute_seconds(int skip = 2) const;
+  std::vector<double> losses() const;
+};
+
+/// Train on an already-preprocessed dataset (shared across configurations to
+/// amortise preprocessing in sweeps). `ds` must have been padded to a multiple
+/// of opt.grid volume.
+TrainResult train_plexus(const PlexusDataset& ds, const TrainOptions& opt);
+
+/// Convenience: preprocess `g` (padding to the grid volume) and train.
+TrainResult train_plexus(const graph::Graph& g, const TrainOptions& opt);
+
+}  // namespace plexus::core

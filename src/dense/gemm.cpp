@@ -1,0 +1,79 @@
+#include "dense/gemm.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace plexus::dense {
+
+std::int64_t op_rows(const Matrix& a, Trans t) { return t == Trans::N ? a.rows() : a.cols(); }
+std::int64_t op_cols(const Matrix& a, Trans t) { return t == Trans::N ? a.cols() : a.rows(); }
+
+namespace {
+
+/// Core kernel for C += alpha * A * B with A (m*k), B (k*n), both non-transposed,
+/// blocked for L1/L2 residency. Operands that arrive transposed are materialised
+/// by the caller; shard sizes in the simulator are small enough that the copy is
+/// cheaper than a strided kernel.
+void gemm_nn_accumulate(float alpha, const Matrix& a, const Matrix& b, Matrix& c) {
+  const std::int64_t m = a.rows();
+  const std::int64_t k = a.cols();
+  const std::int64_t n = b.cols();
+  constexpr std::int64_t kBlockI = 64;
+  constexpr std::int64_t kBlockK = 128;
+  for (std::int64_t i0 = 0; i0 < m; i0 += kBlockI) {
+    const std::int64_t i1 = std::min(m, i0 + kBlockI);
+    for (std::int64_t k0 = 0; k0 < k; k0 += kBlockK) {
+      const std::int64_t k1 = std::min(k, k0 + kBlockK);
+      for (std::int64_t i = i0; i < i1; ++i) {
+        const float* arow = a.row(i);
+        float* crow = c.row(i);
+        for (std::int64_t kk = k0; kk < k1; ++kk) {
+          const float av = alpha * arow[kk];
+          if (av == 0.0f) continue;
+          const float* brow = b.row(kk);
+          for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(Trans ta, Trans tb, float alpha, const Matrix& a, const Matrix& b, float beta,
+          Matrix& c) {
+  const std::int64_t m = op_rows(a, ta);
+  const std::int64_t k = op_cols(a, ta);
+  const std::int64_t n = op_cols(b, tb);
+  PLEXUS_CHECK(op_rows(b, tb) == k, "gemm: inner dimension mismatch");
+  PLEXUS_CHECK(c.rows() == m && c.cols() == n, "gemm: output shape mismatch");
+
+  if (beta == 0.0f) {
+    c.zero();
+  } else if (beta != 1.0f) {
+    for (float& v : c.flat()) v *= beta;
+  }
+
+  const Matrix* a_eff = &a;
+  const Matrix* b_eff = &b;
+  Matrix a_t;
+  Matrix b_t;
+  if (ta == Trans::T) {
+    a_t = a.transposed();
+    a_eff = &a_t;
+  }
+  if (tb == Trans::T) {
+    b_t = b.transposed();
+    b_eff = &b_t;
+  }
+  gemm_nn_accumulate(alpha, *a_eff, *b_eff, c);
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b, Trans ta, Trans tb) {
+  Matrix c(op_rows(a, ta), op_cols(b, tb));
+  gemm(ta, tb, 1.0f, a, b, 0.0f, c);
+  return c;
+}
+
+}  // namespace plexus::dense

@@ -1,0 +1,82 @@
+#include "dense/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace plexus::dense {
+
+void relu(const Matrix& x, Matrix& out) {
+  PLEXUS_CHECK(x.same_shape(out), "relu shape mismatch");
+  const auto in = x.flat();
+  auto o = out.flat();
+  for (std::size_t i = 0; i < in.size(); ++i) o[i] = in[i] > 0.0f ? in[i] : 0.0f;
+}
+
+Matrix relu(const Matrix& x) {
+  Matrix out(x.rows(), x.cols());
+  relu(x, out);
+  return out;
+}
+
+void relu_backward(const Matrix& pre_activation, const Matrix& dy, Matrix& dx) {
+  PLEXUS_CHECK(pre_activation.same_shape(dy), "relu_backward shape mismatch");
+  PLEXUS_CHECK(pre_activation.same_shape(dx), "relu_backward shape mismatch");
+  const auto q = pre_activation.flat();
+  const auto g = dy.flat();
+  auto o = dx.flat();
+  for (std::size_t i = 0; i < q.size(); ++i) o[i] = q[i] > 0.0f ? g[i] : 0.0f;
+}
+
+CrossEntropyResult softmax_cross_entropy(const Matrix& logits,
+                                         const std::vector<std::int32_t>& labels,
+                                         const std::vector<std::uint8_t>& mask, double norm,
+                                         Matrix* grad) {
+  const std::int64_t n = logits.rows();
+  const std::int64_t c = logits.cols();
+  PLEXUS_CHECK(static_cast<std::int64_t>(labels.size()) == n, "labels size");
+  PLEXUS_CHECK(static_cast<std::int64_t>(mask.size()) == n, "mask size");
+  PLEXUS_CHECK(norm > 0.0, "softmax_cross_entropy: norm must be positive");
+  if (grad != nullptr) {
+    PLEXUS_CHECK(grad->rows() == n && grad->cols() == c, "grad shape");
+    grad->zero();
+  }
+
+  CrossEntropyResult res;
+  std::vector<float> probs(static_cast<std::size_t>(c));
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (mask[static_cast<std::size_t>(i)] == 0) continue;
+    const std::int32_t label = labels[static_cast<std::size_t>(i)];
+    PLEXUS_CHECK(label >= 0 && label < c, "label out of range");
+    const float* row = logits.row(i);
+    float mx = row[0];
+    for (std::int64_t j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+    double denom = 0.0;
+    for (std::int64_t j = 0; j < c; ++j) {
+      probs[static_cast<std::size_t>(j)] = std::exp(row[j] - mx);
+      denom += probs[static_cast<std::size_t>(j)];
+    }
+    const double log_denom = std::log(denom);
+    res.loss_sum += -(static_cast<double>(row[label]) - mx - log_denom);
+    res.count += 1;
+
+    std::int64_t argmax = 0;
+    for (std::int64_t j = 1; j < c; ++j) {
+      if (row[j] > row[argmax]) argmax = j;
+    }
+    if (argmax == label) res.correct += 1;
+
+    if (grad != nullptr) {
+      float* grow = grad->row(i);
+      const auto inv = static_cast<float>(1.0 / (denom * norm));
+      for (std::int64_t j = 0; j < c; ++j) {
+        grow[j] = probs[static_cast<std::size_t>(j)] * inv;
+      }
+      grow[label] -= static_cast<float>(1.0 / norm);
+    }
+  }
+  return res;
+}
+
+}  // namespace plexus::dense

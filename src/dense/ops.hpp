@@ -1,0 +1,38 @@
+#pragma once
+/// \file ops.hpp
+/// Elementwise / rowwise neural-network operations used by the GCN:
+/// ReLU (+ gradient), masked softmax cross-entropy (+ gradient), accuracy.
+
+#include <cstdint>
+#include <vector>
+
+#include "dense/matrix.hpp"
+
+namespace plexus::dense {
+
+/// out = max(x, 0), elementwise (out may alias x).
+void relu(const Matrix& x, Matrix& out);
+Matrix relu(const Matrix& x);
+
+/// dx = dy * 1[pre_activation > 0], elementwise.
+void relu_backward(const Matrix& pre_activation, const Matrix& dy, Matrix& dx);
+
+/// Result of a masked softmax cross-entropy evaluation over a *row slice* of
+/// the logits; losses/counts are sums so distributed shards can be all-reduced.
+struct CrossEntropyResult {
+  double loss_sum = 0.0;     ///< sum over masked rows of -log softmax[label]
+  std::int64_t count = 0;    ///< number of masked rows in this slice
+  std::int64_t correct = 0;  ///< argmax == label among masked rows
+};
+
+/// Computes masked softmax cross-entropy over `logits` (n x C). `labels[i]` is
+/// the class for row i; rows with mask[i] == 0 contribute nothing and get zero
+/// gradient. `grad` (same shape as logits) receives (softmax - onehot) / norm
+/// for masked rows. `norm` is the *global* count of training rows so that
+/// shard-local gradients sum to the serial gradient.
+CrossEntropyResult softmax_cross_entropy(const Matrix& logits,
+                                         const std::vector<std::int32_t>& labels,
+                                         const std::vector<std::uint8_t>& mask, double norm,
+                                         Matrix* grad);
+
+}  // namespace plexus::dense

@@ -1,0 +1,28 @@
+#include "dense/optim.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace plexus::dense {
+
+Adam::Adam(std::size_t num_params, AdamConfig cfg)
+    : cfg_(cfg), m_(num_params, 0.0f), v_(num_params, 0.0f) {}
+
+void Adam::step(std::span<float> params, std::span<const float> grads) {
+  PLEXUS_CHECK(params.size() == m_.size() && grads.size() == m_.size(), "Adam size mismatch");
+  ++t_;
+  const float bc1 = 1.0f - std::pow(cfg_.beta1, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(cfg_.beta2, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    float g = grads[i];
+    if (cfg_.weight_decay != 0.0f) g += cfg_.weight_decay * params[i];
+    m_[i] = cfg_.beta1 * m_[i] + (1.0f - cfg_.beta1) * g;
+    v_[i] = cfg_.beta2 * v_[i] + (1.0f - cfg_.beta2) * g * g;
+    const float mhat = m_[i] / bc1;
+    const float vhat = v_[i] / bc2;
+    params[i] -= cfg_.lr * mhat / (std::sqrt(vhat) + cfg_.eps);
+  }
+}
+
+}  // namespace plexus::dense

@@ -1,0 +1,43 @@
+#pragma once
+/// \file optim.hpp
+/// Adam optimizer over flat fp32 buffers.
+///
+/// Plexus makes the *input features trainable* (node embeddings) in addition to
+/// layer weights, so both weight shards and feature shards carry Adam moments.
+/// The update is strictly elementwise: as long as a distributed configuration
+/// holds the same logical elements (in any sharding), its updates match the
+/// serial reference bit-for-bit up to fp reduction order of the gradients.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace plexus::dense {
+
+struct AdamConfig {
+  float lr = 1e-2f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;
+};
+
+class Adam {
+ public:
+  Adam() = default;
+  Adam(std::size_t num_params, AdamConfig cfg);
+
+  /// One Adam step: params -= update(grads). Spans must match num_params.
+  void step(std::span<float> params, std::span<const float> grads);
+
+  std::int64_t t() const { return t_; }
+  const AdamConfig& config() const { return cfg_; }
+
+ private:
+  AdamConfig cfg_;
+  std::vector<float> m_;
+  std::vector<float> v_;
+  std::int64_t t_ = 0;
+};
+
+}  // namespace plexus::dense

@@ -1,0 +1,51 @@
+#pragma once
+/// \file generators.hpp
+/// Deterministic synthetic graph generators, one per structural class of the
+/// paper's six evaluation datasets (Table 4):
+///
+///  * `rmat`            — power-law Kronecker graphs: social networks (Reddit),
+///                        co-purchasing (ogbn-products, products-14M) and
+///                        citation graphs (ogbn-papers100M).
+///  * `community_graph` — dense overlapping clusters: protein-similarity
+///                        networks (Isolate-3-8M from HipMCL).
+///  * `road_network`    — partial 2D lattice with shortcuts: OpenStreetMap road
+///                        graphs (europe_osm). Row-major node numbering gives
+///                        the near-diagonal adjacency whose block imbalance
+///                        Table 3 measures.
+///  * `erdos_renyi`     — uniform random graphs for unit tests.
+///
+/// All generators return symmetrised, deduplicated edge lists without self
+/// loops, with node ids in their *natural* (community/locality-correlated)
+/// order — permutation experiments rely on that.
+
+#include <cstdint>
+
+#include "sparse/coo.hpp"
+
+namespace plexus::graph {
+
+/// R-MAT / stochastic-Kronecker generator. `scale` = log2(#nodes); emits
+/// ~`target_edges` unique undirected edges with partition probabilities
+/// (a, b, c, d), a + b + c + d = 1. Natural ordering concentrates hubs at low
+/// indices (power-law head).
+sparse::Coo rmat(int scale, std::int64_t target_edges, double a, double b, double c, double d,
+                 std::uint64_t seed);
+
+/// Overlapping dense-community graph: `num_nodes` nodes in contiguous
+/// communities of mean size `community_size`; each node draws ~`avg_degree`
+/// neighbours, a fraction `p_in` inside its community, the rest global with
+/// mild preferential attachment.
+sparse::Coo community_graph(std::int64_t num_nodes, std::int64_t community_size,
+                            double avg_degree, double p_in, std::uint64_t seed);
+
+/// Road-network surrogate: `width * height` lattice in row-major order; each
+/// lattice edge kept with probability `keep_prob` (road graphs average degree
+/// ~2.1, a full lattice is 4); `shortcut_frac * num_nodes` long-range highway
+/// edges.
+sparse::Coo road_network(std::int64_t width, std::int64_t height, double keep_prob,
+                         double shortcut_frac, std::uint64_t seed);
+
+/// Uniform random graph with ~`target_edges` unique undirected edges.
+sparse::Coo erdos_renyi(std::int64_t num_nodes, std::int64_t target_edges, std::uint64_t seed);
+
+}  // namespace plexus::graph

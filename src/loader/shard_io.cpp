@@ -1,0 +1,274 @@
+#include "loader/shard_io.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+
+#include "sparse/coo.hpp"
+#include "sparse/partition2d.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace plexus::io {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x504c585553'0002ULL;  // "PLXUS" v2
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+File open_file(const std::string& path, const char* mode) {
+  File f(std::fopen(path.c_str(), mode));
+  PLEXUS_CHECK(f != nullptr, "cannot open " + path);
+  return f;
+}
+
+template <typename T>
+void write_pod(std::FILE* f, const T& v) {
+  PLEXUS_CHECK(std::fwrite(&v, sizeof(T), 1, f) == 1, "write failed");
+}
+
+template <typename T>
+void write_array(std::FILE* f, const T* data, std::size_t count) {
+  if (count == 0) return;
+  PLEXUS_CHECK(std::fwrite(data, sizeof(T), count, f) == count, "write failed");
+}
+
+template <typename T>
+T read_pod(std::FILE* f, LoadStats* stats) {
+  T v{};
+  PLEXUS_CHECK(std::fread(&v, sizeof(T), 1, f) == 1, "read failed");
+  if (stats != nullptr) stats->bytes_read += static_cast<std::int64_t>(sizeof(T));
+  return v;
+}
+
+template <typename T>
+std::vector<T> read_array(std::FILE* f, std::size_t count, LoadStats* stats) {
+  std::vector<T> v(count);
+  if (count > 0) {
+    PLEXUS_CHECK(std::fread(v.data(), sizeof(T), count, f) == count, "read failed");
+  }
+  if (stats != nullptr) {
+    stats->bytes_read += static_cast<std::int64_t>(count * sizeof(T));
+    stats->peak_host_bytes =
+        std::max(stats->peak_host_bytes, static_cast<std::int64_t>(count * sizeof(T)));
+  }
+  return v;
+}
+
+std::string adj_path(const std::string& dir, int r, int c) {
+  return dir + "/adj_" + std::to_string(r) + "_" + std::to_string(c) + ".plx";
+}
+std::string feat_path(const std::string& dir, int r) {
+  return dir + "/feat_" + std::to_string(r) + ".plx";
+}
+
+/// Read one adjacency block file: header + CSR arrays.
+struct AdjBlock {
+  std::int64_t row0 = 0;
+  std::int64_t col0 = 0;
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  std::vector<std::int64_t> row_ptr;
+  std::vector<std::int32_t> col_idx;
+  std::vector<float> vals;
+};
+
+AdjBlock read_adj_block(const std::string& path, LoadStats* stats) {
+  auto f = open_file(path, "rb");
+  if (stats != nullptr) stats->files_opened++;
+  PLEXUS_CHECK(read_pod<std::uint64_t>(f.get(), stats) == kMagic, "bad magic in " + path);
+  AdjBlock b;
+  b.row0 = read_pod<std::int64_t>(f.get(), stats);
+  b.col0 = read_pod<std::int64_t>(f.get(), stats);
+  b.rows = read_pod<std::int64_t>(f.get(), stats);
+  b.cols = read_pod<std::int64_t>(f.get(), stats);
+  const auto nnz = read_pod<std::int64_t>(f.get(), stats);
+  b.row_ptr = read_array<std::int64_t>(f.get(), static_cast<std::size_t>(b.rows) + 1, stats);
+  b.col_idx = read_array<std::int32_t>(f.get(), static_cast<std::size_t>(nnz), stats);
+  b.vals = read_array<float>(f.get(), static_cast<std::size_t>(nnz), stats);
+  return b;
+}
+
+}  // namespace
+
+void write_sharded_dataset(const std::string& dir, const sparse::Csr& adj,
+                           const dense::Matrix& features,
+                           const std::vector<std::int32_t>& labels, std::int64_t num_classes,
+                           std::int32_t grid_rows, std::int32_t grid_cols) {
+  PLEXUS_CHECK(adj.rows() == adj.cols() && adj.rows() == features.rows(), "shape mismatch");
+  std::filesystem::create_directories(dir);
+
+  {
+    auto f = open_file(dir + "/meta.plx", "wb");
+    write_pod(f.get(), kMagic);
+    write_pod(f.get(), adj.rows());
+    write_pod(f.get(), features.cols());
+    write_pod(f.get(), num_classes);
+    write_pod(f.get(), grid_rows);
+    write_pod(f.get(), grid_cols);
+    write_pod(f.get(), adj.nnz());
+  }
+  {
+    auto f = open_file(dir + "/labels.plx", "wb");
+    write_pod(f.get(), kMagic);
+    write_pod(f.get(), static_cast<std::int64_t>(labels.size()));
+    write_array(f.get(), labels.data(), labels.size());
+  }
+
+  const auto rb = sparse::block_bounds(adj.rows(), grid_rows);
+  const auto cb = sparse::block_bounds(adj.cols(), grid_cols);
+  for (int r = 0; r < grid_rows; ++r) {
+    for (int c = 0; c < grid_cols; ++c) {
+      const auto blk = adj.block(rb[static_cast<std::size_t>(r)], rb[static_cast<std::size_t>(r) + 1],
+                                 cb[static_cast<std::size_t>(c)], cb[static_cast<std::size_t>(c) + 1]);
+      auto f = open_file(adj_path(dir, r, c), "wb");
+      write_pod(f.get(), kMagic);
+      write_pod(f.get(), rb[static_cast<std::size_t>(r)]);
+      write_pod(f.get(), cb[static_cast<std::size_t>(c)]);
+      write_pod(f.get(), blk.rows());
+      write_pod(f.get(), blk.cols());
+      write_pod(f.get(), blk.nnz());
+      write_array(f.get(), blk.row_ptr().data(), blk.row_ptr().size());
+      write_array(f.get(), blk.col_idx().data(), blk.col_idx().size());
+      write_array(f.get(), blk.vals().data(), blk.vals().size());
+    }
+  }
+  for (int r = 0; r < grid_rows; ++r) {
+    const auto r0 = rb[static_cast<std::size_t>(r)];
+    const auto r1 = rb[static_cast<std::size_t>(r) + 1];
+    auto f = open_file(feat_path(dir, r), "wb");
+    write_pod(f.get(), kMagic);
+    write_pod(f.get(), r0);
+    write_pod(f.get(), r1 - r0);
+    write_pod(f.get(), features.cols());
+    write_array(f.get(), features.row(r0), static_cast<std::size_t>((r1 - r0) * features.cols()));
+  }
+}
+
+ShardedMeta read_meta(const std::string& dir) {
+  auto f = open_file(dir + "/meta.plx", "rb");
+  PLEXUS_CHECK(read_pod<std::uint64_t>(f.get(), nullptr) == kMagic, "bad magic in meta");
+  ShardedMeta m;
+  m.num_nodes = read_pod<std::int64_t>(f.get(), nullptr);
+  m.feature_dim = read_pod<std::int64_t>(f.get(), nullptr);
+  m.num_classes = read_pod<std::int64_t>(f.get(), nullptr);
+  m.grid_rows = read_pod<std::int32_t>(f.get(), nullptr);
+  m.grid_cols = read_pod<std::int32_t>(f.get(), nullptr);
+  m.adjacency_nnz = read_pod<std::int64_t>(f.get(), nullptr);
+  return m;
+}
+
+sparse::Csr load_adjacency_block(const std::string& dir, std::int64_t r0, std::int64_t r1,
+                                 std::int64_t c0, std::int64_t c1, LoadStats* stats) {
+  util::WallTimer timer;
+  const auto meta = read_meta(dir);
+  const auto rb = sparse::block_bounds(meta.num_nodes, meta.grid_rows);
+  const auto cb = sparse::block_bounds(meta.num_nodes, meta.grid_cols);
+
+  sparse::Coo coo;
+  coo.num_rows = r1 - r0;
+  coo.num_cols = c1 - c0;
+  std::int64_t buffered = 0;
+  for (int r = 0; r < meta.grid_rows; ++r) {
+    if (rb[static_cast<std::size_t>(r) + 1] <= r0 || rb[static_cast<std::size_t>(r)] >= r1) continue;
+    for (int c = 0; c < meta.grid_cols; ++c) {
+      if (cb[static_cast<std::size_t>(c) + 1] <= c0 || cb[static_cast<std::size_t>(c)] >= c1) {
+        continue;
+      }
+      const auto blk = read_adj_block(adj_path(dir, r, c), stats);
+      buffered += static_cast<std::int64_t>(blk.col_idx.size() * 8 + blk.row_ptr.size() * 8);
+      // Extract the intersection with the requested window.
+      for (std::int64_t lr = 0; lr < blk.rows; ++lr) {
+        const auto gr = blk.row0 + lr;
+        if (gr < r0 || gr >= r1) continue;
+        for (std::int64_t k = blk.row_ptr[static_cast<std::size_t>(lr)];
+             k < blk.row_ptr[static_cast<std::size_t>(lr) + 1]; ++k) {
+          const auto gc = blk.col0 + blk.col_idx[static_cast<std::size_t>(k)];
+          if (gc < c0 || gc >= c1) continue;
+          coo.push(gr - r0, gc - c0, blk.vals[static_cast<std::size_t>(k)]);
+        }
+      }
+    }
+  }
+  if (stats != nullptr) {
+    stats->peak_host_bytes = std::max(stats->peak_host_bytes, buffered);
+    stats->seconds += timer.seconds();
+  }
+  return sparse::Csr::from_coo(coo, false);
+}
+
+dense::Matrix load_feature_block(const std::string& dir, std::int64_t r0, std::int64_t r1,
+                                 std::int64_t c0, std::int64_t c1, LoadStats* stats) {
+  util::WallTimer timer;
+  const auto meta = read_meta(dir);
+  const auto rb = sparse::block_bounds(meta.num_nodes, meta.grid_rows);
+  dense::Matrix out(r1 - r0, c1 - c0);
+  for (int r = 0; r < meta.grid_rows; ++r) {
+    const auto b0 = rb[static_cast<std::size_t>(r)];
+    const auto b1 = rb[static_cast<std::size_t>(r) + 1];
+    if (b1 <= r0 || b0 >= r1) continue;
+    auto f = open_file(feat_path(dir, r), "rb");
+    if (stats != nullptr) stats->files_opened++;
+    PLEXUS_CHECK(read_pod<std::uint64_t>(f.get(), stats) == kMagic, "bad magic");
+    const auto row0 = read_pod<std::int64_t>(f.get(), stats);
+    const auto rows = read_pod<std::int64_t>(f.get(), stats);
+    const auto cols = read_pod<std::int64_t>(f.get(), stats);
+    const auto data = read_array<float>(f.get(), static_cast<std::size_t>(rows * cols), stats);
+    for (std::int64_t lr = 0; lr < rows; ++lr) {
+      const auto gr = row0 + lr;
+      if (gr < r0 || gr >= r1) continue;
+      for (std::int64_t c = c0; c < std::min(c1, cols); ++c) {
+        out.at(gr - r0, c - c0) = data[static_cast<std::size_t>(lr * cols + c)];
+      }
+    }
+  }
+  if (stats != nullptr) stats->seconds += timer.seconds();
+  return out;
+}
+
+sparse::Csr load_adjacency_block_naive(const std::string& dir, std::int64_t r0, std::int64_t r1,
+                                       std::int64_t c0, std::int64_t c1, LoadStats* stats) {
+  util::WallTimer timer;
+  const auto meta = read_meta(dir);
+  // Read every block, reassemble the full matrix, then slice — the "load the
+  // whole dataset into CPU memory first" pattern of many GNN frameworks.
+  sparse::Coo coo;
+  coo.num_rows = meta.num_nodes;
+  coo.num_cols = meta.num_nodes;
+  for (int r = 0; r < meta.grid_rows; ++r) {
+    for (int c = 0; c < meta.grid_cols; ++c) {
+      const auto blk = read_adj_block(adj_path(dir, r, c), stats);
+      for (std::int64_t lr = 0; lr < blk.rows; ++lr) {
+        for (std::int64_t k = blk.row_ptr[static_cast<std::size_t>(lr)];
+             k < blk.row_ptr[static_cast<std::size_t>(lr) + 1]; ++k) {
+          coo.push(blk.row0 + lr, blk.col0 + blk.col_idx[static_cast<std::size_t>(k)],
+                   blk.vals[static_cast<std::size_t>(k)]);
+        }
+      }
+    }
+  }
+  if (stats != nullptr) {
+    stats->peak_host_bytes =
+        std::max(stats->peak_host_bytes, static_cast<std::int64_t>(coo.nnz() * 16));
+  }
+  const auto full = sparse::Csr::from_coo(coo, false);
+  const auto out = full.block(r0, r1, c0, c1);
+  if (stats != nullptr) stats->seconds += timer.seconds();
+  return out;
+}
+
+std::vector<std::int32_t> load_labels(const std::string& dir) {
+  auto f = open_file(dir + "/labels.plx", "rb");
+  PLEXUS_CHECK(read_pod<std::uint64_t>(f.get(), nullptr) == kMagic, "bad magic in labels");
+  const auto n = read_pod<std::int64_t>(f.get(), nullptr);
+  return read_array<std::int32_t>(f.get(), static_cast<std::size_t>(n), nullptr);
+}
+
+}  // namespace plexus::io

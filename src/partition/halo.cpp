@@ -1,0 +1,90 @@
+#include "partition/halo.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "sparse/coo.hpp"
+#include "util/error.hpp"
+
+namespace plexus::part {
+
+std::vector<PartSubgraph> build_halo_plans(const sparse::Csr& a_norm, const Partitioning& p) {
+  PLEXUS_CHECK(a_norm.rows() == a_norm.cols(), "square adjacency required");
+  PLEXUS_CHECK(static_cast<std::int64_t>(p.assignment.size()) == a_norm.rows(),
+               "partitioning does not match adjacency");
+  const int parts = p.num_parts;
+  const std::int64_t n = a_norm.rows();
+
+  std::vector<PartSubgraph> plans(static_cast<std::size_t>(parts));
+  // Owned lists (ascending by construction) and global -> local owned index.
+  std::vector<std::int32_t> local_idx(static_cast<std::size_t>(n), -1);
+  for (std::int64_t v = 0; v < n; ++v) {
+    auto& plan = plans[static_cast<std::size_t>(p.assignment[static_cast<std::size_t>(v)])];
+    local_idx[static_cast<std::size_t>(v)] = static_cast<std::int32_t>(plan.owned.size());
+    plan.owned.push_back(v);
+  }
+
+  const auto rp = a_norm.row_ptr();
+  const auto ci = a_norm.col_idx();
+  const auto va = a_norm.vals();
+
+  for (int i = 0; i < parts; ++i) {
+    auto& plan = plans[static_cast<std::size_t>(i)];
+    // Halo set: distinct out-of-part neighbours, ascending.
+    std::vector<std::int64_t> halo;
+    for (const auto v : plan.owned) {
+      for (std::int64_t k = rp[static_cast<std::size_t>(v)];
+           k < rp[static_cast<std::size_t>(v) + 1]; ++k) {
+        const auto u = static_cast<std::int64_t>(ci[static_cast<std::size_t>(k)]);
+        if (p.assignment[static_cast<std::size_t>(u)] != i) halo.push_back(u);
+      }
+    }
+    std::sort(halo.begin(), halo.end());
+    halo.erase(std::unique(halo.begin(), halo.end()), halo.end());
+    plan.halo = std::move(halo);
+
+    std::unordered_map<std::int64_t, std::int32_t> halo_pos;
+    halo_pos.reserve(plan.halo.size());
+    for (std::size_t h = 0; h < plan.halo.size(); ++h) {
+      halo_pos[plan.halo[h]] = static_cast<std::int32_t>(h);
+    }
+
+    // Local adjacency in [owned | halo] column space.
+    sparse::Coo coo;
+    coo.num_rows = plan.num_owned();
+    coo.num_cols = plan.num_owned() + plan.num_halo();
+    for (std::size_t r = 0; r < plan.owned.size(); ++r) {
+      const auto v = plan.owned[r];
+      for (std::int64_t k = rp[static_cast<std::size_t>(v)];
+           k < rp[static_cast<std::size_t>(v) + 1]; ++k) {
+        const auto u = static_cast<std::int64_t>(ci[static_cast<std::size_t>(k)]);
+        std::int64_t col;
+        if (p.assignment[static_cast<std::size_t>(u)] == i) {
+          col = local_idx[static_cast<std::size_t>(u)];
+        } else {
+          col = plan.num_owned() + halo_pos.at(u);
+        }
+        coo.push(static_cast<std::int64_t>(r), col, va[static_cast<std::size_t>(k)]);
+      }
+    }
+    plan.local_adj = sparse::Csr::from_coo(coo, false);
+    plan.send_rows.resize(static_cast<std::size_t>(parts));
+    plan.recv_halo.resize(static_cast<std::size_t>(parts));
+  }
+
+  // Exchange plans: iterate each part's halo (ascending); the owner's send
+  // list and the receiver's slot list are built in the same order.
+  for (int i = 0; i < parts; ++i) {
+    auto& plan = plans[static_cast<std::size_t>(i)];
+    for (std::size_t h = 0; h < plan.halo.size(); ++h) {
+      const auto g = plan.halo[h];
+      const auto owner = p.assignment[static_cast<std::size_t>(g)];
+      plans[static_cast<std::size_t>(owner)].send_rows[static_cast<std::size_t>(i)].push_back(
+          local_idx[static_cast<std::size_t>(g)]);
+      plan.recv_halo[static_cast<std::size_t>(owner)].push_back(static_cast<std::int32_t>(h));
+    }
+  }
+  return plans;
+}
+
+}  // namespace plexus::part

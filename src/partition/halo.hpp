@@ -1,0 +1,39 @@
+#pragma once
+/// \file halo.hpp
+/// Per-partition subgraphs with halo (boundary) exchange plans — the data
+/// structures of partition parallelism (BNS-GCN / vanilla partition-parallel
+/// full-graph training). Each part owns a row block of the normalised
+/// adjacency restricted to its nodes, with columns renumbered into
+/// [owned | halo] local index space, plus symmetric send/receive index lists
+/// for the per-layer feature (forward) and gradient (backward) exchanges.
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/partitioner.hpp"
+#include "sparse/csr.hpp"
+
+namespace plexus::part {
+
+struct PartSubgraph {
+  std::vector<std::int64_t> owned;  ///< global ids, ascending
+  std::vector<std::int64_t> halo;   ///< global ids, ascending
+  /// (|owned| x (|owned| + |halo|)) local adjacency; columns 0..|owned|-1 are
+  /// owned nodes, the rest halo nodes, both in list order.
+  sparse::Csr local_adj;
+  /// send_rows[q]: local owned indices whose features peer q needs.
+  std::vector<std::vector<std::int32_t>> send_rows;
+  /// recv_halo[q]: local halo positions (0-based into `halo`) filled by data
+  /// from peer q, in the same order peer q sends them.
+  std::vector<std::vector<std::int32_t>> recv_halo;
+
+  std::int64_t num_owned() const { return static_cast<std::int64_t>(owned.size()); }
+  std::int64_t num_halo() const { return static_cast<std::int64_t>(halo.size()); }
+};
+
+/// Build all parts' subgraphs and matching exchange plans from the global
+/// normalised adjacency. For all i, j: plans[i].send_rows[j] and
+/// plans[j].recv_halo[i] are aligned element-for-element.
+std::vector<PartSubgraph> build_halo_plans(const sparse::Csr& a_norm, const Partitioning& p);
+
+}  // namespace plexus::part

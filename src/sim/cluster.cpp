@@ -1,0 +1,50 @@
+#include "sim/cluster.hpp"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "util/logging.hpp"
+
+namespace plexus::sim {
+
+void run_cluster(comm::World& world, const Machine& machine, const RankFn& fn,
+                 bool enable_clock) {
+  const int size = world.size();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(size));
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  for (int r = 0; r < size; ++r) {
+    threads.emplace_back([&, r] {
+      // Context is built inside the thread so the communicator's scratch
+      // buffers are thread-local; the communicator references the context's
+      // own clock so callers can inspect it after fn returns.
+      RankContext ctx{comm::Communicator(world, r, nullptr), comm::SimClock{}, &machine};
+      if (enable_clock) ctx.comm = comm::Communicator(world, r, &ctx.clock);
+      try {
+        fn(ctx);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        failed.store(true);
+        // A failed rank cannot keep its barrier obligations; the only safe
+        // option is to abort the whole process if peers are already waiting.
+        // We log and terminate the simulation via rethrow after join — but to
+        // avoid deadlock we must not leave peers blocked. Ranks check `failed`
+        // only between collectives, so tests construct inputs that fail on all
+        // ranks symmetrically or before the first collective.
+        PLEXUS_LOG(Error) << "rank " << r << " threw; cluster run aborting";
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace plexus::sim

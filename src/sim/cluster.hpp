@@ -1,0 +1,37 @@
+#pragma once
+/// \file cluster.hpp
+/// SPMD launcher: runs one std::thread per simulated GPU rank.
+///
+/// Each rank receives a `RankContext` bundling its communicator, its simulated
+/// clock and the machine model. The body executes the *real* distributed
+/// algorithm; clocks accumulate modelled kernel/collective time. Exceptions
+/// thrown by any rank are captured and rethrown on the launching thread
+/// (other ranks would deadlock on their barriers otherwise — a thrown rank
+/// aborts the whole cluster run, matching an MPI job abort).
+
+#include <functional>
+
+#include "comm/clock.hpp"
+#include "comm/communicator.hpp"
+#include "comm/world.hpp"
+#include "sim/machine.hpp"
+
+namespace plexus::sim {
+
+struct RankContext {
+  comm::Communicator comm;
+  comm::SimClock clock;
+  const Machine* machine = nullptr;
+
+  int rank() const { return comm.rank(); }
+};
+
+using RankFn = std::function<void(RankContext&)>;
+
+/// Run `fn` SPMD over all ranks of `world`. When `enable_clock` is false the
+/// context's clock pointer inside the communicator is null (functional-only).
+/// Throws the first rank exception encountered.
+void run_cluster(comm::World& world, const Machine& machine, const RankFn& fn,
+                 bool enable_clock = true);
+
+}  // namespace plexus::sim

@@ -1,0 +1,31 @@
+#pragma once
+/// \file kernel_analyzer.hpp
+/// Nsight-Compute-style analysis of the row-split SpMM kernel (paper Table 2).
+///
+/// Reproduces the *mechanism* behind the paper's config-U vs config-V
+/// comparison: a configuration that enlarges the common dimension while
+/// narrowing the dense operand launches proportionally more blocks, issues
+/// many small (uncoalesced) memory requests, and loses L2/DRAM throughput.
+/// Metrics are computed by walking the actual CSR shard through a simulated
+/// sectored LRU L2 cache.
+
+#include <cstdint>
+
+#include "sim/machine.hpp"
+#include "sparse/csr.hpp"
+
+namespace plexus::sim {
+
+struct KernelMetrics {
+  std::int64_t grid_size = 0;            ///< thread blocks launched (~ nnz / 96)
+  std::int64_t uncoalesced_sectors = 0;  ///< excess 32B sectors beyond ideal
+  double l2_hit_rate = 0.0;              ///< fraction of sector requests hit in L2
+  double l2_throughput_pct = 0.0;        ///< achieved / peak L2 bandwidth
+  double dram_throughput_pct = 0.0;      ///< achieved / peak DRAM bandwidth
+  double time_seconds = 0.0;             ///< modelled kernel time
+};
+
+/// Analyze SpMM(a, B) where B is (a.cols() x dense_cols) row-major fp32.
+KernelMetrics analyze_spmm(const Machine& m, const sparse::Csr& a, std::int64_t dense_cols);
+
+}  // namespace plexus::sim

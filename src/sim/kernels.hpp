@@ -1,0 +1,45 @@
+#pragma once
+/// \file kernels.hpp
+/// Analytic GPU kernel time models used to advance the simulated clocks.
+///
+/// The SpMM model is a roofline (compute vs. HBM traffic) with an explicit
+/// tall-skinny shape penalty: when the dense operand has a huge common
+/// dimension and few columns, the row-split kernel launches many small blocks
+/// with uncoalesced requests (paper Table 2); modelled as a multiplicative
+/// factor growing with sqrt(common/cols). Per-epoch variability for working
+/// sets far beyond L2 (section 5.2's motivation for blocked aggregation) is
+/// exposed via `spmm_noise_factor`.
+
+#include <cstdint>
+
+#include "dense/gemm.hpp"
+#include "sim/machine.hpp"
+
+namespace plexus::sim {
+
+struct SpmmShape {
+  std::int64_t nnz = 0;     ///< nonzeros of the sparse shard
+  std::int64_t rows = 0;    ///< rows of the sparse shard (output rows)
+  std::int64_t common = 0;  ///< cols of sparse == rows of dense operand
+  std::int64_t cols = 0;    ///< cols of the dense operand
+};
+
+/// Deterministic mean execution time of one SpMM.
+double spmm_time(const Machine& m, const SpmmShape& s);
+
+/// Multiplicative noise factor in [1, 1 + amplitude] for a given epoch/block;
+/// amplitude ramps from 0 (working set <= L2) to machine.spmm_noise (working
+/// set >> L2). Deterministic in (seed) so runs are reproducible.
+double spmm_noise_factor(const Machine& m, const SpmmShape& s, std::uint64_t seed);
+
+/// DRAM working set of the SpMM's dense operand (bytes).
+double spmm_working_set_bytes(const SpmmShape& s);
+
+/// GEMM time for op(A)[m x k] * op(B)[k x n].
+double gemm_time(const Machine& m, std::int64_t rows, std::int64_t cols, std::int64_t inner,
+                 dense::Trans ta, dense::Trans tb);
+
+/// Memory-bound elementwise op over `elems` fp32 values (`touches` r/w passes).
+double elementwise_time(const Machine& m, std::int64_t elems, double touches = 2.0);
+
+}  // namespace plexus::sim

@@ -1,0 +1,69 @@
+#include "sim/machine.hpp"
+
+namespace plexus::sim {
+
+const Machine& Machine::perlmutter_a100() {
+  static const Machine m = [] {
+    Machine x;
+    x.name = "Perlmutter-A100";
+    x.gpus_per_node = 4;
+    x.peak_flops = 19.5e12;
+    x.gemm_eff_nn = 0.80;
+    x.gemm_eff_nt = 0.72;
+    x.gemm_eff_tn = 0.60;
+    x.spmm_efficiency = 0.022;
+    x.spmm_shape_k = 171e3;
+    x.spmm_noise = 0.35;
+    x.mem_bw = 1.5e12;
+    x.l2_bytes = 40e6;
+    x.beta_intra = 200e9;
+    x.beta_inter = 100e9;  // 4 NICs x 25 GB/s per node
+    x.alpha = 5e-6;
+    x.a2a_node_penalty = 0.5;
+    x.a2a_peer_overhead = 5e-4;
+    return x;
+  }();
+  return m;
+}
+
+const Machine& Machine::frontier_mi250x_gcd() {
+  static const Machine m = [] {
+    Machine x;
+    x.name = "Frontier-MI250X-GCD";
+    x.gpus_per_node = 8;  // 4 MI250X, 2 GCDs each; each GCD is a device
+    x.peak_flops = 23.9e12;
+    x.gemm_eff_nn = 0.75;
+    x.gemm_eff_nt = 0.60;
+    // rocBLAS TN mode on these shapes was pathologically slow (section 5.3:
+    // ~50 ms for the dW GEMM until the multiplication order was reversed).
+    x.gemm_eff_tn = 0.002;
+    // "SpMM times on AMD GPUs were an order of magnitude higher than on
+    // NVIDIA GPUs" (section 7.2).
+    x.spmm_efficiency = 0.0020;
+    x.spmm_shape_k = 150e3;
+    x.spmm_noise = 0.30;
+    x.mem_bw = 1.6e12;
+    x.l2_bytes = 8e6;
+    x.beta_intra = 150e9;
+    x.beta_inter = 100e9;  // 4 NICs x 25 GB/s per node
+    x.alpha = 6e-6;
+    x.a2a_node_penalty = 0.5;
+    x.a2a_peer_overhead = 5e-4;
+    return x;
+  }();
+  return m;
+}
+
+const Machine& Machine::test_machine() {
+  static const Machine m = [] {
+    Machine x;
+    x.name = "test-box";
+    x.gpus_per_node = 1024;  // everything intra-node: deterministic tests
+    x.peak_flops = 10e12;
+    x.spmm_noise = 0.0;
+    return x;
+  }();
+  return m;
+}
+
+}  // namespace plexus::sim

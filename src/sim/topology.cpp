@@ -1,0 +1,56 @@
+#include "sim/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace plexus::sim {
+
+comm::LinkParams link_for_dim(const Machine& m, const GridShape& g, Dim dim) {
+  // Product of dimensions packed faster than `dim` (packing priority Y, X, Z).
+  int inner = 1;
+  int extent = 1;
+  switch (dim) {
+    case Dim::Y:
+      inner = 1;
+      extent = g.y;
+      break;
+    case Dim::X:
+      inner = g.y;
+      extent = g.x;
+      break;
+    case Dim::Z:
+      inner = g.y * g.x;
+      extent = g.z;
+      break;
+  }
+  comm::LinkParams link;
+  link.latency = m.alpha;
+  if (inner * extent <= m.gpus_per_node) {
+    link.bandwidth = m.beta_intra;
+  } else {
+    const double contention = static_cast<double>(std::min(m.gpus_per_node, inner));
+    link.bandwidth = m.beta_inter / contention;
+  }
+  return link;
+}
+
+double a2a_distance_penalty(const Machine& m, int group_size) {
+  const int nodes = (group_size + m.gpus_per_node - 1) / m.gpus_per_node;
+  if (nodes <= 1) return 1.0;
+  return 1.0 + m.a2a_node_penalty * std::log2(static_cast<double>(nodes));
+}
+
+comm::LinkParams link_for_flat_group(const Machine& m, int group_size) {
+  comm::LinkParams link;
+  link.latency = m.alpha;
+  link.a2a_peer_overhead = m.a2a_peer_overhead;
+  if (group_size <= m.gpus_per_node) {
+    link.bandwidth = m.beta_intra;
+  } else {
+    // All ranks of a node share its NIC aggregate during a flat exchange.
+    link.bandwidth = m.beta_inter / std::min(m.gpus_per_node, group_size);
+  }
+  return link;
+}
+
+}  // namespace plexus::sim

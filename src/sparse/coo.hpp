@@ -1,0 +1,27 @@
+#pragma once
+/// \file coo.hpp
+/// Coordinate-format sparse matrix (edge list with values). The construction
+/// format produced by graph generators and consumed by Csr::from_coo.
+
+#include <cstdint>
+#include <vector>
+
+namespace plexus::sparse {
+
+struct Coo {
+  std::int64_t num_rows = 0;
+  std::int64_t num_cols = 0;
+  std::vector<std::int64_t> rows;
+  std::vector<std::int32_t> cols;
+  std::vector<float> vals;
+
+  std::int64_t nnz() const { return static_cast<std::int64_t>(rows.size()); }
+
+  void push(std::int64_t r, std::int64_t c, float v) {
+    rows.push_back(r);
+    cols.push_back(static_cast<std::int32_t>(c));
+    vals.push_back(v);
+  }
+};
+
+}  // namespace plexus::sparse

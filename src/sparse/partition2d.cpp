@@ -1,0 +1,63 @@
+#include "sparse/partition2d.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace plexus::sparse {
+
+std::vector<std::int64_t> block_bounds(std::int64_t extent, std::int64_t parts) {
+  PLEXUS_CHECK(parts > 0, "block_bounds: parts must be positive");
+  std::vector<std::int64_t> bounds(static_cast<std::size_t>(parts) + 1);
+  const std::int64_t base = extent / parts;
+  const std::int64_t rem = extent % parts;
+  bounds[0] = 0;
+  for (std::int64_t p = 0; p < parts; ++p) {
+    bounds[static_cast<std::size_t>(p) + 1] =
+        bounds[static_cast<std::size_t>(p)] + base + (p < rem ? 1 : 0);
+  }
+  return bounds;
+}
+
+std::vector<std::int64_t> grid_nnz(const Csr& a, std::int64_t grid_rows, std::int64_t grid_cols) {
+  const auto rb = block_bounds(a.rows(), grid_rows);
+  const auto cb = block_bounds(a.cols(), grid_cols);
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(grid_rows * grid_cols), 0);
+
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  // Single O(nnz) sweep: map each entry's column to its block via division when
+  // blocks are uniform, else binary search.
+  const bool uniform = (a.cols() % grid_cols) == 0;
+  const std::int64_t cw = uniform ? a.cols() / grid_cols : 0;
+  std::int64_t rblk = 0;
+  for (std::int64_t r = 0; r < a.rows(); ++r) {
+    while (r >= rb[static_cast<std::size_t>(rblk) + 1]) ++rblk;
+    for (std::int64_t k = rp[static_cast<std::size_t>(r)]; k < rp[static_cast<std::size_t>(r) + 1];
+         ++k) {
+      const std::int32_t c = ci[static_cast<std::size_t>(k)];
+      std::int64_t cblk;
+      if (uniform) {
+        cblk = c / cw;
+      } else {
+        cblk = std::upper_bound(cb.begin(), cb.end(), static_cast<std::int64_t>(c)) - cb.begin() - 1;
+      }
+      counts[static_cast<std::size_t>(rblk * grid_cols + cblk)]++;
+    }
+  }
+  return counts;
+}
+
+ImbalanceStats grid_imbalance(const Csr& a, std::int64_t grid_rows, std::int64_t grid_cols) {
+  const auto counts = grid_nnz(a, grid_rows, grid_cols);
+  ImbalanceStats s;
+  s.max_nnz = *std::max_element(counts.begin(), counts.end());
+  s.min_nnz = *std::min_element(counts.begin(), counts.end());
+  std::int64_t total = 0;
+  for (const auto c : counts) total += c;
+  s.mean_nnz = static_cast<double>(total) / static_cast<double>(counts.size());
+  s.max_over_mean = s.mean_nnz > 0.0 ? static_cast<double>(s.max_nnz) / s.mean_nnz : 0.0;
+  return s;
+}
+
+}  // namespace plexus::sparse

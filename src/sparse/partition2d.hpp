@@ -1,0 +1,32 @@
+#pragma once
+/// \file partition2d.hpp
+/// Uniform 2D block decomposition of a sparse matrix and its load-imbalance
+/// statistics. The paper's Table 3 reports max/mean nonzeros over the 8x8 block
+/// grid of europe_osm under the original ordering, a single permutation, and
+/// the double-permutation scheme.
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace plexus::sparse {
+
+/// Uniform block boundaries: splits `extent` into `parts` ranges. `extent`
+/// must be divisible by `parts` for shard use; stats tolerate ragged tails.
+std::vector<std::int64_t> block_bounds(std::int64_t extent, std::int64_t parts);
+
+/// nnz of each block in an R x C uniform grid decomposition, row-major order.
+std::vector<std::int64_t> grid_nnz(const Csr& a, std::int64_t grid_rows, std::int64_t grid_cols);
+
+struct ImbalanceStats {
+  double max_over_mean = 0.0;
+  std::int64_t max_nnz = 0;
+  std::int64_t min_nnz = 0;
+  double mean_nnz = 0.0;
+};
+
+/// Table 3 metric over an R x C grid.
+ImbalanceStats grid_imbalance(const Csr& a, std::int64_t grid_rows, std::int64_t grid_cols);
+
+}  // namespace plexus::sparse

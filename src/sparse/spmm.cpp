@@ -1,0 +1,60 @@
+#include "sparse/spmm.hpp"
+
+#include "util/error.hpp"
+
+namespace plexus::sparse {
+
+void spmm_rows(const Csr& a, const dense::Matrix& b, dense::Matrix& c, std::int64_t r0,
+               std::int64_t r1) {
+  PLEXUS_CHECK(a.cols() == b.rows(), "spmm: inner dimension mismatch");
+  PLEXUS_CHECK(c.rows() == a.rows() && c.cols() == b.cols(), "spmm: output shape mismatch");
+  PLEXUS_CHECK(0 <= r0 && r0 <= r1 && r1 <= a.rows(), "spmm_rows: bad row range");
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  const auto va = a.vals();
+  const std::int64_t n = b.cols();
+  for (std::int64_t r = r0; r < r1; ++r) {
+    float* crow = c.row(r);
+    for (std::int64_t j = 0; j < n; ++j) crow[j] = 0.0f;
+    for (std::int64_t k = rp[static_cast<std::size_t>(r)]; k < rp[static_cast<std::size_t>(r) + 1];
+         ++k) {
+      const float v = va[static_cast<std::size_t>(k)];
+      const float* brow = b.row(ci[static_cast<std::size_t>(k)]);
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += v * brow[j];
+    }
+  }
+}
+
+void spmm(const Csr& a, const dense::Matrix& b, dense::Matrix& c) {
+  spmm_rows(a, b, c, 0, a.rows());
+}
+
+dense::Matrix spmm(const Csr& a, const dense::Matrix& b) {
+  dense::Matrix c(a.rows(), b.cols());
+  spmm(a, b, c);
+  return c;
+}
+
+void spmm_accumulate(const Csr& a, const dense::Matrix& b, dense::Matrix& c) {
+  PLEXUS_CHECK(a.cols() == b.rows(), "spmm_accumulate: inner dimension mismatch");
+  PLEXUS_CHECK(c.rows() == a.rows() && c.cols() == b.cols(), "spmm_accumulate: output shape");
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  const auto va = a.vals();
+  const std::int64_t n = b.cols();
+  for (std::int64_t r = 0; r < a.rows(); ++r) {
+    float* crow = c.row(r);
+    for (std::int64_t k = rp[static_cast<std::size_t>(r)]; k < rp[static_cast<std::size_t>(r) + 1];
+         ++k) {
+      const float v = va[static_cast<std::size_t>(k)];
+      const float* brow = b.row(ci[static_cast<std::size_t>(k)]);
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += v * brow[j];
+    }
+  }
+}
+
+std::int64_t spmm_flops(const Csr& a, std::int64_t dense_cols) {
+  return 2 * a.nnz() * dense_cols;
+}
+
+}  // namespace plexus::sparse

@@ -1,0 +1,32 @@
+#pragma once
+/// \file spmm.hpp
+/// Sparse x dense matrix multiplication (the aggregation kernel, eq. 2.1/2.7).
+///
+/// Row-split CSR kernel, mirroring the GPU row-splitting scheme of Yang et al.
+/// that the paper's computation model (section 4.1) reasons about. A row-range
+/// variant supports the blocked-aggregation optimisation (section 5.2), where
+/// the sparse shard is processed in row blocks with per-block all-reduce.
+
+#include "dense/matrix.hpp"
+#include "sparse/csr.hpp"
+
+namespace plexus::sparse {
+
+/// C = A * B, where A is (m x k) CSR and B is (k x n) dense. C must be (m x n).
+void spmm(const Csr& a, const dense::Matrix& b, dense::Matrix& c);
+
+/// Row-range variant: computes rows [r0, r1) of A * B into rows [r0, r1) of C.
+void spmm_rows(const Csr& a, const dense::Matrix& b, dense::Matrix& c, std::int64_t r0,
+               std::int64_t r1);
+
+/// Convenience allocation wrapper.
+dense::Matrix spmm(const Csr& a, const dense::Matrix& b);
+
+/// C += A * B (used by stage-accumulating distributed SpMM algorithms such as
+/// CAGNET's 1D/1.5D, which sum per-stage partial products).
+void spmm_accumulate(const Csr& a, const dense::Matrix& b, dense::Matrix& c);
+
+/// FLOP count of spmm(a, b): 2 * nnz * n.
+std::int64_t spmm_flops(const Csr& a, std::int64_t dense_cols);
+
+}  // namespace plexus::sparse

@@ -1,0 +1,39 @@
+#pragma once
+/// \file error.hpp
+/// Lightweight runtime-check macros used across the library.
+///
+/// PLEXUS_CHECK(cond, msg) throws std::runtime_error with file/line context
+/// when `cond` is false. Checks are always on (they guard distributed-algebra
+/// invariants whose violation would silently corrupt training).
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace plexus::util {
+
+[[noreturn]] inline void check_failed(const char* file, int line, const char* expr,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "PLEXUS_CHECK failed at " << file << ":" << line << " (" << expr << ")";
+  if (!msg.empty()) os << ": " << msg;
+  throw std::runtime_error(os.str());
+}
+
+}  // namespace plexus::util
+
+#define PLEXUS_CHECK(cond, ...)                                                      \
+  do {                                                                               \
+    if (!(cond)) {                                                                   \
+      ::plexus::util::check_failed(__FILE__, __LINE__, #cond, std::string{__VA_ARGS__}); \
+    }                                                                                \
+  } while (0)
+
+#define PLEXUS_CHECK_EQ(a, b, ...)                                                   \
+  do {                                                                               \
+    if (!((a) == (b))) {                                                             \
+      std::ostringstream os_;                                                        \
+      os_ << std::string{__VA_ARGS__} << " [" << (a) << " != " << (b) << "]";        \
+      ::plexus::util::check_failed(__FILE__, __LINE__, #a " == " #b, os_.str());     \
+    }                                                                                \
+  } while (0)

@@ -1,0 +1,31 @@
+#pragma once
+/// \file table.hpp
+/// Plain-text table printing used by the benchmark harnesses to emit the same
+/// rows/series the paper's tables and figures report.
+
+#include <string>
+#include <vector>
+
+namespace plexus::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> row);
+  /// Render with aligned columns; includes a header separator line.
+  std::string to_string() const;
+  /// Print to stdout.
+  void print() const;
+
+  /// Format helper: fixed-point with `digits` decimals.
+  static std::string fmt(double v, int digits = 2);
+  /// Format helper: integer with thousands separators ("1,313,241").
+  static std::string fmt_count(long long v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace plexus::util

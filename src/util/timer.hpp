@@ -1,0 +1,27 @@
+#pragma once
+/// \file timer.hpp
+/// Wall-clock stopwatch for measuring host-side work (data loading, kernels).
+/// Simulated *cluster* time lives in sim::Clock, not here.
+
+#include <chrono>
+
+namespace plexus::util {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(clock_type::now()) {}
+
+  void reset() { start_ = clock_type::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock_type::now() - start_).count();
+  }
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using clock_type = std::chrono::steady_clock;
+  clock_type::time_point start_;
+};
+
+}  // namespace plexus::util

@@ -1,0 +1,179 @@
+// Tests for the baseline frameworks: BNS-GCN (boundary rate 1.0) and
+// CAGNET/SA must match the serial reference; the scale-out cost models must
+// reproduce the structural behaviours the paper describes.
+#include <gtest/gtest.h>
+
+#include "baselines/bnsgcn.hpp"
+#include "baselines/cagnet.hpp"
+#include "baselines/costmodels.hpp"
+#include "graph/datasets.hpp"
+#include "model/serial_gcn.hpp"
+#include "sim/machine.hpp"
+
+namespace pb = plexus::base;
+namespace pg = plexus::graph;
+namespace psim = plexus::sim;
+
+namespace {
+
+pg::Graph small_graph() { return pg::make_test_graph(150, 6.0, 12, 4, 77); }
+
+plexus::core::GcnSpec matching_spec() {
+  plexus::core::GcnSpec spec;
+  spec.hidden_dims = {12, 8};
+  spec.options.adam.lr = 0.02f;
+  spec.seed = 31;
+  return spec;
+}
+
+void expect_losses_close(const std::vector<double>& got, const std::vector<double>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  double tol = 2e-3;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i], want[i], tol) << "epoch " << i;
+    tol *= 1.8;
+  }
+}
+
+}  // namespace
+
+class BaselineParts : public ::testing::TestWithParam<int> {};
+
+TEST_P(BaselineParts, BnsGcnMatchesSerialAtFullBoundaryRate) {
+  const auto g = small_graph();
+  const auto spec = matching_spec();
+  const auto serial = plexus::ref::train_serial_gcn(g, spec, 5);
+
+  pb::BnsGcnOptions opt;
+  opt.parts = GetParam();
+  opt.machine = &psim::Machine::test_machine();
+  opt.hidden_dims = spec.hidden_dims;
+  opt.adam = spec.options.adam;
+  opt.seed = spec.seed;
+  opt.epochs = 5;
+  const auto res = pb::train_bnsgcn(g, opt);
+  expect_losses_close(res.losses(), serial.losses());
+  EXPECT_GE(res.total_nodes_with_boundary, g.num_nodes);
+}
+
+TEST_P(BaselineParts, CagnetSaMatchesSerial) {
+  const auto g = small_graph();
+  const auto spec = matching_spec();
+  const auto serial = plexus::ref::train_serial_gcn(g, spec, 5);
+
+  pb::CagnetOptions opt;
+  opt.parts = GetParam();
+  opt.machine = &psim::Machine::test_machine();
+  opt.hidden_dims = spec.hidden_dims;
+  opt.adam = spec.options.adam;
+  opt.seed = spec.seed;
+  opt.epochs = 5;
+  opt.sparsity_aware = true;
+  const auto res = pb::train_cagnet(g, opt);
+  expect_losses_close(res.losses(), serial.losses());
+}
+
+TEST_P(BaselineParts, CagnetVanillaMatchesSerial) {
+  const auto g = small_graph();
+  const auto spec = matching_spec();
+  const auto serial = plexus::ref::train_serial_gcn(g, spec, 4);
+
+  pb::CagnetOptions opt;
+  opt.parts = GetParam();
+  opt.machine = &psim::Machine::test_machine();
+  opt.hidden_dims = spec.hidden_dims;
+  opt.adam = spec.options.adam;
+  opt.seed = spec.seed;
+  opt.epochs = 4;
+  opt.sparsity_aware = false;
+  const auto res = pb::train_cagnet(g, opt);
+  expect_losses_close(res.losses(), serial.losses());
+}
+
+INSTANTIATE_TEST_SUITE_P(Parts, BaselineParts, ::testing::Values(1, 2, 4, 6));
+
+TEST(Baselines, SaGvbMatchesSerial) {
+  const auto g = small_graph();
+  const auto spec = matching_spec();
+  const auto serial = plexus::ref::train_serial_gcn(g, spec, 4);
+  pb::CagnetOptions opt;
+  opt.parts = 4;
+  opt.machine = &psim::Machine::test_machine();
+  opt.hidden_dims = spec.hidden_dims;
+  opt.adam = spec.options.adam;
+  opt.seed = spec.seed;
+  opt.epochs = 4;
+  opt.gvb_partition = true;
+  const auto res = pb::train_cagnet(g, opt);
+  expect_losses_close(res.losses(), serial.losses());
+}
+
+TEST(Baselines, SaReducesCommunicationVolume) {
+  // The sparsity-aware exchange must move fewer rows than the full broadcast
+  // on a sparse graph (the ICPP'24 paper's core claim).
+  const auto g = pg::make_proxy(pg::dataset_info("europe_osm"), 4000, 3);
+  pb::CagnetOptions opt;
+  opt.parts = 4;
+  opt.machine = &psim::Machine::test_machine();
+  opt.hidden_dims = {8};
+  opt.epochs = 1;
+  opt.sparsity_aware = true;
+  const auto sa = pb::train_cagnet(g, opt);
+  opt.sparsity_aware = false;
+  const auto vanilla = pb::train_cagnet(g, opt);
+  EXPECT_LT(sa.received_row_fraction, 0.3 * vanilla.received_row_fraction);
+}
+
+TEST(Baselines, BnsSamplingChangesButStillLearns) {
+  const auto g = small_graph();
+  pb::BnsGcnOptions opt;
+  opt.parts = 4;
+  opt.machine = &psim::Machine::test_machine();
+  opt.hidden_dims = {12, 8};
+  opt.adam.lr = 0.02f;
+  opt.epochs = 20;
+  opt.boundary_rate = 0.5;  // the actual BNS sampling regime
+  const auto res = pb::train_bnsgcn(g, opt);
+  EXPECT_LT(res.losses().back(), res.losses().front());
+}
+
+TEST(CostModels, StructuralCurvesBehave) {
+  const auto proxy = pg::make_proxy(pg::dataset_info("products-14M"), 4000, 9);
+  const auto curves = pb::measure_structural_curves(proxy, {2, 4, 8, 16}, 5);
+  // Expansion grows with parts and exceeds 1.
+  EXPECT_GT(curves.expansion(32), curves.expansion(8));
+  EXPECT_GT(curves.expansion(8), 1.0);
+  // SA received fraction is in (0, 1] and does not shrink fast.
+  EXPECT_GT(curves.sa_recv_fraction(16), 0.0);
+  EXPECT_LE(curves.sa_recv_fraction(1024), 1.0);
+}
+
+TEST(CostModels, BnsVsPlexusCrossover) {
+  // Figure 8/9 shape on products-14M: BNS-GCN wins at small scale (fine-
+  // grained halo traffic beats dense all-reduces), Plexus wins at large scale.
+  const auto& m = psim::Machine::perlmutter_a100();
+  const auto& info = pg::dataset_info("products-14M");
+  const auto curves = pb::calibrated_curves(info, 5);
+
+  const double bns_small = pb::bnsgcn_epoch(m, info, 16, curves).total();
+  const double plx_small = pb::plexus_epoch(m, info, 16).total();
+  const double bns_large = pb::bnsgcn_epoch(m, info, 512, curves).total();
+  const double plx_large = pb::plexus_epoch(m, info, 512).total();
+  EXPECT_LT(bns_small, plx_small);
+  EXPECT_LT(plx_large, bns_large);
+}
+
+TEST(CostModels, PlexusScalesFurther) {
+  const auto& m = psim::Machine::perlmutter_a100();
+  const auto& info = pg::dataset_info("ogbn-papers100M");
+  const double t256 = pb::plexus_epoch(m, info, 256).total();
+  const double t1024 = pb::plexus_epoch(m, info, 1024).total();
+  EXPECT_LT(t1024, t256);
+}
+
+TEST(CostModels, PaperReportedFailures) {
+  EXPECT_TRUE(pb::paper_reported_status("SA", "Isolate-3-8M", 16).has_value());
+  EXPECT_TRUE(pb::paper_reported_status("BNS-GCN", "ogbn-papers100M", 64).has_value());
+  EXPECT_FALSE(pb::paper_reported_status("BNS-GCN", "Reddit", 16).has_value());
+  EXPECT_FALSE(pb::paper_reported_status("Plexus", "ogbn-papers100M", 2048).has_value());
+}

@@ -1,0 +1,169 @@
+// Tests for graph generators, dataset registry, proxies, labels and masks.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "graph/datasets.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "sparse/partition2d.hpp"
+
+namespace pg = plexus::graph;
+namespace ps = plexus::sparse;
+
+namespace {
+
+/// Edge list must be symmetric, deduplicated and self-loop free.
+void expect_valid_edge_structure(const ps::Coo& edges) {
+  std::set<std::pair<std::int64_t, std::int64_t>> seen;
+  for (std::int64_t i = 0; i < edges.nnz(); ++i) {
+    const auto r = edges.rows[static_cast<std::size_t>(i)];
+    const auto c = static_cast<std::int64_t>(edges.cols[static_cast<std::size_t>(i)]);
+    EXPECT_NE(r, c) << "self loop";
+    EXPECT_TRUE(seen.insert({r, c}).second) << "duplicate edge " << r << "->" << c;
+  }
+  for (const auto& [r, c] : seen) {
+    EXPECT_TRUE(seen.count({c, r})) << "missing reverse edge " << c << "->" << r;
+  }
+}
+
+}  // namespace
+
+TEST(Generators, RmatBasicStructure) {
+  const auto coo = pg::rmat(8, 500, 0.57, 0.19, 0.19, 0.05, 1);
+  EXPECT_EQ(coo.num_rows, 256);
+  expect_valid_edge_structure(coo);
+  EXPECT_GT(coo.nnz(), 800);  // ~2x 500 directed, minus collisions
+}
+
+TEST(Generators, RmatIsDeterministic) {
+  const auto a = pg::rmat(7, 200, 0.57, 0.19, 0.19, 0.05, 9);
+  const auto b = pg::rmat(7, 200, 0.57, 0.19, 0.19, 0.05, 9);
+  EXPECT_EQ(a.rows, b.rows);
+  EXPECT_EQ(a.cols, b.cols);
+}
+
+TEST(Generators, RmatIsSkewed) {
+  // Power-law head: max degree far above mean.
+  const auto coo = pg::rmat(10, 4000, 0.57, 0.19, 0.19, 0.05, 3);
+  std::vector<std::int64_t> deg(1024, 0);
+  for (std::int64_t i = 0; i < coo.nnz(); ++i) {
+    deg[static_cast<std::size_t>(coo.rows[static_cast<std::size_t>(i)])]++;
+  }
+  const auto mx = *std::max_element(deg.begin(), deg.end());
+  const double mean = static_cast<double>(coo.nnz()) / 1024.0;
+  EXPECT_GT(static_cast<double>(mx), 5.0 * mean);
+}
+
+TEST(Generators, CommunityGraphLocality) {
+  const auto coo = pg::community_graph(1000, 50, 12.0, 0.8, 4);
+  expect_valid_edge_structure(coo);
+  // Most edges should be short-range (inside a contiguous community).
+  std::int64_t local = 0;
+  for (std::int64_t i = 0; i < coo.nnz(); ++i) {
+    const auto d = std::abs(coo.rows[static_cast<std::size_t>(i)] -
+                            static_cast<std::int64_t>(coo.cols[static_cast<std::size_t>(i)]));
+    if (d <= 80) ++local;
+  }
+  EXPECT_GT(static_cast<double>(local) / static_cast<double>(coo.nnz()), 0.5);
+}
+
+TEST(Generators, RoadNetworkNearDiagonal) {
+  const auto coo = pg::road_network(32, 32, 0.55, 0.01, 5);
+  expect_valid_edge_structure(coo);
+  // Lattice adjacency with row-major ids concentrates nnz near the diagonal:
+  // the paper's original-ordering imbalance (Table 3, 7.70 for europe_osm).
+  const auto s = ps::grid_imbalance(ps::Csr::from_coo(coo, false), 8, 8);
+  EXPECT_GT(s.max_over_mean, 4.0);
+}
+
+TEST(Generators, ErdosRenyiDegreeConcentration) {
+  const auto coo = pg::erdos_renyi(500, 2500, 6);
+  expect_valid_edge_structure(coo);
+  EXPECT_NEAR(static_cast<double>(coo.nnz()), 5000.0, 500.0);
+}
+
+TEST(Datasets, RegistryMatchesTable4) {
+  const auto& all = pg::paper_datasets();
+  ASSERT_EQ(all.size(), 6u);
+  const auto& papers = pg::dataset_info("ogbn-papers100M");
+  EXPECT_EQ(papers.num_nodes, 111'059'956);
+  EXPECT_EQ(papers.num_edges, 1'615'685'872);
+  EXPECT_EQ(papers.num_classes, 172);
+  const auto& reddit = pg::dataset_info("Reddit");
+  EXPECT_EQ(reddit.feature_dim, 602);
+  EXPECT_THROW(pg::dataset_info("nope"), std::runtime_error);
+}
+
+TEST(Datasets, ProxyPreservesShape) {
+  const auto& info = pg::dataset_info("ogbn-products");
+  const auto g = pg::make_proxy(info, 4000, 7);
+  g.validate();
+  EXPECT_GE(g.num_nodes, 4000);
+  EXPECT_LE(g.num_nodes, 8192);
+  EXPECT_EQ(g.features.cols(), info.feature_dim);
+  EXPECT_EQ(g.num_classes, info.num_classes);
+  // Average degree within 2x of the real dataset's.
+  const double deg = static_cast<double>(g.num_edges()) / static_cast<double>(g.num_nodes) / 2.0;
+  EXPECT_GT(deg, info.avg_degree() * 0.4);
+  EXPECT_LT(deg, info.avg_degree() * 2.5);
+}
+
+TEST(Datasets, RoadProxyUsesLattice) {
+  const auto g = pg::make_proxy(pg::dataset_info("europe_osm"), 10000, 8);
+  g.validate();
+  const double deg = 2.0 * static_cast<double>(g.num_edges()) / 2.0 /
+                     static_cast<double>(g.num_nodes);
+  EXPECT_LT(deg, 4.0);  // road networks are very sparse
+}
+
+TEST(Datasets, TestGraphIsUsable) {
+  const auto g = pg::make_test_graph(200, 8.0, 16, 4, 11);
+  g.validate();
+  EXPECT_EQ(g.num_classes, 4);
+  EXPECT_GT(g.train_count(), 80);
+}
+
+TEST(Graph, DegreeBasedLabelsInRange) {
+  const std::vector<std::int64_t> degrees{0, 1, 5, 100, 100000};
+  const auto labels = pg::degree_based_labels(degrees, 8, 3);
+  for (const auto l : labels) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, 8);
+  }
+}
+
+TEST(Graph, SplitMasksPartition) {
+  std::vector<std::uint8_t> tr;
+  std::vector<std::uint8_t> va;
+  std::vector<std::uint8_t> te;
+  pg::make_split_masks(1000, 0.6, 0.2, 13, tr, va, te);
+  std::int64_t ntr = 0;
+  std::int64_t nva = 0;
+  for (std::int64_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(tr[static_cast<std::size_t>(i)] + va[static_cast<std::size_t>(i)] +
+                  te[static_cast<std::size_t>(i)],
+              1);
+    ntr += tr[static_cast<std::size_t>(i)];
+    nva += va[static_cast<std::size_t>(i)];
+  }
+  EXPECT_NEAR(static_cast<double>(ntr), 600.0, 60.0);
+  EXPECT_NEAR(static_cast<double>(nva), 200.0, 50.0);
+}
+
+TEST(Graph, FeaturesCarryLabelSignal) {
+  const std::vector<std::int32_t> labels{0, 1, 2, 3};
+  const auto f = pg::synthetic_features(4, 8, labels, 2.0f, 5);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    // The label coordinate should stand out above the noise floor of 1.
+    EXPECT_GT(f.at(i, labels[static_cast<std::size_t>(i)] % 8), 0.9f);
+  }
+}
+
+TEST(Graph, AdjacencyIsSymmetricPattern) {
+  const auto g = pg::make_test_graph(100, 6.0, 8, 3, 17);
+  const auto a = g.adjacency();
+  const auto at = a.transposed();
+  EXPECT_TRUE(ps::Csr::equal(a, at));
+}

@@ -1,0 +1,140 @@
+// Tests for machine models, kernel time models, topology (eq. 4.6), and the
+// Nsight-style kernel analyzer (Table 2 mechanism).
+#include <gtest/gtest.h>
+
+#include "graph/datasets.hpp"
+#include "sim/kernel_analyzer.hpp"
+#include "sim/kernels.hpp"
+#include "sim/machine.hpp"
+#include "sim/topology.hpp"
+#include "util/rng.hpp"
+
+namespace psim = plexus::sim;
+namespace pd = plexus::dense;
+
+TEST(Machine, PresetsAreSane) {
+  const auto& p = psim::Machine::perlmutter_a100();
+  const auto& f = psim::Machine::frontier_mi250x_gcd();
+  EXPECT_EQ(p.gpus_per_node, 4);
+  EXPECT_EQ(f.gpus_per_node, 8);
+  EXPECT_NEAR(p.peak_flops, 19.5e12, 1e9);   // section 6.1
+  EXPECT_NEAR(f.peak_flops, 23.9e12, 1e11);  // 47.9 Tflop/s MI250X / 2 GCDs
+  // ROCm SpMM an order of magnitude slower (section 7.2).
+  EXPECT_LT(f.spmm_efficiency, p.spmm_efficiency / 5.0);
+}
+
+TEST(Kernels, SpmmTimeScalesWithWork) {
+  const auto& m = psim::Machine::perlmutter_a100();
+  const psim::SpmmShape small{1'000'000, 100'000, 100'000, 128};
+  psim::SpmmShape big = small;
+  big.nnz *= 4;
+  EXPECT_GT(psim::spmm_time(m, big), psim::spmm_time(m, small) * 1.5);
+}
+
+TEST(Kernels, TallSkinnyPenalty) {
+  // The U-vs-V experiment (Table 2): equal FLOPs, config V has a 64x larger
+  // common dimension and 64x narrower dense operand, and must be much slower.
+  const auto& m = psim::Machine::perlmutter_a100();
+  const std::int64_t nnz_total = 126'000'000;
+  const std::int64_t n = 2'449'029;
+  // Per-GPU shards: U holds 1/64 of the nonzeros with the full 100 columns;
+  // V holds all nonzeros with 100/64 -> 2 columns. Equal per-GPU FLOPs.
+  const psim::SpmmShape u{nnz_total / 64, n, n / 64, 100};
+  const psim::SpmmShape v{nnz_total, n, n, 2};
+  const double tu = psim::spmm_time(m, u);
+  const double tv = psim::spmm_time(m, v);
+  EXPECT_GT(tv / tu, 4.0);   // paper observed ~8x
+  EXPECT_LT(tv / tu, 30.0);
+}
+
+TEST(Kernels, FrontierSpmmSlower) {
+  const psim::SpmmShape s{10'000'000, 500'000, 500'000, 128};
+  const double tp = psim::spmm_time(psim::Machine::perlmutter_a100(), s);
+  const double tf = psim::spmm_time(psim::Machine::frontier_mi250x_gcd(), s);
+  EXPECT_GT(tf, 4.0 * tp);
+}
+
+TEST(Kernels, NoiseRampsWithWorkingSet) {
+  const auto& m = psim::Machine::perlmutter_a100();
+  const psim::SpmmShape tiny{1000, 1000, 1000, 8};
+  const psim::SpmmShape huge{200'000'000, 5'000'000, 5'000'000, 128};
+  double max_tiny = 0.0;
+  double max_huge = 0.0;
+  for (std::uint64_t s = 0; s < 64; ++s) {
+    max_tiny = std::max(max_tiny, psim::spmm_noise_factor(m, tiny, s) - 1.0);
+    max_huge = std::max(max_huge, psim::spmm_noise_factor(m, huge, s) - 1.0);
+  }
+  EXPECT_LT(max_tiny, 0.01);
+  EXPECT_GT(max_huge, 0.15);
+  // Deterministic per seed.
+  EXPECT_EQ(psim::spmm_noise_factor(m, huge, 7), psim::spmm_noise_factor(m, huge, 7));
+}
+
+TEST(Kernels, GemmTransposePenaltyOnFrontier) {
+  const auto& f = psim::Machine::frontier_mi250x_gcd();
+  const double nn = psim::gemm_time(f, 4096, 4096, 4096, pd::Trans::N, pd::Trans::N);
+  const double tn = psim::gemm_time(f, 4096, 4096, 4096, pd::Trans::T, pd::Trans::N);
+  EXPECT_GT(tn, 10.0 * nn);  // section 5.3's pathological TN mode
+  const auto& p = psim::Machine::perlmutter_a100();
+  const double nn_p = psim::gemm_time(p, 4096, 4096, 4096, pd::Trans::N, pd::Trans::N);
+  const double tn_p = psim::gemm_time(p, 4096, 4096, 4096, pd::Trans::T, pd::Trans::N);
+  EXPECT_LT(tn_p, 2.0 * nn_p);  // mild on A100
+}
+
+TEST(Topology, Eq46EffectiveBandwidth) {
+  const auto& m = psim::Machine::perlmutter_a100();  // 4 GPUs/node
+  // Whole grid within a node: everything intra.
+  psim::GridShape small{2, 2, 1};
+  EXPECT_EQ(psim::link_for_dim(m, small, psim::Dim::Y).bandwidth, m.beta_intra);
+  EXPECT_EQ(psim::link_for_dim(m, small, psim::Dim::X).bandwidth, m.beta_intra);
+
+  // Gy = 4 fills the node; X and Z groups cross nodes with NIC contention
+  // min(G_node, inner).
+  psim::GridShape g{4, 4, 2};
+  EXPECT_EQ(psim::link_for_dim(m, g, psim::Dim::Y).bandwidth, m.beta_intra);
+  EXPECT_EQ(psim::link_for_dim(m, g, psim::Dim::X).bandwidth, m.beta_inter / 4.0);
+  EXPECT_EQ(psim::link_for_dim(m, g, psim::Dim::Z).bandwidth, m.beta_inter / 4.0);
+
+  // Y larger than a node: inter-node without contention divisor.
+  psim::GridShape tall{1, 8, 1};
+  EXPECT_EQ(psim::link_for_dim(m, tall, psim::Dim::Y).bandwidth, m.beta_inter);
+}
+
+TEST(Topology, A2aPenaltyGrowsWithNodes) {
+  const auto& m = psim::Machine::perlmutter_a100();
+  EXPECT_EQ(psim::a2a_distance_penalty(m, 4), 1.0);
+  const double p64 = psim::a2a_distance_penalty(m, 64);
+  const double p256 = psim::a2a_distance_penalty(m, 256);
+  EXPECT_GT(p64, 1.0);
+  EXPECT_GT(p256, p64);
+}
+
+TEST(KernelAnalyzer, TallSkinnyConfigDegrades) {
+  // Proxy-scale version of Table 2: config U (common dim sharded by 64) vs
+  // config V (dense cols sharded by 64). Equal FLOPs.
+  const auto& m = psim::Machine::perlmutter_a100();
+  const auto g = plexus::graph::make_proxy(plexus::graph::dataset_info("ogbn-products"),
+                                           60'000, 21);
+  // Plexus shards a *permuted* adjacency (section 5.1); without it, the RMAT
+  // hub columns would all land in the first column block.
+  const auto perm = plexus::util::random_permutation(g.num_nodes, 77);
+  const auto a = g.adjacency().permuted(perm, perm);
+  const auto u_shard = a.block(0, a.rows(), 0, a.cols() / 64);
+
+  const auto mu = psim::analyze_spmm(m, u_shard, 100);
+  const auto mv = psim::analyze_spmm(m, a, 2);
+
+  // V launches ~64x more blocks (proportional to its nnz / common dimension).
+  EXPECT_GT(static_cast<double>(mv.grid_size), 20.0 * static_cast<double>(mu.grid_size));
+  // V's narrow rows waste most of each 32B sector.
+  EXPECT_GT(mv.uncoalesced_sectors, 10 * mu.uncoalesced_sectors);
+  // And its achieved DRAM throughput fraction collapses.
+  EXPECT_LT(mv.dram_throughput_pct, mu.dram_throughput_pct);
+}
+
+TEST(KernelAnalyzer, GridSizeFormula) {
+  const auto g = plexus::graph::make_test_graph(512, 8.0, 8, 4, 3);
+  const auto a = g.adjacency();
+  const auto metrics = psim::analyze_spmm(psim::Machine::perlmutter_a100(), a, 16);
+  EXPECT_EQ(metrics.grid_size, (a.nnz() + 95) / 96);
+}

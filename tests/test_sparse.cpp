@@ -1,0 +1,274 @@
+// Unit + property tests for sparse: CSR transforms, SpMM, 2D block stats.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dense/matrix.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/partition2d.hpp"
+#include "sparse/spmm.hpp"
+#include "util/rng.hpp"
+
+namespace ps = plexus::sparse;
+namespace pd = plexus::dense;
+namespace pu = plexus::util;
+
+namespace {
+
+ps::Coo random_coo(std::int64_t rows, std::int64_t cols, std::int64_t nnz, std::uint64_t seed) {
+  pu::SplitMix64 rng(seed);
+  ps::Coo coo;
+  coo.num_rows = rows;
+  coo.num_cols = cols;
+  for (std::int64_t i = 0; i < nnz; ++i) {
+    coo.push(static_cast<std::int64_t>(rng.next_below(static_cast<std::uint64_t>(rows))),
+             static_cast<std::int64_t>(rng.next_below(static_cast<std::uint64_t>(cols))),
+             rng.next_float() * 2.0f - 1.0f);
+  }
+  return coo;
+}
+
+pd::Matrix random_dense(std::int64_t r, std::int64_t c, std::uint64_t seed) {
+  pu::CounterRng rng(seed);
+  pd::Matrix m(r, c);
+  for (std::int64_t i = 0; i < r * c; ++i) {
+    m.flat()[static_cast<std::size_t>(i)] = rng.uniform_at(static_cast<std::uint64_t>(i), -1, 1);
+  }
+  return m;
+}
+
+std::vector<float> dense_of(const ps::Csr& a) { return a.to_dense(); }
+
+}  // namespace
+
+TEST(Csr, FromCooSortsAndSums) {
+  ps::Coo coo;
+  coo.num_rows = 2;
+  coo.num_cols = 3;
+  coo.push(1, 2, 1.0f);
+  coo.push(0, 1, 2.0f);
+  coo.push(1, 2, 0.5f);  // duplicate -> summed
+  coo.push(1, 0, 3.0f);
+  const auto a = ps::Csr::from_coo(coo);
+  EXPECT_EQ(a.nnz(), 3);
+  const auto d = dense_of(a);
+  EXPECT_EQ(d[0 * 3 + 1], 2.0f);
+  EXPECT_EQ(d[1 * 3 + 0], 3.0f);
+  EXPECT_EQ(d[1 * 3 + 2], 1.5f);
+  // columns sorted within the row
+  EXPECT_LT(a.col_idx()[1], a.col_idx()[2]);
+}
+
+TEST(Csr, FromCooPatternDedup) {
+  ps::Coo coo;
+  coo.num_rows = 1;
+  coo.num_cols = 2;
+  coo.push(0, 1, 1.0f);
+  coo.push(0, 1, 1.0f);
+  const auto a = ps::Csr::from_coo(coo, /*sum_duplicates=*/false);
+  EXPECT_EQ(a.nnz(), 1);
+  EXPECT_EQ(a.vals()[0], 1.0f);
+}
+
+TEST(Csr, TransposeMatchesDense) {
+  const auto a = ps::Csr::from_coo(random_coo(7, 5, 20, 1));
+  const auto at = a.transposed();
+  const auto d = dense_of(a);
+  const auto dt = dense_of(at);
+  for (std::int64_t r = 0; r < 7; ++r) {
+    for (std::int64_t c = 0; c < 5; ++c) {
+      EXPECT_EQ(d[static_cast<std::size_t>(r * 5 + c)], dt[static_cast<std::size_t>(c * 7 + r)]);
+    }
+  }
+}
+
+TEST(Csr, TransposeInvolution) {
+  const auto a = ps::Csr::from_coo(random_coo(12, 9, 40, 2));
+  EXPECT_TRUE(ps::Csr::equal(a.transposed().transposed(), a));
+}
+
+TEST(Csr, PermutedMatchesDense) {
+  const std::int64_t n = 8;
+  const auto a = ps::Csr::from_coo(random_coo(n, n, 25, 3));
+  const auto pr = pu::random_permutation(n, 11);
+  const auto pc = pu::random_permutation(n, 12);
+  const auto b = a.permuted(pr, pc);
+  const auto da = dense_of(a);
+  const auto db = dense_of(b);
+  for (std::int64_t r = 0; r < n; ++r) {
+    for (std::int64_t c = 0; c < n; ++c) {
+      EXPECT_EQ(db[static_cast<std::size_t>(pr[static_cast<std::size_t>(r)] * n +
+                                            pc[static_cast<std::size_t>(c)])],
+                da[static_cast<std::size_t>(r * n + c)]);
+    }
+  }
+}
+
+TEST(Csr, PermutedColumnsStaySorted) {
+  const auto a = ps::Csr::from_coo(random_coo(30, 30, 200, 4));
+  const auto p = pu::random_permutation(30, 5);
+  const auto b = a.permuted(p, p);
+  const auto rp = b.row_ptr();
+  const auto ci = b.col_idx();
+  for (std::int64_t r = 0; r < b.rows(); ++r) {
+    for (std::int64_t k = rp[static_cast<std::size_t>(r)] + 1;
+         k < rp[static_cast<std::size_t>(r) + 1]; ++k) {
+      EXPECT_LT(ci[static_cast<std::size_t>(k - 1)], ci[static_cast<std::size_t>(k)]);
+    }
+  }
+}
+
+TEST(Csr, BlockExtractionMatchesDense) {
+  const auto a = ps::Csr::from_coo(random_coo(10, 12, 60, 6));
+  const auto blk = a.block(2, 7, 3, 9);
+  EXPECT_EQ(blk.rows(), 5);
+  EXPECT_EQ(blk.cols(), 6);
+  const auto da = dense_of(a);
+  const auto db = dense_of(blk);
+  for (std::int64_t r = 0; r < 5; ++r) {
+    for (std::int64_t c = 0; c < 6; ++c) {
+      EXPECT_EQ(db[static_cast<std::size_t>(r * 6 + c)],
+                da[static_cast<std::size_t>((r + 2) * 12 + (c + 3))]);
+    }
+  }
+}
+
+TEST(Csr, BlockNnzAgreesWithBlock) {
+  const auto a = ps::Csr::from_coo(random_coo(16, 16, 80, 7));
+  for (std::int64_t r0 = 0; r0 < 16; r0 += 8) {
+    for (std::int64_t c0 = 0; c0 < 16; c0 += 4) {
+      EXPECT_EQ(a.block_nnz(r0, r0 + 8, c0, c0 + 4), a.block(r0, r0 + 8, c0, c0 + 4).nnz());
+    }
+  }
+}
+
+TEST(Csr, ReferencedCols) {
+  ps::Coo coo;
+  coo.num_rows = 2;
+  coo.num_cols = 10;
+  coo.push(0, 3, 1.0f);
+  coo.push(1, 3, 1.0f);
+  coo.push(1, 7, 1.0f);
+  const auto a = ps::Csr::from_coo(coo);
+  const auto refs = a.referenced_cols(0, 10);
+  ASSERT_EQ(refs.size(), 2u);
+  EXPECT_EQ(refs[0], 3);
+  EXPECT_EQ(refs[1], 7);
+  EXPECT_TRUE(a.referenced_cols(4, 7).empty());
+}
+
+TEST(Csr, NormalizeAdjacencyRowSumsAndSelfLoops) {
+  // Path graph 0-1-2: after D^-1/2 (A+I) D^-1/2, entries are known.
+  ps::Coo coo;
+  coo.num_rows = 3;
+  coo.num_cols = 3;
+  coo.push(0, 1, 1.0f);
+  coo.push(1, 0, 1.0f);
+  coo.push(1, 2, 1.0f);
+  coo.push(2, 1, 1.0f);
+  const auto a = ps::Csr::from_coo(coo);
+  const auto norm = ps::normalize_adjacency(a, 3);
+  const auto d = norm.to_dense();
+  // degrees with self loop: d0 = 2, d1 = 3, d2 = 2.
+  EXPECT_NEAR(d[0 * 3 + 0], 1.0 / 2.0, 1e-6);
+  EXPECT_NEAR(d[0 * 3 + 1], 1.0 / std::sqrt(6.0), 1e-6);
+  EXPECT_NEAR(d[1 * 3 + 1], 1.0 / 3.0, 1e-6);
+  EXPECT_NEAR(d[2 * 3 + 2], 1.0 / 2.0, 1e-6);
+  // symmetric
+  EXPECT_NEAR(d[1 * 3 + 0], d[0 * 3 + 1], 1e-7);
+}
+
+TEST(Csr, NormalizeAdjacencyPaddedTailStaysEmpty) {
+  ps::Coo coo;
+  coo.num_rows = 6;  // nodes 4, 5 are padding
+  coo.num_cols = 6;
+  coo.push(0, 1, 1.0f);
+  coo.push(1, 0, 1.0f);
+  const auto norm = ps::normalize_adjacency(ps::Csr::from_coo(coo), 4);
+  EXPECT_EQ(norm.row_nnz(4), 0);
+  EXPECT_EQ(norm.row_nnz(5), 0);
+  EXPECT_EQ(norm.row_nnz(2), 1);  // isolated active node keeps its self loop
+}
+
+class SpmmShapes : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(SpmmShapes, MatchesDenseReference) {
+  const auto [m, k, n, nnz] = GetParam();
+  const auto a = ps::Csr::from_coo(random_coo(m, k, nnz, 17));
+  const auto b = random_dense(k, n, 18);
+  const auto c = ps::spmm(a, b);
+  const auto da = a.to_dense();
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        acc += da[static_cast<std::size_t>(i * k + kk)] * b.at(kk, j);
+      }
+      EXPECT_NEAR(c.at(i, j), acc, 1e-4f);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SpmmShapes,
+                         ::testing::Values(std::tuple{4, 4, 4, 6}, std::tuple{1, 9, 3, 5},
+                                           std::tuple{16, 8, 1, 30}, std::tuple{32, 64, 12, 300},
+                                           std::tuple{8, 8, 8, 0}));
+
+TEST(Spmm, RowRangeMatchesFull) {
+  const auto a = ps::Csr::from_coo(random_coo(12, 10, 50, 20));
+  const auto b = random_dense(10, 5, 21);
+  const auto full = ps::spmm(a, b);
+  pd::Matrix by_blocks(12, 5);
+  ps::spmm_rows(a, b, by_blocks, 0, 4);
+  ps::spmm_rows(a, b, by_blocks, 4, 9);
+  ps::spmm_rows(a, b, by_blocks, 9, 12);
+  EXPECT_EQ(pd::Matrix::max_abs_diff(full, by_blocks), 0.0f);
+}
+
+TEST(Spmm, FlopCount) {
+  const auto a = ps::Csr::from_coo(random_coo(4, 4, 7, 22));
+  EXPECT_EQ(ps::spmm_flops(a, 10), 2 * a.nnz() * 10);
+}
+
+TEST(Partition2d, BlockBounds) {
+  const auto b = ps::block_bounds(10, 4);  // 3,3,2,2
+  ASSERT_EQ(b.size(), 5u);
+  EXPECT_EQ(b[0], 0);
+  EXPECT_EQ(b[1], 3);
+  EXPECT_EQ(b[2], 6);
+  EXPECT_EQ(b[3], 8);
+  EXPECT_EQ(b[4], 10);
+}
+
+TEST(Partition2d, GridNnzSumsToTotal) {
+  const auto a = ps::Csr::from_coo(random_coo(64, 64, 500, 23));
+  const auto counts = ps::grid_nnz(a, 8, 8);
+  std::int64_t total = 0;
+  for (const auto c : counts) total += c;
+  EXPECT_EQ(total, a.nnz());
+}
+
+TEST(Partition2d, GridNnzMatchesBlockNnz) {
+  const auto a = ps::Csr::from_coo(random_coo(24, 24, 150, 24));
+  const auto counts = ps::grid_nnz(a, 3, 4);
+  const auto rb = ps::block_bounds(24, 3);
+  const auto cb = ps::block_bounds(24, 4);
+  for (std::int64_t i = 0; i < 3; ++i) {
+    for (std::int64_t j = 0; j < 4; ++j) {
+      EXPECT_EQ(counts[static_cast<std::size_t>(i * 4 + j)],
+                a.block_nnz(rb[static_cast<std::size_t>(i)], rb[static_cast<std::size_t>(i) + 1],
+                            cb[static_cast<std::size_t>(j)], cb[static_cast<std::size_t>(j) + 1]));
+    }
+  }
+}
+
+TEST(Partition2d, DiagonalMatrixIsImbalanced) {
+  // Block-diagonal pattern: all nnz in diagonal blocks => max/mean == grid dim.
+  ps::Coo coo;
+  coo.num_rows = 64;
+  coo.num_cols = 64;
+  for (std::int64_t i = 0; i < 64; ++i) coo.push(i, i, 1.0f);
+  const auto s = ps::grid_imbalance(ps::Csr::from_coo(coo), 8, 8);
+  EXPECT_NEAR(s.max_over_mean, 8.0, 1e-9);
+  EXPECT_EQ(s.min_nnz, 0);
+}

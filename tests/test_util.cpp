@@ -1,0 +1,156 @@
+// Unit tests for util: deterministic RNG, permutations, statistics, tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace pu = plexus::util;
+
+TEST(Rng, SplitMixDeterministic) {
+  pu::SplitMix64 a(42);
+  pu::SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SplitMixSeedsDiffer) {
+  pu::SplitMix64 a(1);
+  pu::SplitMix64 b(2);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DoublesInUnitInterval) {
+  pu::SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, CounterRngIsStateless) {
+  pu::CounterRng rng(123);
+  const double v1 = rng.uniform_at(55);
+  (void)rng.uniform_at(99);  // interleaved access must not matter
+  EXPECT_EQ(v1, rng.uniform_at(55));
+}
+
+TEST(Rng, CounterRngRangeMapping) {
+  pu::CounterRng rng(9);
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    const float v = rng.uniform_at(i, -2.0f, 3.0f);
+    EXPECT_GE(v, -2.0f);
+    EXPECT_LT(v, 3.0f);
+  }
+}
+
+class PermutationSizes : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(PermutationSizes, RandomPermutationIsValid) {
+  const auto n = GetParam();
+  const auto perm = pu::random_permutation(n, 31337);
+  EXPECT_TRUE(pu::is_permutation(perm));
+  EXPECT_EQ(static_cast<std::int64_t>(perm.size()), n);
+}
+
+TEST_P(PermutationSizes, InverseComposesToIdentity) {
+  const auto n = GetParam();
+  const auto perm = pu::random_permutation(n, 99);
+  const auto inv = pu::invert_permutation(perm);
+  for (std::int64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(inv[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])], i);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PermutationSizes, ::testing::Values(0, 1, 2, 7, 64, 1000));
+
+TEST(Permutation, DifferentSeedsDiffer) {
+  EXPECT_NE(pu::random_permutation(100, 1), pu::random_permutation(100, 2));
+}
+
+TEST(Permutation, IdentityIsIdentity) {
+  const auto id = pu::identity_permutation(5);
+  for (std::int64_t i = 0; i < 5; ++i) EXPECT_EQ(id[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Stats, Summary) {
+  const auto s = pu::summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, MaxOverMean) {
+  EXPECT_NEAR(pu::max_over_mean({1.0, 1.0, 2.0}), 2.0 / (4.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, RegressionRecoversCoefficients) {
+  // y = 3 x0 - 2 x1 + 0.5, noiseless.
+  std::vector<std::vector<double>> X;
+  std::vector<double> y;
+  pu::SplitMix64 rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const double x0 = rng.next_double() * 10;
+    const double x1 = rng.next_double() * 4 - 2;
+    X.push_back({x0, x1});
+    y.push_back(3.0 * x0 - 2.0 * x1 + 0.5);
+  }
+  const auto beta = pu::linear_regression(X, y, /*add_intercept=*/true);
+  ASSERT_EQ(beta.size(), 3u);
+  EXPECT_NEAR(beta[0], 0.5, 1e-8);
+  EXPECT_NEAR(beta[1], 3.0, 1e-8);
+  EXPECT_NEAR(beta[2], -2.0, 1e-8);
+  const auto pred = pu::linear_predict(X, beta, true);
+  EXPECT_NEAR(pu::r_squared(y, pred), 1.0, 1e-12);
+  EXPECT_NEAR(pu::rmse(y, pred), 0.0, 1e-8);
+}
+
+TEST(Stats, RSquaredOfMeanPredictorIsZero) {
+  const std::vector<double> y{1.0, 2.0, 3.0};
+  const std::vector<double> pred{2.0, 2.0, 2.0};
+  EXPECT_NEAR(pu::r_squared(y, pred), 0.0, 1e-12);
+}
+
+TEST(Stats, SolveLinearSystem) {
+  // [2 1; 1 3] x = [5; 10] -> x = [1; 3]
+  const auto x = pu::solve_linear_system({2, 1, 1, 3}, {5, 10}, 2);
+  EXPECT_NEAR(x[0], 1.0, 1e-10);
+  EXPECT_NEAR(x[1], 3.0, 1e-10);
+}
+
+TEST(Stats, PowerLawFit) {
+  // y = 2.5 x^1.7
+  std::vector<double> x;
+  std::vector<double> y;
+  for (double v = 1; v <= 64; v *= 2) {
+    x.push_back(v);
+    y.push_back(2.5 * std::pow(v, 1.7));
+  }
+  const auto [a, b] = pu::fit_power_law(x, y);
+  EXPECT_NEAR(a, 2.5, 1e-6);
+  EXPECT_NEAR(b, 1.7, 1e-9);
+}
+
+TEST(Table, FormatsCounts) {
+  EXPECT_EQ(pu::Table::fmt_count(1313241), "1,313,241");
+  EXPECT_EQ(pu::Table::fmt_count(0), "0");
+  EXPECT_EQ(pu::Table::fmt_count(-4200), "-4,200");
+}
+
+TEST(Table, RendersAlignedRows) {
+  pu::Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const auto s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, RejectsRaggedRow) {
+  pu::Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::runtime_error);
+}
