@@ -1,0 +1,59 @@
+# Resolve GoogleTest without requiring network access.
+#
+# Order of preference:
+#   1. An installed GTest (Debian libgtest-dev ships GTestConfig.cmake plus
+#      static libs; conda and brew do too).
+#   2. The Debian-style source tree at /usr/src/googletest (libgtest-dev on
+#      systems without prebuilt libs) — built as part of this project.
+#   3. FetchContent from GitHub (only reached on networked machines with no
+#      local copy).
+#
+# Defines GTest::gtest and GTest::gtest_main whichever path is taken.
+
+include_guard(GLOBAL)
+
+find_package(GTest CONFIG QUIET)
+if(GTest_FOUND)
+  message(STATUS "Plexus: using installed GoogleTest (${GTest_DIR})")
+  return()
+endif()
+
+# Classic FindGTest module (library + header search) as a second chance.
+find_package(GTest MODULE QUIET)
+if(GTEST_FOUND AND TARGET GTest::gtest)
+  message(STATUS "Plexus: using GoogleTest found via FindGTest module")
+  return()
+endif()
+
+set(_plexus_gtest_src "")
+foreach(candidate /usr/src/googletest /usr/src/gtest)
+  if(EXISTS "${candidate}/CMakeLists.txt")
+    set(_plexus_gtest_src "${candidate}")
+    break()
+  endif()
+endforeach()
+
+if(_plexus_gtest_src)
+  message(STATUS "Plexus: building vendored GoogleTest from ${_plexus_gtest_src}")
+  set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+  add_subdirectory("${_plexus_gtest_src}" "${CMAKE_BINARY_DIR}/_deps/googletest" EXCLUDE_FROM_ALL)
+  if(NOT TARGET GTest::gtest)
+    add_library(GTest::gtest ALIAS gtest)
+    add_library(GTest::gtest_main ALIAS gtest_main)
+  endif()
+  return()
+endif()
+
+message(STATUS "Plexus: no local GoogleTest; falling back to FetchContent (needs network)")
+include(FetchContent)
+FetchContent_Declare(
+  googletest
+  URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+  URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7
+)
+set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+FetchContent_MakeAvailable(googletest)

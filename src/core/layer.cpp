@@ -77,7 +77,6 @@ dense::Matrix DistGcnLayer::forward(sim::RankContext& ctx, const dense::Matrix& 
   h_ = dense::Matrix(rows_r_, din_q_);
   const int nb = std::max(1, opts_.agg_row_blocks);
   const auto bounds = sparse::block_bounds(rows_r_, nb);
-  double pending_credit = 0.0;
   std::int64_t prev_b0 = 0;
   std::int64_t prev_b1 = 0;
   bool have_pending = false;

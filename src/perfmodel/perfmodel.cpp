@@ -234,7 +234,15 @@ sim::GridShape best_configuration(const sim::Machine& machine, const WorkloadSta
 }
 
 std::string grid_to_string(const sim::GridShape& g) {
-  return "X" + std::to_string(g.x) + "Y" + std::to_string(g.y) + "Z" + std::to_string(g.z);
+  // Built with append rather than operator+ chaining: GCC 12's -Wrestrict
+  // false-positives on `const char* + std::string&&` chains (GCC PR 105329).
+  std::string s = "X";
+  s += std::to_string(g.x);
+  s += "Y";
+  s += std::to_string(g.y);
+  s += "Z";
+  s += std::to_string(g.z);
+  return s;
 }
 
 }  // namespace plexus::perf

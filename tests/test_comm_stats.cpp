@@ -1,0 +1,143 @@
+// CommStats accounting tests: per-collective byte/call totals and
+// total_seconds() must match the ring cost model (comm/cost.hpp) exactly —
+// the trainer's comm/compute breakdown (paper fig. 9) is built from these.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "comm/cost.hpp"
+#include "comm/world.hpp"
+
+namespace pc = plexus::comm;
+
+namespace {
+
+/// Run `body(rank)` on one thread per rank, MPI-style.
+void spmd(int ranks, const std::function<void(int)>& body) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) threads.emplace_back(body, r);
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace
+
+TEST(CommStats, TwoRankAllReduceMatchesRingModel) {
+  pc::LinkParams link;
+  link.bandwidth = 50e9;
+  link.latency = 2e-6;
+
+  pc::World world(2);
+  const pc::GroupId g = world.create_group({0, 1}, link);
+
+  constexpr std::size_t kElems = 1024;
+  const std::int64_t bytes = static_cast<std::int64_t>(kElems * sizeof(float));
+
+  std::vector<pc::CommStats> stats(2);
+  spmd(2, [&](int rank) {
+    pc::SimClock clock;
+    pc::Communicator comm(world, rank, &clock);
+    std::vector<float> buf(kElems, rank == 0 ? 1.0f : 2.0f);
+    comm.all_reduce_sum<float>(g, {buf.data(), buf.size()});
+    for (float v : buf) ASSERT_EQ(v, 3.0f);
+    stats[static_cast<std::size_t>(rank)] = comm.stats();
+  });
+
+  const double expected =
+      pc::collective_time(pc::Collective::AllReduce, bytes, /*group_size=*/2, link);
+  // Ring all-reduce on 2 ranks: 2 * (1/2) * M/beta + 2 * 1 * alpha.
+  EXPECT_DOUBLE_EQ(expected, bytes / link.bandwidth + 2.0 * link.latency);
+
+  for (int r = 0; r < 2; ++r) {
+    const auto& s = stats[static_cast<std::size_t>(r)];
+    const auto& e = s.entry(pc::Collective::AllReduce);
+    EXPECT_EQ(e.calls, 1) << "rank " << r;
+    EXPECT_EQ(e.bytes, bytes) << "rank " << r;
+    EXPECT_DOUBLE_EQ(e.sim_seconds, expected) << "rank " << r;
+    EXPECT_DOUBLE_EQ(s.total_seconds(), expected) << "rank " << r;
+    EXPECT_EQ(s.total_bytes(), bytes) << "rank " << r;
+    // No other collective may have been charged.
+    EXPECT_EQ(s.entry(pc::Collective::AllGather).calls, 0);
+    EXPECT_EQ(s.entry(pc::Collective::Broadcast).calls, 0);
+  }
+}
+
+TEST(CommStats, AccumulatesAcrossCallsAndOps) {
+  pc::LinkParams link;
+  link.bandwidth = 10e9;
+  link.latency = 1e-6;
+
+  pc::World world(2);
+  const pc::GroupId g = world.create_group({0, 1}, link);
+
+  constexpr std::size_t kElems = 256;
+  const std::int64_t ar_bytes = static_cast<std::int64_t>(kElems * sizeof(float));
+  const std::int64_t ag_bytes = 2 * ar_bytes;  // all-gather charges the full out buffer
+
+  std::vector<pc::CommStats> stats(2);
+  spmd(2, [&](int rank) {
+    pc::SimClock clock;
+    pc::Communicator comm(world, rank, &clock);
+    std::vector<float> buf(kElems, 1.0f);
+    std::vector<float> gathered(2 * kElems);
+    comm.all_reduce_sum<float>(g, {buf.data(), buf.size()});
+    comm.all_reduce_sum<float>(g, {buf.data(), buf.size()});
+    comm.all_gather<float>(g, {buf.data(), buf.size()}, {gathered.data(), gathered.size()});
+    stats[static_cast<std::size_t>(rank)] = comm.stats();
+  });
+
+  const double t_ar = pc::collective_time(pc::Collective::AllReduce, ar_bytes, 2, link);
+  const double t_ag = pc::collective_time(pc::Collective::AllGather, ag_bytes, 2, link);
+  for (const auto& s : stats) {
+    EXPECT_EQ(s.entry(pc::Collective::AllReduce).calls, 2);
+    EXPECT_EQ(s.entry(pc::Collective::AllReduce).bytes, 2 * ar_bytes);
+    EXPECT_EQ(s.entry(pc::Collective::AllGather).calls, 1);
+    EXPECT_EQ(s.entry(pc::Collective::AllGather).bytes, ag_bytes);
+    EXPECT_DOUBLE_EQ(s.total_seconds(), 2.0 * t_ar + t_ag);
+    EXPECT_EQ(s.total_bytes(), 2 * ar_bytes + ag_bytes);
+  }
+}
+
+TEST(CommStats, OverlapCreditReducesChargedTimeOnly) {
+  pc::LinkParams link;
+  link.bandwidth = 10e9;
+  link.latency = 1e-6;
+  pc::World world(2);
+  const pc::GroupId g = world.create_group({0, 1}, link);
+
+  constexpr std::size_t kElems = 4096;
+  const std::int64_t bytes = static_cast<std::int64_t>(kElems * sizeof(float));
+  const double full = pc::collective_time(pc::Collective::AllReduce, bytes, 2, link);
+  const double credit = full * 0.25;
+
+  std::vector<pc::CommStats> stats(2);
+  spmd(2, [&](int rank) {
+    pc::SimClock clock;
+    pc::Communicator comm(world, rank, &clock);
+    std::vector<float> buf(kElems, 1.0f);
+    comm.all_reduce_sum<float>(g, {buf.data(), buf.size()}, credit);
+    stats[static_cast<std::size_t>(rank)] = comm.stats();
+  });
+  for (const auto& s : stats) {
+    // Bytes are the full logical volume; only the exposed time is charged.
+    EXPECT_EQ(s.entry(pc::Collective::AllReduce).bytes, bytes);
+    EXPECT_DOUBLE_EQ(s.total_seconds(), full - credit);
+  }
+}
+
+TEST(CommStats, ResetClearsEverything) {
+  pc::CommStats s;
+  auto& e = s.entry(pc::Collective::AllToAll);
+  e.calls = 3;
+  e.bytes = 999;
+  e.sim_seconds = 1.5;
+  EXPECT_GT(s.total_seconds(), 0.0);
+  s.reset();
+  EXPECT_EQ(s.total_bytes(), 0);
+  EXPECT_DOUBLE_EQ(s.total_seconds(), 0.0);
+  EXPECT_EQ(s.entry(pc::Collective::AllToAll).calls, 0);
+}
