@@ -1,14 +1,28 @@
 // google-benchmark micro-suite for the host kernels backing the simulator:
 // SpMM (square vs tall-skinny dense operand), GEMM transpose modes, CSR
-// transforms. These measure *this machine's* kernels (wall time), not the
-// simulated GPUs.
+// transforms, and the intra-rank thread-count sweeps. These measure *this
+// machine's* kernels (wall time), not the simulated GPUs.
+//
+// The thread sweeps (BM_SpmmRmatThreads / BM_GemmThreads) run the threaded
+// engine at 1/2/4/8 threads on an RMAT power-law graph and report
+// `speedup_vs_serial`, the ratio against a one-shot measurement of the
+// single-threaded reference worker on the same operands. Select just the
+// sweep with --benchmark_filter=Threads; shrink the graph on small machines
+// with PLEXUS_BENCH_RMAT_SCALE (default 18).
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
 
 #include "dense/gemm.hpp"
 #include "graph/generators.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/spmm.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -54,6 +68,124 @@ void BM_GemmModes(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
 BENCHMARK(BM_GemmModes)->Args({256, 0})->Args({256, 1});
+
+int bench_rmat_scale() {
+  const char* s = std::getenv("PLEXUS_BENCH_RMAT_SCALE");
+  if (s != nullptr && *s != '\0') {
+    const int v = std::atoi(s);
+    if (v >= 4 && v <= 26) return v;
+  }
+  return 18;
+}
+
+/// The thread-sweep workload: an RMAT power-law graph (hub rows stress the
+/// nnz-balanced partition) with a 64-wide dense operand. Built once.
+const plexus::sparse::Csr& rmat_adj() {
+  static const plexus::sparse::Csr a = [] {
+    const int scale = bench_rmat_scale();
+    const std::int64_t nodes = std::int64_t{1} << scale;
+    const auto coo = plexus::graph::rmat(scale, nodes * 8, 0.57, 0.19, 0.19, 0.05, 7);
+    return plexus::sparse::Csr::from_coo(coo, false);
+  }();
+  return a;
+}
+
+const plexus::dense::Matrix& rmat_dense() {
+  static const plexus::dense::Matrix b = make_dense(rmat_adj().cols(), 64);
+  return b;
+}
+
+/// Wall time of the single-threaded reference worker on the sweep operands —
+/// the denominator of every speedup_vs_serial counter. One warm-up run
+/// (first-touch of B/C, cache fill), then the min of three timed repetitions.
+double serial_spmm_seconds() {
+  static const double secs = [] {
+    const auto& a = rmat_adj();
+    const auto& b = rmat_dense();
+    plexus::dense::Matrix c(a.rows(), b.cols());
+    plexus::sparse::spmm_rows_serial(a, b, c, 0, a.rows());
+    double best = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      plexus::sparse::spmm_rows_serial(a, b, c, 0, a.rows());
+      benchmark::DoNotOptimize(c.data());
+      best = std::min(
+          best, std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count());
+    }
+    return best;
+  }();
+  return secs;
+}
+
+void BM_SpmmRmatThreads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const auto& a = rmat_adj();
+  const auto& b = rmat_dense();
+  plexus::dense::Matrix c(a.rows(), b.cols());
+  const double serial = serial_spmm_seconds();
+  plexus::util::ScopedIntraRankThreads scope(threads);
+  // Best single iteration, so the ratio is min-vs-min with the serial side.
+  double best_iter = std::numeric_limits<double>::infinity();
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    plexus::sparse::spmm(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+    best_iter = std::min(
+        best_iter, std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz() * b.cols() * 2);
+  if (best_iter > 0.0 && std::isfinite(best_iter)) {
+    state.counters["speedup_vs_serial"] = serial / best_iter;
+  }
+}
+BENCHMARK(BM_SpmmRmatThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+constexpr std::int64_t kGemmSweepN = 384;
+
+/// Serial GEMM baseline on the sweep operands, measured once (warm-up plus
+/// min of three repetitions), like serial_spmm_seconds().
+double serial_gemm_seconds() {
+  static const double secs = [] {
+    const auto a = make_dense(kGemmSweepN, kGemmSweepN);
+    const auto b = make_dense(kGemmSweepN, kGemmSweepN);
+    plexus::dense::Matrix c(kGemmSweepN, kGemmSweepN);
+    plexus::util::ScopedIntraRankThreads scope(1);
+    plexus::dense::gemm(plexus::dense::Trans::N, plexus::dense::Trans::N, 1.0f, a, b, 0.0f, c);
+    double best = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      plexus::dense::gemm(plexus::dense::Trans::N, plexus::dense::Trans::N, 1.0f, a, b, 0.0f, c);
+      best = std::min(
+          best, std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count());
+    }
+    return best;
+  }();
+  return secs;
+}
+
+void BM_GemmThreads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const std::int64_t n = kGemmSweepN;
+  const auto a = make_dense(n, n);
+  const auto b = make_dense(n, n);
+  plexus::dense::Matrix c(n, n);
+  const double serial = serial_gemm_seconds();
+
+  plexus::util::ScopedIntraRankThreads scope(threads);
+  double best_iter = std::numeric_limits<double>::infinity();
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    plexus::dense::gemm(plexus::dense::Trans::N, plexus::dense::Trans::N, 1.0f, a, b, 0.0f, c);
+    benchmark::DoNotOptimize(c.data());
+    best_iter = std::min(
+        best_iter, std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  if (best_iter > 0.0 && std::isfinite(best_iter)) {
+    state.counters["speedup_vs_serial"] = serial / best_iter;
+  }
+}
+BENCHMARK(BM_GemmThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 
 void BM_CsrTranspose(benchmark::State& state) {
   const auto a = make_adj(state.range(0), 16.0);

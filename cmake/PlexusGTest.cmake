@@ -12,17 +12,24 @@
 
 include_guard(GLOBAL)
 
-find_package(GTest CONFIG QUIET)
-if(GTest_FOUND)
-  message(STATUS "Plexus: using installed GoogleTest (${GTest_DIR})")
-  return()
-endif()
+# Sanitizer builds (e.g. the CI ThreadSanitizer job) must compile GoogleTest
+# with the same -fsanitize flags; force the from-source path for those.
+option(PLEXUS_GTEST_FROM_SOURCE
+       "Ignore installed GoogleTest binaries and build from a local source tree" OFF)
 
-# Classic FindGTest module (library + header search) as a second chance.
-find_package(GTest MODULE QUIET)
-if(GTEST_FOUND AND TARGET GTest::gtest)
-  message(STATUS "Plexus: using GoogleTest found via FindGTest module")
-  return()
+if(NOT PLEXUS_GTEST_FROM_SOURCE)
+  find_package(GTest CONFIG QUIET)
+  if(GTest_FOUND)
+    message(STATUS "Plexus: using installed GoogleTest (${GTest_DIR})")
+    return()
+  endif()
+
+  # Classic FindGTest module (library + header search) as a second chance.
+  find_package(GTest MODULE QUIET)
+  if(GTEST_FOUND AND TARGET GTest::gtest)
+    message(STATUS "Plexus: using GoogleTest found via FindGTest module")
+    return()
+  endif()
 endif()
 
 set(_plexus_gtest_src "")

@@ -48,7 +48,7 @@ TrainResult train_plexus(const PlexusDataset& ds, const TrainOptions& opt) {
   TrainResult result;
   result.epochs.resize(static_cast<std::size_t>(opt.epochs));
 
-  sim::run_cluster(world, *opt.machine, [&](sim::RankContext& ctx) {
+  const auto rank_fn = [&](sim::RankContext& ctx) {
     DistGcn model(ctx, ds, grid, opt.model);
     for (int e = 0; e < opt.epochs; ++e) {
       EpochStats s = model.train_epoch(ctx, e);
@@ -66,7 +66,8 @@ TrainResult train_plexus(const PlexusDataset& ds, const TrainOptions& opt) {
       const double acc = model.evaluate(ctx, ds.val_mask);
       if (ctx.rank() == 0) result.val_accuracy = acc;
     }
-  });
+  };
+  sim::run_cluster(world, *opt.machine, rank_fn, /*enable_clock=*/true, opt.intra_rank_threads);
   return result;
 }
 

@@ -29,6 +29,10 @@ struct TrainOptions {
   int epochs = 10;
   std::uint64_t preprocess_seed = 7;
   bool evaluate_validation = false;  ///< adds a val-accuracy pass after training
+  /// Host compute threads per simulated rank for the SpMM/GEMM/elementwise
+  /// kernels. 0 = auto: PLEXUS_THREADS (or the hardware concurrency) divided
+  /// by the number of ranks. Losses are bitwise-identical for any value.
+  int intra_rank_threads = 0;
 };
 
 struct TrainResult {

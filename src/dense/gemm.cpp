@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace plexus::dense {
 
@@ -14,29 +15,34 @@ namespace {
 /// Core kernel for C += alpha * A * B with A (m*k), B (k*n), both non-transposed,
 /// blocked for L1/L2 residency. Operands that arrive transposed are materialised
 /// by the caller; shard sizes in the simulator are small enough that the copy is
-/// cheaper than a strided kernel.
+/// cheaper than a strided kernel. The row space is split across the intra-rank
+/// engine; each output row keeps the serial i-k-j summation order, so results
+/// are bitwise-identical for any thread count.
 void gemm_nn_accumulate(float alpha, const Matrix& a, const Matrix& b, Matrix& c) {
   const std::int64_t m = a.rows();
   const std::int64_t k = a.cols();
   const std::int64_t n = b.cols();
   constexpr std::int64_t kBlockI = 64;
   constexpr std::int64_t kBlockK = 128;
-  for (std::int64_t i0 = 0; i0 < m; i0 += kBlockI) {
-    const std::int64_t i1 = std::min(m, i0 + kBlockI);
-    for (std::int64_t k0 = 0; k0 < k; k0 += kBlockK) {
-      const std::int64_t k1 = std::min(k, k0 + kBlockK);
-      for (std::int64_t i = i0; i < i1; ++i) {
-        const float* arow = a.row(i);
-        float* crow = c.row(i);
-        for (std::int64_t kk = k0; kk < k1; ++kk) {
-          const float av = alpha * arow[kk];
-          if (av == 0.0f) continue;
-          const float* brow = b.row(kk);
-          for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  const auto row_range = [&](std::int64_t m0, std::int64_t m1) {
+    for (std::int64_t i0 = m0; i0 < m1; i0 += kBlockI) {
+      const std::int64_t i1 = std::min(m1, i0 + kBlockI);
+      for (std::int64_t k0 = 0; k0 < k; k0 += kBlockK) {
+        const std::int64_t k1 = std::min(k, k0 + kBlockK);
+        for (std::int64_t i = i0; i < i1; ++i) {
+          const float* arow = a.row(i);
+          float* crow = c.row(i);
+          for (std::int64_t kk = k0; kk < k1; ++kk) {
+            const float av = alpha * arow[kk];
+            if (av == 0.0f) continue;
+            const float* brow = b.row(kk);
+            for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+          }
         }
       }
     }
-  }
+  };
+  util::parallel_for(0, m, row_range, /*work_estimate=*/m * k * n);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace plexus::dense {
 
@@ -11,7 +12,16 @@ void relu(const Matrix& x, Matrix& out) {
   PLEXUS_CHECK(x.same_shape(out), "relu shape mismatch");
   const auto in = x.flat();
   auto o = out.flat();
-  for (std::size_t i = 0; i < in.size(); ++i) o[i] = in[i] > 0.0f ? in[i] : 0.0f;
+  const auto n = static_cast<std::int64_t>(in.size());
+  util::parallel_for(
+      0, n,
+      [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          const float v = in[static_cast<std::size_t>(i)];
+          o[static_cast<std::size_t>(i)] = v > 0.0f ? v : 0.0f;
+        }
+      },
+      /*work_estimate=*/n);
 }
 
 Matrix relu(const Matrix& x) {
@@ -26,7 +36,16 @@ void relu_backward(const Matrix& pre_activation, const Matrix& dy, Matrix& dx) {
   const auto q = pre_activation.flat();
   const auto g = dy.flat();
   auto o = dx.flat();
-  for (std::size_t i = 0; i < q.size(); ++i) o[i] = q[i] > 0.0f ? g[i] : 0.0f;
+  const auto n = static_cast<std::int64_t>(q.size());
+  util::parallel_for(
+      0, n,
+      [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          o[static_cast<std::size_t>(i)] =
+              q[static_cast<std::size_t>(i)] > 0.0f ? g[static_cast<std::size_t>(i)] : 0.0f;
+        }
+      },
+      /*work_estimate=*/n);
 }
 
 CrossEntropyResult softmax_cross_entropy(const Matrix& logits,
@@ -43,38 +62,55 @@ CrossEntropyResult softmax_cross_entropy(const Matrix& logits,
     grad->zero();
   }
 
+  // Rows are processed in fixed-size chunks (grain independent of the thread
+  // count) and the per-chunk loss partials are combined in chunk order, so
+  // the double-precision sum is bitwise-identical for any thread budget.
+  constexpr std::int64_t kRowChunk = 256;
   CrossEntropyResult res;
-  std::vector<float> probs(static_cast<std::size_t>(c));
-  for (std::int64_t i = 0; i < n; ++i) {
-    if (mask[static_cast<std::size_t>(i)] == 0) continue;
-    const std::int32_t label = labels[static_cast<std::size_t>(i)];
-    PLEXUS_CHECK(label >= 0 && label < c, "label out of range");
-    const float* row = logits.row(i);
-    float mx = row[0];
-    for (std::int64_t j = 1; j < c; ++j) mx = std::max(mx, row[j]);
-    double denom = 0.0;
-    for (std::int64_t j = 0; j < c; ++j) {
-      probs[static_cast<std::size_t>(j)] = std::exp(row[j] - mx);
-      denom += probs[static_cast<std::size_t>(j)];
-    }
-    const double log_denom = std::log(denom);
-    res.loss_sum += -(static_cast<double>(row[label]) - mx - log_denom);
-    res.count += 1;
-
-    std::int64_t argmax = 0;
-    for (std::int64_t j = 1; j < c; ++j) {
-      if (row[j] > row[argmax]) argmax = j;
-    }
-    if (argmax == label) res.correct += 1;
-
-    if (grad != nullptr) {
-      float* grow = grad->row(i);
-      const auto inv = static_cast<float>(1.0 / (denom * norm));
+  if (n == 0) return res;
+  std::vector<CrossEntropyResult> partials(
+      static_cast<std::size_t>(util::parallel_chunk_count(n, kRowChunk)));
+  util::parallel_for_grain(0, n, kRowChunk, [&](std::int64_t chunk, std::int64_t i0,
+                                                std::int64_t i1) {
+    CrossEntropyResult local;
+    std::vector<float> probs(static_cast<std::size_t>(c));
+    for (std::int64_t i = i0; i < i1; ++i) {
+      if (mask[static_cast<std::size_t>(i)] == 0) continue;
+      const std::int32_t label = labels[static_cast<std::size_t>(i)];
+      PLEXUS_CHECK(label >= 0 && label < c, "label out of range");
+      const float* row = logits.row(i);
+      float mx = row[0];
+      for (std::int64_t j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+      double denom = 0.0;
       for (std::int64_t j = 0; j < c; ++j) {
-        grow[j] = probs[static_cast<std::size_t>(j)] * inv;
+        probs[static_cast<std::size_t>(j)] = std::exp(row[j] - mx);
+        denom += probs[static_cast<std::size_t>(j)];
       }
-      grow[label] -= static_cast<float>(1.0 / norm);
+      const double log_denom = std::log(denom);
+      local.loss_sum += -(static_cast<double>(row[label]) - mx - log_denom);
+      local.count += 1;
+
+      std::int64_t argmax = 0;
+      for (std::int64_t j = 1; j < c; ++j) {
+        if (row[j] > row[argmax]) argmax = j;
+      }
+      if (argmax == label) local.correct += 1;
+
+      if (grad != nullptr) {
+        float* grow = grad->row(i);
+        const auto inv = static_cast<float>(1.0 / (denom * norm));
+        for (std::int64_t j = 0; j < c; ++j) {
+          grow[j] = probs[static_cast<std::size_t>(j)] * inv;
+        }
+        grow[label] -= static_cast<float>(1.0 / norm);
+      }
     }
+    partials[static_cast<std::size_t>(chunk)] = local;
+  });
+  for (const auto& p : partials) {
+    res.loss_sum += p.loss_sum;
+    res.count += p.count;
+    res.correct += p.correct;
   }
   return res;
 }

@@ -1,17 +1,27 @@
 #include "sim/cluster.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <thread>
 #include <vector>
 
 #include "util/logging.hpp"
+#include "util/thread_pool.hpp"
 
 namespace plexus::sim {
 
+int resolve_intra_rank_threads(int requested, int num_ranks) {
+  if (requested > 0) return requested;
+  const int env = util::env_thread_override();
+  const int total = env > 0 ? env : util::hardware_threads();
+  return std::max(1, total / std::max(1, num_ranks));
+}
+
 void run_cluster(comm::World& world, const Machine& machine, const RankFn& fn,
-                 bool enable_clock) {
+                 bool enable_clock, int intra_rank_threads) {
   const int size = world.size();
+  const int threads_per_rank = resolve_intra_rank_threads(intra_rank_threads, size);
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(size));
   std::atomic<bool> failed{false};
@@ -20,6 +30,9 @@ void run_cluster(comm::World& world, const Machine& machine, const RankFn& fn,
 
   for (int r = 0; r < size; ++r) {
     threads.emplace_back([&, r] {
+      // Each rank gets an equal slice of the host's compute threads; its
+      // kernel pool lives and dies with this thread.
+      util::set_intra_rank_threads(threads_per_rank);
       // Context is built inside the thread so the communicator's scratch
       // buffers are thread-local; the communicator references the context's
       // own clock so callers can inspect it after fn returns.

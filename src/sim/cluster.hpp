@@ -28,10 +28,19 @@ struct RankContext {
 
 using RankFn = std::function<void(RankContext&)>;
 
+/// Per-rank compute-thread budget for a cluster of `num_ranks` simulated
+/// ranks. `requested > 0` wins verbatim (callers may deliberately
+/// oversubscribe); otherwise the process budget — PLEXUS_THREADS when set,
+/// else the hardware concurrency — is divided across ranks so an 8-rank run
+/// does not oversubscribe the host. Always >= 1.
+int resolve_intra_rank_threads(int requested, int num_ranks);
+
 /// Run `fn` SPMD over all ranks of `world`. When `enable_clock` is false the
 /// context's clock pointer inside the communicator is null (functional-only).
+/// Each rank thread's kernel engine is set to
+/// resolve_intra_rank_threads(intra_rank_threads, world.size()) threads.
 /// Throws the first rank exception encountered.
 void run_cluster(comm::World& world, const Machine& machine, const RankFn& fn,
-                 bool enable_clock = true);
+                 bool enable_clock = true, int intra_rank_threads = 0);
 
 }  // namespace plexus::sim

@@ -6,6 +6,11 @@
 /// that the paper's computation model (section 4.1) reasons about. A row-range
 /// variant supports the blocked-aggregation optimisation (section 5.2), where
 /// the sparse shard is processed in row blocks with per-block all-reduce.
+///
+/// All entry points run on the calling thread's intra-rank engine
+/// (util/thread_pool.hpp): the row space is cut into nnz-balanced ranges, one
+/// per thread. Each output row is owned by exactly one range, so results are
+/// bitwise-identical to the serial kernel for any thread count.
 
 #include "dense/matrix.hpp"
 #include "sparse/csr.hpp"
@@ -18,6 +23,13 @@ void spmm(const Csr& a, const dense::Matrix& b, dense::Matrix& c);
 /// Row-range variant: computes rows [r0, r1) of A * B into rows [r0, r1) of C.
 void spmm_rows(const Csr& a, const dense::Matrix& b, dense::Matrix& c, std::int64_t r0,
                std::int64_t r1);
+
+/// Single-threaded reference worker shared by all entry points: rows [r0, r1)
+/// of A * B into C, zero-filling each output row first, or accumulating into
+/// it when `accumulate` is set. Kept public as the baseline the threaded
+/// paths are tested (and benchmarked) against.
+void spmm_rows_serial(const Csr& a, const dense::Matrix& b, dense::Matrix& c, std::int64_t r0,
+                      std::int64_t r1, bool accumulate = false);
 
 /// Convenience allocation wrapper.
 dense::Matrix spmm(const Csr& a, const dense::Matrix& b);

@@ -1,0 +1,74 @@
+// Determinism guarantees of the threaded kernel engine at the training level:
+// the same seed and grid must give bitwise-identical train_plexus losses
+// across repeated runs AND across intra-rank thread budgets. Every kernel's
+// output rows are owned by exactly one chunk and the loss reduction uses a
+// thread-count-independent chunk grid, so no tolerance is needed anywhere.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/trainer.hpp"
+#include "graph/datasets.hpp"
+#include "sim/machine.hpp"
+
+namespace pc = plexus::core;
+namespace pg = plexus::graph;
+namespace psim = plexus::sim;
+
+namespace {
+
+// Sized so the per-rank SpMM/GEMM shards and the 512-row loss slice exceed
+// the kernels' small-work cutoffs — the threaded paths must actually run for
+// the cross-budget comparison to mean anything.
+pc::TrainOptions small_options() {
+  pc::TrainOptions opt;
+  opt.grid = {2, 1, 1};
+  opt.machine = &psim::Machine::test_machine();
+  opt.model.hidden_dims = {16};
+  opt.epochs = 3;
+  return opt;
+}
+
+std::vector<double> losses_with_threads(const pg::Graph& g, int intra_rank_threads) {
+  pc::TrainOptions opt = small_options();
+  opt.intra_rank_threads = intra_rank_threads;
+  return pc::train_plexus(g, opt).losses();
+}
+
+}  // namespace
+
+TEST(Determinism, RepeatedRunsAreBitwiseIdentical) {
+  const pg::Graph g = pg::make_test_graph(1024, 8.0, 32, 4, /*seed=*/3);
+  const auto a = losses_with_threads(g, 2);
+  const auto b = losses_with_threads(g, 2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t e = 0; e < a.size(); ++e) {
+    EXPECT_EQ(a[e], b[e]) << "epoch " << e;  // bitwise, no tolerance
+  }
+}
+
+TEST(Determinism, LossesIdenticalAcrossThreadBudgets) {
+  const pg::Graph g = pg::make_test_graph(1024, 8.0, 32, 4, /*seed=*/3);
+  const auto serial = losses_with_threads(g, 1);
+  ASSERT_EQ(serial.size(), 3u);
+  EXPECT_TRUE(serial.front() > 0.0);
+  for (const int threads : {2, 4}) {
+    const auto threaded = losses_with_threads(g, threads);
+    ASSERT_EQ(threaded.size(), serial.size());
+    for (std::size_t e = 0; e < serial.size(); ++e) {
+      EXPECT_EQ(threaded[e], serial[e]) << "threads=" << threads << " epoch " << e;
+    }
+  }
+}
+
+TEST(Determinism, AutoBudgetMatchesExplicitBudgets) {
+  // intra_rank_threads = 0 resolves from the environment/hardware; whatever
+  // it picks must not change the math.
+  const pg::Graph g = pg::make_test_graph(72, 5.0, 12, 3, /*seed=*/9);
+  const auto fixed = losses_with_threads(g, 1);
+  const auto autod = losses_with_threads(g, 0);
+  ASSERT_EQ(autod.size(), fixed.size());
+  for (std::size_t e = 0; e < fixed.size(); ++e) {
+    EXPECT_EQ(autod[e], fixed[e]) << "epoch " << e;
+  }
+}

@@ -13,6 +13,7 @@
 #include "sparse/csr.hpp"
 #include "sparse/spmm.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ps = plexus::sparse;
 namespace pd = plexus::dense;
@@ -138,4 +139,60 @@ TEST(SpmmProperties, AccumulateIsAdditive) {
 TEST(SpmmProperties, FlopCount) {
   const ps::Csr a = random_csr(20, 20, 55, 5);
   EXPECT_EQ(ps::spmm_flops(a, 16), 2 * a.nnz() * 16);
+}
+
+TEST(SpmmProperties, ThreadedMatchesSerialWorkerBitwise) {
+  // The nnz-balanced parallel path must reproduce the single-threaded
+  // reference worker exactly, for any thread budget: every output row is
+  // computed by one chunk with the serial per-row summation order. Sized
+  // above the small-work cutoff so the pool path actually runs.
+  const ps::Csr a = random_csr(600, 300, 9000, 21);
+  const pd::Matrix b = random_dense(300, 16, 22);
+  pd::Matrix serial(a.rows(), b.cols());
+  ps::spmm_rows_serial(a, b, serial, 0, a.rows());
+
+  for (const int threads : {2, 4, 8}) {
+    pu::ScopedIntraRankThreads scope(threads);
+    const pd::Matrix c = ps::spmm(a, b);
+    EXPECT_EQ(pd::Matrix::max_abs_diff(c, serial), 0.0f) << "threads=" << threads;
+  }
+}
+
+TEST(SpmmProperties, ThreadedAccumulateMatchesSerialWorkerBitwise) {
+  const ps::Csr a = random_csr(500, 200, 8000, 23);
+  const pd::Matrix b = random_dense(200, 16, 24);
+  const pd::Matrix c0 = random_dense(500, 16, 25);
+
+  pd::Matrix serial = c0;
+  ps::spmm_rows_serial(a, b, serial, 0, a.rows(), /*accumulate=*/true);
+
+  for (const int threads : {2, 4, 8}) {
+    pu::ScopedIntraRankThreads scope(threads);
+    pd::Matrix c = c0;
+    ps::spmm_accumulate(a, b, c);
+    EXPECT_EQ(pd::Matrix::max_abs_diff(c, serial), 0.0f) << "threads=" << threads;
+  }
+}
+
+TEST(SpmmProperties, SerialWorkerZeroFillVsAccumulateFlag) {
+  // The shared row-range worker: accumulate=false must zero-fill (ignore
+  // prior C contents); accumulate=true must add on top of them.
+  const ps::Csr a = random_csr(40, 30, 200, 26);
+  const pd::Matrix b = random_dense(30, 6, 27);
+  const pd::Matrix prior = random_dense(40, 6, 28);
+
+  pd::Matrix overwrite = prior;
+  ps::spmm_rows_serial(a, b, overwrite, 0, a.rows(), /*accumulate=*/false);
+  EXPECT_EQ(pd::Matrix::max_abs_diff(overwrite, ps::spmm(a, b)), 0.0f);
+
+  // accumulate=true folds the products into the prior value as it goes, so
+  // it matches prior + overwrite only up to float re-association.
+  pd::Matrix accum = prior;
+  ps::spmm_rows_serial(a, b, accum, 0, a.rows(), /*accumulate=*/true);
+  for (std::int64_t i = 0; i < accum.size(); ++i) {
+    EXPECT_NEAR(accum.flat()[static_cast<std::size_t>(i)],
+                prior.flat()[static_cast<std::size_t>(i)] +
+                    overwrite.flat()[static_cast<std::size_t>(i)],
+                1e-5f);
+  }
 }
