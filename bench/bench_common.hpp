@@ -6,12 +6,26 @@
 /// reproduction, so EXPERIMENTS.md can be cross-checked against the output.
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "graph/datasets.hpp"
 #include "util/table.hpp"
 
 namespace plexus::bench {
+
+/// PLEXUS_BENCH_RMAT_SCALE (log2 nodes of the sweep graphs), or
+/// `default_scale` when unset or outside [4, 26]. One parser for every bench
+/// so the env var means the same thing everywhere; benches pick their own
+/// default (micro_kernels 18, micro_collectives 14).
+inline int rmat_scale(int default_scale) {
+  const char* s = std::getenv("PLEXUS_BENCH_RMAT_SCALE");
+  if (s != nullptr && *s != '\0') {
+    const int v = std::atoi(s);
+    if (v >= 4 && v <= 26) return v;
+  }
+  return default_scale;
+}
 
 inline void banner(const std::string& title, const std::string& paper_ref) {
   std::printf("\n==============================================================\n");
@@ -32,6 +46,10 @@ inline graph::Graph bench_proxy(const std::string& dataset, std::int64_t target_
 
 inline std::string ms(double seconds, int digits = 1) {
   return util::Table::fmt(seconds * 1e3, digits);
+}
+
+inline std::string pct(double fraction, int digits = 1) {
+  return util::Table::fmt(fraction * 100.0, digits) + "%";
 }
 
 }  // namespace plexus::bench

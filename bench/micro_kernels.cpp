@@ -17,6 +17,7 @@
 #include <cstdlib>
 #include <limits>
 
+#include "bench_common.hpp"
 #include "dense/gemm.hpp"
 #include "graph/generators.hpp"
 #include "sparse/csr.hpp"
@@ -69,14 +70,7 @@ void BM_GemmModes(benchmark::State& state) {
 }
 BENCHMARK(BM_GemmModes)->Args({256, 0})->Args({256, 1});
 
-int bench_rmat_scale() {
-  const char* s = std::getenv("PLEXUS_BENCH_RMAT_SCALE");
-  if (s != nullptr && *s != '\0') {
-    const int v = std::atoi(s);
-    if (v >= 4 && v <= 26) return v;
-  }
-  return 18;
-}
+int bench_rmat_scale() { return plexus::bench::rmat_scale(/*default_scale=*/18); }
 
 /// The thread-sweep workload: an RMAT power-law graph (hub rows stress the
 /// nnz-balanced partition) with a 64-wide dense operand. Built once.

@@ -39,7 +39,7 @@ int main() {
   for (std::size_t e = 0; e < result.epochs.size(); ++e) {
     const auto& s = result.epochs[e];
     std::printf("%5zu  %6.4f   %6.3f      %8.3f    %8.3f\n", e + 1, s.loss, s.train_accuracy,
-                s.epoch_seconds * 1e3, s.exposed_comm_seconds() * 1e3);
+                s.epoch_seconds * 1e3, s.wait_seconds() * 1e3);
   }
   std::printf("\nvalidation accuracy: %.3f\n", result.val_accuracy);
   std::printf("avg epoch (last 13): %.3f ms simulated on %s\n",

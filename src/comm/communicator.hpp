@@ -4,28 +4,62 @@
 ///
 /// Every simulated GPU thread owns one `Communicator`. Collectives move real
 /// data between ranks (so the distributed algebra is exact) and synchronise
-/// the ranks' simulated clocks to `max(member clocks) + T_collective`, where
-/// T_collective comes from the ring cost model (comm/cost.hpp) with the
-/// group's effective link parameters.
+/// the ranks' simulated clocks; the cost of a collective comes from the ring
+/// cost model (comm/cost.hpp) with the group's effective link parameters.
 ///
-/// Synchronisation protocol per collective (all members must call together):
-///   1. publish: write own buffer pointer + clock into the group's slots
+/// ## Nonblocking execution model
+///
+/// Every collective is one op executed by exactly one thread per rank — the
+/// rank's dedicated comm thread (comm/handle.hpp) by default, or the posting
+/// thread in inline mode. The `i*` entry points return a `CommHandle`; the
+/// blocking entry points are `i*` + immediate `wait()`. Per rank, ops run
+/// strictly in post order, so SPMD programs must post collectives on a group
+/// in the same order on every member (the MPI nonblocking-collective rule).
+///
+/// Synchronisation protocol per op (executed on the comm thread):
+///   1. publish: write own buffer pointer + *post-time* clock into the
+///      group's slots; snapshot the group's link-busy horizon
 ///   2. barrier
-///   3. read phase: read *other members'* published buffers; private writes ok
+///   3. read phase: read *other members'* published buffers; private writes
+///      ok; derive the op's sim completion instant (below)
 ///   4. barrier
 ///   5. write phase: writes to own published buffer (if in-place op)
-/// The trailing writes are ordered before any subsequent collective's reads by
-/// that collective's first barrier (std::barrier has acquire/release
-/// semantics), so back-to-back collectives are race-free.
+/// The trailing writes are ordered before any subsequent op's reads by that
+/// op's first barrier (std::barrier has acquire/release semantics), so
+/// back-to-back collectives are race-free.
+///
+/// ## Exposed vs hidden time
+///
+/// An op posted when the rank's clock reads `t_post` completes at
+///
+///   done = max(link_busy_horizon, max over members of their post clocks)
+///          + T_collective
+///
+/// where the link-busy horizon serialises overlapping collectives on the same
+/// group's ring (two in-flight all-reduces share the links; the second starts
+/// when the first finishes). Nothing is charged until `wait()`: if the caller
+/// waits at clock `t_wait`, only the *exposed* tail `max(0, done - t_wait)`
+/// advances the clock and lands in `CommStats::Entry::sim_seconds`; the part
+/// of the transfer itself that the caller covered, `max(0, T_collective -
+/// exposed)`, is recorded as `hidden_seconds` (queueing behind an earlier
+/// collective is neither — it is ordinary schedule slack). Everything is
+/// derived from post-time clock
+/// values and the deterministic cost model, so sim results are independent of
+/// real scheduling. This retires the old hand-fed `overlap_credit`: overlap
+/// is now measured from the handle's actual completion ordering against the
+/// simulated clock.
 
 #include <algorithm>
 #include <array>
 #include <cstring>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "comm/clock.hpp"
 #include "comm/cost.hpp"
+#include "comm/handle.hpp"
+#include "comm/timeline.hpp"
 #include "comm/world.hpp"
 #include "util/error.hpp"
 
@@ -36,7 +70,8 @@ struct CommStats {
   struct Entry {
     std::int64_t calls = 0;
     std::int64_t bytes = 0;
-    double sim_seconds = 0.0;
+    double sim_seconds = 0.0;     ///< exposed time charged onto the rank clock
+    double hidden_seconds = 0.0;  ///< transfer time overlapped by compute
   };
   std::array<Entry, 7> by_op{};
 
@@ -48,6 +83,11 @@ struct CommStats {
     for (const auto& e : by_op) t += e.sim_seconds;
     return t;
   }
+  double total_hidden_seconds() const {
+    double t = 0.0;
+    for (const auto& e : by_op) t += e.hidden_seconds;
+    return t;
+  }
   std::int64_t total_bytes() const {
     std::int64_t b = 0;
     for (const auto& e : by_op) b += e.bytes;
@@ -56,12 +96,63 @@ struct CommStats {
   void reset() { by_op = {}; }
 };
 
+namespace detail {
+
+/// Publish this member's buffer + post-time clock; returns the link-busy
+/// horizon snapshot. Safe before the first barrier: the previous op's
+/// horizon write happened in its read phase, sealed by its second barrier.
+inline double publish(GroupShared& g, int pos, const void* ptr, double posted_clock) {
+  PLEXUS_CHECK(g.clock_slots.size() >= 2 * static_cast<std::size_t>(g.size()),
+               "group clock_slots under-sized");
+  const double floor = g.link_busy_until;
+  g.slots[static_cast<std::size_t>(pos)] = ptr;
+  g.clock_slots[static_cast<std::size_t>(pos)] = posted_clock;
+  return floor;
+}
+
+/// Scalar-exchange slot for member `pos`: the second half of clock_slots
+/// (World::create_group sizes it to 2 * members).
+inline double& aux_value(GroupShared& g, int pos) {
+  return g.clock_slots[static_cast<std::size_t>(g.size() + pos)];
+}
+
+/// Derive the op's completion instant from the members' post clocks, the
+/// link-busy snapshot and the cost model. Must run in the read phase (between
+/// the barriers); every member computes the same value, member 0 records it
+/// as the group's new link-busy horizon.
+inline void finish_read_phase(GroupShared& g, int pos, double busy_floor, CommOp& op) {
+  double start = busy_floor;
+  for (int m = 0; m < g.size(); ++m) {
+    start = std::max(start, g.clock_slots[static_cast<std::size_t>(m)]);
+  }
+  op.full_seconds =
+      collective_time(op.op, op.bytes, g.size(), g.link, g.a2a_distance_penalty);
+  op.done_clock = start + op.full_seconds;
+  if (pos == 0) g.link_busy_until = op.done_clock;
+}
+
+}  // namespace detail
+
 class Communicator {
  public:
   /// `clock` may be null (functional-only mode, no time simulation).
   Communicator(World& world, int rank, SimClock* clock = nullptr)
-      : world_(&world), rank_(rank), clock_(clock) {
+      : world_(&world), rank_(rank), clock_(clock),
+        async_enabled_(comm_thread_budget() > 0) {
     PLEXUS_CHECK(rank >= 0 && rank < world.size(), "rank out of range");
+  }
+
+  /// Immovable: outstanding CommHandles point back at this object, so a move
+  /// would silently strand their accounting. Attach a clock with set_clock()
+  /// instead of rebuilding.
+  Communicator(Communicator&&) = delete;
+  Communicator& operator=(Communicator&&) = delete;
+
+  /// Attach the simulated clock. Must be called before the first op
+  /// (accounting starts from a clean slate).
+  void set_clock(SimClock* clock) {
+    PLEXUS_CHECK(!posted_any_, "set_clock: must precede the first collective");
+    clock_ = clock;
   }
 
   int rank() const { return rank_; }
@@ -70,84 +161,151 @@ class Communicator {
   SimClock* clock() { return clock_; }
   CommStats& stats() { return stats_; }
   const CommStats& stats() const { return stats_; }
+  Timeline& timeline() { return timeline_; }
+  const Timeline& timeline() const { return timeline_; }
 
   /// Advance this rank's clock by modelled local-kernel time.
   void charge_compute(double seconds) {
-    if (clock_ != nullptr) clock_->advance(seconds);
+    if (seconds <= 0.0 || clock_ == nullptr) return;
+    const double t0 = clock_->time();
+    clock_->advance(seconds);
+    compute_charged_total_ += seconds;
+    timeline_.record(TimelineSpan::Kind::Compute, Collective::Barrier, t0, t0 + seconds);
   }
 
-  void barrier(GroupId gid) {
+  // ---------------------------------------------------------------------
+  // Nonblocking collectives. Buffers must stay valid (and the written parts
+  // untouched by the caller) until the handle is waited or dropped.
+  // ---------------------------------------------------------------------
+
+  /// Elementwise sum across the group, in place over `inout`.
+  template <typename T>
+  CommHandle iall_reduce_sum(GroupId gid, std::span<T> inout) {
     auto& g = world_->group(gid);
     const int pos = g.position_of(rank_);
-    publish(g, pos, nullptr);
-    g.barrier->arrive_and_wait();
-    const double t = finish(g, Collective::Barrier, 0);
-    g.barrier->arrive_and_wait();
-    (void)t;
+    T* data = inout.data();
+    const std::size_t n = inout.size();
+    // All of a rank's ops run on one thread (comm thread or inline poster),
+    // so the reused scratch buffer is race-free; the shared_ptr capture keeps
+    // it alive while queued ops drain during Communicator teardown.
+    return post_op(Collective::AllReduce, static_cast<std::int64_t>(n * sizeof(T)),
+                   [&g, pos, data, n, scratch = scratch_](detail::CommOp& op) {
+                     const double floor = detail::publish(g, pos, data, op.posted_clock);
+                     g.barrier->arrive_and_wait();
+                     if (n > 0) {
+                       scratch->resize(n * sizeof(T));
+                       T* tmp = reinterpret_cast<T*>(scratch->data());
+                       std::memcpy(tmp, g.slots[0], n * sizeof(T));
+                       for (int m = 1; m < g.size(); ++m) {
+                         const T* src =
+                             static_cast<const T*>(g.slots[static_cast<std::size_t>(m)]);
+                         for (std::size_t i = 0; i < n; ++i) tmp[i] += src[i];
+                       }
+                     }
+                     detail::finish_read_phase(g, pos, floor, op);
+                     g.barrier->arrive_and_wait();
+                     if (n > 0) std::memcpy(data, scratch->data(), n * sizeof(T));
+                   });
   }
 
-  /// out[i * chunk .. ] = member i's `in`. `in.size()` must be equal across the
+  /// out[i * chunk ..] = member i's `in`. `in.size()` must be equal across the
   /// group; `out.size() == in.size() * group size`.
   template <typename T>
-  void all_gather(GroupId gid, std::span<const T> in, std::span<T> out) {
+  CommHandle iall_gather(GroupId gid, std::span<const T> in, std::span<T> out) {
     auto& g = world_->group(gid);
     const int pos = g.position_of(rank_);
     PLEXUS_CHECK(out.size() == in.size() * static_cast<std::size_t>(g.size()),
                  "all_gather: bad output size");
-    publish(g, pos, in.data());
-    g.barrier->arrive_and_wait();
-    for (int m = 0; m < g.size(); ++m) {
-      const T* src = static_cast<const T*>(g.slots[static_cast<std::size_t>(m)]);
-      std::memcpy(out.data() + static_cast<std::size_t>(m) * in.size(), src,
-                  in.size() * sizeof(T));
-    }
-    finish(g, Collective::AllGather, static_cast<std::int64_t>(out.size() * sizeof(T)));
-    g.barrier->arrive_and_wait();
-  }
-
-  /// Elementwise sum across the group, in place. `overlap_credit` (seconds)
-  /// models communication/computation overlap: when the caller has issued this
-  /// collective asynchronously behind `overlap_credit` seconds of independent
-  /// compute (the blocked-aggregation pipeline of paper section 5.2), only the
-  /// *exposed* time max(0, T - credit) is charged to the clocks.
-  template <typename T>
-  void all_reduce_sum(GroupId gid, std::span<T> inout, double overlap_credit = 0.0) {
-    auto& g = world_->group(gid);
-    const int pos = g.position_of(rank_);
-    publish(g, pos, inout.data());
-    g.barrier->arrive_and_wait();
-    scratch_.resize(inout.size() * sizeof(T));
-    T* tmp = reinterpret_cast<T*>(scratch_.data());
-    std::memcpy(tmp, g.slots[0], inout.size() * sizeof(T));
-    for (int m = 1; m < g.size(); ++m) {
-      const T* src = static_cast<const T*>(g.slots[static_cast<std::size_t>(m)]);
-      for (std::size_t i = 0; i < inout.size(); ++i) tmp[i] += src[i];
-    }
-    finish(g, Collective::AllReduce, static_cast<std::int64_t>(inout.size() * sizeof(T)),
-           overlap_credit);
-    g.barrier->arrive_and_wait();
-    std::memcpy(inout.data(), tmp, inout.size() * sizeof(T));
+    const T* src_data = in.data();
+    T* dst = out.data();
+    const std::size_t n = in.size();
+    return post_op(Collective::AllGather, static_cast<std::int64_t>(out.size() * sizeof(T)),
+                   [&g, pos, src_data, dst, n](detail::CommOp& op) {
+                     const double floor = detail::publish(g, pos, src_data, op.posted_clock);
+                     g.barrier->arrive_and_wait();
+                     if (n > 0) {
+                       for (int m = 0; m < g.size(); ++m) {
+                         const T* src =
+                             static_cast<const T*>(g.slots[static_cast<std::size_t>(m)]);
+                         std::memcpy(dst + static_cast<std::size_t>(m) * n, src, n * sizeof(T));
+                       }
+                     }
+                     detail::finish_read_phase(g, pos, floor, op);
+                     g.barrier->arrive_and_wait();
+                   });
   }
 
   /// Sum across the group, scattering chunk `pos` to member `pos`.
   /// `in.size() == out.size() * group size`; `out` must not alias `in`.
   template <typename T>
-  void reduce_scatter_sum(GroupId gid, std::span<const T> in, std::span<T> out) {
+  CommHandle ireduce_scatter_sum(GroupId gid, std::span<const T> in, std::span<T> out) {
     auto& g = world_->group(gid);
     const int pos = g.position_of(rank_);
     PLEXUS_CHECK(in.size() == out.size() * static_cast<std::size_t>(g.size()),
                  "reduce_scatter: bad sizes");
-    publish(g, pos, in.data());
-    g.barrier->arrive_and_wait();
-    const std::size_t off = static_cast<std::size_t>(pos) * out.size();
-    const T* first = static_cast<const T*>(g.slots[0]);
-    std::memcpy(out.data(), first + off, out.size() * sizeof(T));
-    for (int m = 1; m < g.size(); ++m) {
-      const T* src = static_cast<const T*>(g.slots[static_cast<std::size_t>(m)]) + off;
-      for (std::size_t i = 0; i < out.size(); ++i) out[i] += src[i];
-    }
-    finish(g, Collective::ReduceScatter, static_cast<std::int64_t>(in.size() * sizeof(T)));
-    g.barrier->arrive_and_wait();
+    const T* src_data = in.data();
+    T* dst = out.data();
+    const std::size_t n = out.size();
+    return post_op(Collective::ReduceScatter, static_cast<std::int64_t>(in.size() * sizeof(T)),
+                   [&g, pos, src_data, dst, n](detail::CommOp& op) {
+                     const double floor = detail::publish(g, pos, src_data, op.posted_clock);
+                     g.barrier->arrive_and_wait();
+                     const std::size_t off = static_cast<std::size_t>(pos) * n;
+                     if (n > 0) {
+                       const T* first = static_cast<const T*>(g.slots[0]);
+                       std::memcpy(dst, first + off, n * sizeof(T));
+                       for (int m = 1; m < g.size(); ++m) {
+                         const T* src =
+                             static_cast<const T*>(g.slots[static_cast<std::size_t>(m)]) + off;
+                         for (std::size_t i = 0; i < n; ++i) dst[i] += src[i];
+                       }
+                     }
+                     detail::finish_read_phase(g, pos, floor, op);
+                     g.barrier->arrive_and_wait();
+                   });
+  }
+
+  /// Run `fn` on the comm thread, ordered with the rank's collectives. No sim
+  /// time or stats are charged; exceptions propagate at wait(). Useful for
+  /// asynchronous host-side staging and for testing comm-thread behaviour.
+  CommHandle icall(std::function<void()> fn) {
+    auto op = std::make_shared<detail::CommOp>();
+    op->accounted = false;
+    op->posted_clock = clock_ != nullptr ? clock_->time() : 0.0;
+    op->done_clock = op->posted_clock;
+    op->execute = [body = std::move(fn)](detail::CommOp&) { body(); };
+    dispatch(op);
+    return CommHandle(std::move(op), this);
+  }
+
+  // ---------------------------------------------------------------------
+  // Blocking collectives: post + immediate wait through the same path.
+  // ---------------------------------------------------------------------
+
+  void barrier(GroupId gid) {
+    auto& g = world_->group(gid);
+    const int pos = g.position_of(rank_);
+    post_op(Collective::Barrier, 0, [&g, pos](detail::CommOp& op) {
+      const double floor = detail::publish(g, pos, nullptr, op.posted_clock);
+      g.barrier->arrive_and_wait();
+      detail::finish_read_phase(g, pos, floor, op);
+      g.barrier->arrive_and_wait();
+    }).wait();
+  }
+
+  template <typename T>
+  void all_gather(GroupId gid, std::span<const T> in, std::span<T> out) {
+    iall_gather<T>(gid, in, out).wait();
+  }
+
+  template <typename T>
+  void all_reduce_sum(GroupId gid, std::span<T> inout) {
+    iall_reduce_sum<T>(gid, inout).wait();
+  }
+
+  template <typename T>
+  void reduce_scatter_sum(GroupId gid, std::span<const T> in, std::span<T> out) {
+    ireduce_scatter_sum<T>(gid, in, out).wait();
   }
 
   /// Copy root's buffer to every member (root given as group position).
@@ -155,14 +313,21 @@ class Communicator {
   void broadcast(GroupId gid, std::span<T> buf, int root_pos) {
     auto& g = world_->group(gid);
     const int pos = g.position_of(rank_);
-    publish(g, pos, buf.data());
-    g.barrier->arrive_and_wait();
-    if (pos != root_pos) {
-      const T* src = static_cast<const T*>(g.slots[static_cast<std::size_t>(root_pos)]);
-      std::memcpy(buf.data(), src, buf.size() * sizeof(T));
-    }
-    finish(g, Collective::Broadcast, static_cast<std::int64_t>(buf.size() * sizeof(T)));
-    g.barrier->arrive_and_wait();
+    T* data = buf.data();
+    const std::size_t n = buf.size();
+    post_op(Collective::Broadcast, static_cast<std::int64_t>(n * sizeof(T)),
+            [&g, pos, root_pos, data, n](detail::CommOp& op) {
+              const double floor = detail::publish(g, pos, data, op.posted_clock);
+              g.barrier->arrive_and_wait();
+              if (pos != root_pos && n > 0) {
+                const T* src =
+                    static_cast<const T*>(g.slots[static_cast<std::size_t>(root_pos)]);
+                std::memcpy(data, src, n * sizeof(T));
+              }
+              detail::finish_read_phase(g, pos, floor, op);
+              g.barrier->arrive_and_wait();
+            })
+        .wait();
   }
 
   /// Equal-chunk all-to-all: member m receives chunk `pos` of member m's `in`
@@ -174,15 +339,23 @@ class Communicator {
     PLEXUS_CHECK(in.size() == out.size(), "all_to_all: sizes must match");
     PLEXUS_CHECK(in.size() % static_cast<std::size_t>(g.size()) == 0, "all_to_all: chunking");
     const std::size_t chunk = in.size() / static_cast<std::size_t>(g.size());
-    publish(g, pos, in.data());
-    g.barrier->arrive_and_wait();
-    for (int m = 0; m < g.size(); ++m) {
-      const T* src =
-          static_cast<const T*>(g.slots[static_cast<std::size_t>(m)]) + static_cast<std::size_t>(pos) * chunk;
-      std::memcpy(out.data() + static_cast<std::size_t>(m) * chunk, src, chunk * sizeof(T));
-    }
-    finish(g, Collective::AllToAll, static_cast<std::int64_t>(in.size() * sizeof(T)));
-    g.barrier->arrive_and_wait();
+    const T* src_data = in.data();
+    T* dst = out.data();
+    post_op(Collective::AllToAll, static_cast<std::int64_t>(in.size() * sizeof(T)),
+            [&g, pos, src_data, dst, chunk](detail::CommOp& op) {
+              const double floor = detail::publish(g, pos, src_data, op.posted_clock);
+              g.barrier->arrive_and_wait();
+              if (chunk > 0) {
+                for (int m = 0; m < g.size(); ++m) {
+                  const T* src = static_cast<const T*>(g.slots[static_cast<std::size_t>(m)]) +
+                                 static_cast<std::size_t>(pos) * chunk;
+                  std::memcpy(dst + static_cast<std::size_t>(m) * chunk, src, chunk * sizeof(T));
+                }
+              }
+              detail::finish_read_phase(g, pos, floor, op);
+              g.barrier->arrive_and_wait();
+            })
+        .wait();
   }
 
   /// Variable all-to-all: `send[m]` goes to member m; `recv[m]` receives from
@@ -197,94 +370,144 @@ class Communicator {
     recv.assign(static_cast<std::size_t>(g.size()), {});
     std::int64_t my_bytes = 0;
     for (const auto& s : send) my_bytes += static_cast<std::int64_t>(s.size() * sizeof(T));
-    aux_value(g, pos) = static_cast<double>(my_bytes);
-    publish(g, pos, &send);
-    g.barrier->arrive_and_wait();
-    double max_bytes = 0.0;
-    for (int m = 0; m < g.size(); ++m) {
-      const auto* their_send =
-          static_cast<const std::vector<std::vector<T>>*>(g.slots[static_cast<std::size_t>(m)]);
-      recv[static_cast<std::size_t>(m)] = (*their_send)[static_cast<std::size_t>(pos)];
-      max_bytes = std::max(max_bytes, aux_value(g, m));
-    }
-    finish(g, Collective::AllToAll, static_cast<std::int64_t>(max_bytes));
-    g.barrier->arrive_and_wait();
+    const auto* send_ptr = &send;
+    auto* recv_ptr = &recv;
+    post_op(Collective::AllToAll, /*bytes=*/0,
+            [&g, pos, send_ptr, recv_ptr, my_bytes](detail::CommOp& op) {
+              detail::aux_value(g, pos) = static_cast<double>(my_bytes);
+              const double floor = detail::publish(g, pos, send_ptr, op.posted_clock);
+              g.barrier->arrive_and_wait();
+              double max_bytes = 0.0;
+              for (int m = 0; m < g.size(); ++m) {
+                const auto* their_send = static_cast<const std::vector<std::vector<T>>*>(
+                    g.slots[static_cast<std::size_t>(m)]);
+                (*recv_ptr)[static_cast<std::size_t>(m)] =
+                    (*their_send)[static_cast<std::size_t>(pos)];
+                max_bytes = std::max(max_bytes, detail::aux_value(g, m));
+              }
+              op.bytes = static_cast<std::int64_t>(max_bytes);
+              detail::finish_read_phase(g, pos, floor, op);
+              g.barrier->arrive_and_wait();
+            })
+        .wait();
   }
 
   /// Max of a scalar across the group (costed as a latency-only reduction).
   double all_reduce_max_scalar(GroupId gid, double value) {
-    auto& g = world_->group(gid);
-    const int pos = g.position_of(rank_);
-    aux_value(g, pos) = value;
-    publish(g, pos, nullptr);
-    g.barrier->arrive_and_wait();
-    double mx = value;
-    for (int m = 0; m < g.size(); ++m) mx = std::max(mx, aux_value(g, m));
-    finish(g, Collective::AllReduce, 8);
-    g.barrier->arrive_and_wait();
-    return mx;
+    return scalar_reduce(gid, value, /*is_max=*/true);
   }
 
   /// Sum of a scalar across the group.
   double all_reduce_sum_scalar(GroupId gid, double value) {
-    auto& g = world_->group(gid);
-    const int pos = g.position_of(rank_);
-    aux_value(g, pos) = value;
-    publish(g, pos, nullptr);
-    g.barrier->arrive_and_wait();
-    double sum = 0.0;
-    for (int m = 0; m < g.size(); ++m) sum += aux_value(g, m);
-    finish(g, Collective::AllReduce, 8);
-    g.barrier->arrive_and_wait();
-    return sum;
+    return scalar_reduce(gid, value, /*is_max=*/false);
   }
 
  private:
-  /// Scalar-exchange slot for member `pos`: the second half of clock_slots
-  /// (World::create_group sizes it to 2 * members).
-  double& aux_value(GroupShared& g, int pos) {
-    return g.clock_slots[static_cast<std::size_t>(g.size() + pos)];
+  friend class CommHandle;
+
+  double scalar_reduce(GroupId gid, double value, bool is_max) {
+    auto& g = world_->group(gid);
+    const int pos = g.position_of(rank_);
+    return post_op(Collective::AllReduce, 8, [&g, pos, value, is_max](detail::CommOp& op) {
+             detail::aux_value(g, pos) = value;
+             const double floor = detail::publish(g, pos, nullptr, op.posted_clock);
+             g.barrier->arrive_and_wait();
+             double acc = is_max ? value : 0.0;
+             for (int m = 0; m < g.size(); ++m) {
+               const double v = detail::aux_value(g, m);
+               acc = is_max ? std::max(acc, v) : acc + v;
+             }
+             op.scalar = acc;
+             detail::finish_read_phase(g, pos, floor, op);
+             g.barrier->arrive_and_wait();
+           })
+        .wait();
   }
 
-  void publish(GroupShared& g, int pos, const void* ptr) {
-    ensure_aux_capacity(g);
-    g.slots[static_cast<std::size_t>(pos)] = ptr;
-    g.clock_slots[static_cast<std::size_t>(pos)] = clock_ != nullptr ? clock_->time() : 0.0;
+  /// The one accounting path every collective shares: build the op record,
+  /// hand it to the comm thread (or execute inline), return the handle.
+  CommHandle post_op(Collective kind, std::int64_t bytes,
+                     std::function<void(detail::CommOp&)> body) {
+    auto op = std::make_shared<detail::CommOp>();
+    op->op = kind;
+    op->bytes = bytes;
+    op->posted_clock = clock_ != nullptr ? clock_->time() : 0.0;
+    op->posted_compute_total = compute_charged_total_;
+    op->execute = std::move(body);
+    dispatch(op);
+    return CommHandle(std::move(op), this);
   }
 
-  void ensure_aux_capacity(GroupShared& g) {
-    // clock_slots doubles as clock publication (first `size` entries) and
-    // scalar exchange (next `size` entries). Grown once, single-threadedly, at
-    // first use: World::create_group sizes it to 2 * size already; this is a
-    // safety net for tests that build GroupShared manually.
-    PLEXUS_CHECK(g.clock_slots.size() >= 2 * static_cast<std::size_t>(g.size()),
-                 "group clock_slots under-sized");
-  }
-
-  /// Compute collective cost, record stats, and synchronise this rank's clock.
-  /// Must be called in the read phase (between the two barriers).
-  double finish(GroupShared& g, Collective op, std::int64_t bytes, double overlap_credit = 0.0) {
-    const double full = collective_time(op, bytes, g.size(), g.link, g.a2a_distance_penalty);
-    const double t = std::max(0.0, full - overlap_credit);
-    auto& e = stats_.entry(op);
-    e.calls += 1;
-    e.bytes += bytes;
-    e.sim_seconds += t;
-    if (clock_ != nullptr) {
-      double mx = 0.0;
-      for (int m = 0; m < g.size(); ++m) {
-        mx = std::max(mx, g.clock_slots[static_cast<std::size_t>(m)]);
-      }
-      clock_->set(mx + t);
+  void dispatch(const std::shared_ptr<detail::CommOp>& op) {
+    posted_any_ = true;
+    if (async_enabled_) {
+      if (!engine_) engine_ = std::make_unique<CommEngine>();
+      engine_->post(op);
+    } else {
+      CommEngine::run_inline(*op);
     }
-    return t;
+  }
+
+  /// Charge the finished op onto this rank's clock/stats (caller thread only).
+  /// Returns the scalar result.
+  double retire(detail::CommOp& op) {
+    if (op.error) {
+      std::exception_ptr e = op.error;
+      op.error = nullptr;
+      std::rethrow_exception(e);
+    }
+    if (!op.accounted) return op.scalar;
+    auto& e = stats_.entry(op.op);
+    e.calls += 1;
+    e.bytes += op.bytes;
+    if (clock_ == nullptr) {
+      // Functional-only mode: no overlap semantics; charge the cost-model
+      // time per op (done_clock carries the meaningless busy horizon here).
+      e.sim_seconds += op.full_seconds;
+      return op.scalar;
+    }
+    const double t_wait = clock_->time();
+    const double exposed = std::max(0.0, op.done_clock - t_wait);
+    // Hidden = the covered part of the transfer itself, capped by the compute
+    // this rank actually charged since posting. Exposed can exceed
+    // full_seconds (straggler + link-queue wait surfaces at a blocking
+    // wait()), and the clock can advance by waiting on *other* handles —
+    // neither queue delay nor wait-stall ever counts as hidden. The cap is an
+    // approximation for out-of-order waits: compute charged between another
+    // handle's wait and this one is credited even if it ran after this op's
+    // sim completion (exact attribution would need stall-interval tracking;
+    // FIFO waits — every schedule in core/ — are exact).
+    const double hidden = std::min(std::max(0.0, op.full_seconds - exposed),
+                                   compute_charged_total_ - op.posted_compute_total);
+    e.sim_seconds += exposed;
+    e.hidden_seconds += hidden;
+    if (op.done_clock > clock_->time()) clock_->set(op.done_clock);
+    timeline_.record(TimelineSpan::Kind::CommInFlight, op.op, op.posted_clock, op.done_clock);
+    timeline_.record(TimelineSpan::Kind::CommExposed, op.op, t_wait, op.done_clock);
+    return op.scalar;
   }
 
   World* world_;
   int rank_;
   SimClock* clock_;
   CommStats stats_;
-  std::vector<unsigned char> scratch_;
+  Timeline timeline_;
+  double compute_charged_total_ = 0.0;  ///< lifetime sum of charge_compute()
+  bool async_enabled_;
+  bool posted_any_ = false;  ///< any op dispatched (guards set_clock)
+  std::unique_ptr<CommEngine> engine_;
+  /// All-reduce accumulation scratch, reused across ops (only the executing
+  /// thread touches it; see iall_reduce_sum).
+  std::shared_ptr<std::vector<unsigned char>> scratch_ =
+      std::make_shared<std::vector<unsigned char>>();
 };
+
+inline double CommHandle::wait() {
+  PLEXUS_CHECK(op_ != nullptr, "wait() on an empty CommHandle");
+  op_->wait_finished();
+  if (op_->retired) return op_->scalar;  // second wait: cached result, no charge
+  op_->retired = true;
+  return owner_->retire(*op_);
+}
 
 }  // namespace plexus::comm

@@ -1,0 +1,84 @@
+#include "comm/handle.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+#include "util/thread_pool.hpp"
+
+namespace plexus::comm {
+
+CommEngine::CommEngine() : worker_([this] { loop(); }) {}
+
+CommEngine::~CommEngine() {
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+}
+
+void CommEngine::post(std::shared_ptr<detail::CommOp> op) {
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    queue_.push_back(std::move(op));
+  }
+  cv_.notify_one();
+}
+
+void CommEngine::run_inline(detail::CommOp& op) {
+  try {
+    op.execute(op);
+  } catch (...) {
+    op.error = std::current_exception();
+  }
+  op.execute = nullptr;  // drop captured buffers/closure state promptly
+  op.mark_finished();
+}
+
+void CommEngine::loop() {
+  // The comm thread moves bytes; it must never recursively build a kernel
+  // pool, so it keeps the serial budget for its whole lifetime.
+  util::set_intra_rank_threads(1);
+  for (;;) {
+    std::shared_ptr<detail::CommOp> op;
+    {
+      std::unique_lock<std::mutex> lock(m_);
+      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and fully drained
+      op = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    run_inline(*op);
+  }
+}
+
+namespace {
+
+/// -1 = "use the environment", >= 0 = explicit override.
+std::atomic<int> g_comm_threads{-1};
+
+int env_comm_threads() {
+  const char* s = std::getenv("PLEXUS_COMM_THREADS");
+  if (s == nullptr || *s == '\0') return 1;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == nullptr || *end != '\0' || v < 0) return 1;  // malformed: default
+  return static_cast<int>(std::min(v, 8L));  // clamp like set_comm_thread_budget
+}
+
+}  // namespace
+
+int comm_thread_budget() {
+  const int v = g_comm_threads.load(std::memory_order_relaxed);
+  return v >= 0 ? v : env_comm_threads();
+}
+
+int comm_thread_override() { return g_comm_threads.load(std::memory_order_relaxed); }
+
+void set_comm_thread_budget(int n) {
+  g_comm_threads.store(n < 0 ? -1 : std::min(n, 8), std::memory_order_relaxed);
+}
+
+}  // namespace plexus::comm

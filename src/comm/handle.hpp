@@ -1,0 +1,199 @@
+#pragma once
+/// \file handle.hpp
+/// Nonblocking-collective plumbing: the shared op record, the `CommHandle`
+/// a caller polls/waits on, and the per-rank `CommEngine` comm thread.
+///
+/// Every collective — blocking or not — is represented by one `detail::CommOp`
+/// and executed by exactly one thread per rank: the rank's dedicated comm
+/// thread when `comm_thread_budget() > 0` (the default), or the posting thread
+/// itself in inline mode (`PLEXUS_COMM_THREADS=0`). Because each rank's ops
+/// run strictly in post order, the per-group barrier protocol of
+/// communicator.hpp stays matched across ranks exactly as in the blocking-only
+/// design — SPMD programs must post collectives on a group in the same order
+/// on every member, the same rule MPI imposes on nonblocking collectives.
+///
+/// Sim-time semantics (see communicator.hpp for the full contract): an op
+/// records the poster's clock at post time and, during execution, derives its
+/// completion instant `done_clock` from all members' post clocks, the group's
+/// link-busy horizon and the ring cost model. The *caller* charges clocks and
+/// stats at `wait()`; the comm thread never touches the rank clock.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "comm/cost.hpp"
+
+namespace plexus::comm {
+
+class Communicator;
+
+namespace detail {
+
+/// Shared state of one in-flight collective. The execute closure runs the full
+/// barrier protocol (publish / read phase / trailing writes) on the executing
+/// thread; completion fields are visible to the poster only after `finished`
+/// is observed through the mutex.
+struct CommOp {
+  std::function<void(CommOp&)> execute;
+
+  Collective op = Collective::Barrier;
+  std::int64_t bytes = 0;
+  bool accounted = true;       ///< false for user ops (icall): no stats/clock
+  double posted_clock = 0.0;   ///< poster's sim clock at post time
+  double posted_compute_total = 0.0;  ///< poster's cumulative compute at post
+
+  // Filled by execute (read phase):
+  double full_seconds = 0.0;   ///< cost-model duration of the collective
+  double done_clock = 0.0;     ///< sim instant the collective completes
+  double scalar = 0.0;         ///< result of scalar reductions
+  std::exception_ptr error;    ///< first exception thrown by execute
+
+  // Completion handshake + retire-once bookkeeping (retired is poster-only).
+  std::mutex m;
+  std::condition_variable cv;
+  bool finished = false;
+  bool retired = false;
+
+  void mark_finished() {
+    {
+      std::lock_guard<std::mutex> lock(m);
+      finished = true;
+    }
+    cv.notify_all();
+  }
+  void wait_finished() {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return finished; });
+  }
+  bool poll_finished() {
+    std::lock_guard<std::mutex> lock(m);
+    return finished;
+  }
+};
+
+}  // namespace detail
+
+/// Handle to an in-flight collective, in the spirit of MPI_Request:
+///
+///  * `wait()` blocks until the comm thread has executed the op, then charges
+///    the *exposed* time — the part of the collective not already hidden
+///    behind compute the caller performed since posting — onto the rank clock
+///    and CommStats, and returns the scalar result (0 for data collectives).
+///    Exceptions thrown on the comm thread are rethrown here, once.
+///  * `wait()` twice is allowed: the second call returns the cached scalar and
+///    charges nothing.
+///  * Dropping an un-waited handle completes the data movement (the destructor
+///    blocks until the op has executed, keeping the group barriers matched)
+///    but charges no sim time and no stats — like MPI_Request_free, the
+///    caller gives up on the accounting, not on the collective.
+///
+/// A handle must not outlive its Communicator. Move-only.
+class CommHandle {
+ public:
+  CommHandle() = default;
+  CommHandle(CommHandle&& other) noexcept
+      : op_(std::move(other.op_)), owner_(other.owner_) {
+    other.owner_ = nullptr;
+  }
+  CommHandle& operator=(CommHandle&& other) noexcept {
+    if (this != &other) {
+      release();
+      op_ = std::move(other.op_);
+      owner_ = other.owner_;
+      other.owner_ = nullptr;
+    }
+    return *this;
+  }
+  CommHandle(const CommHandle&) = delete;
+  CommHandle& operator=(const CommHandle&) = delete;
+  ~CommHandle() { release(); }
+
+  bool valid() const { return op_ != nullptr; }
+
+  /// True once the comm thread has finished executing the op (wait() will not
+  /// block). Never charges time.
+  bool test() { return op_ != nullptr && op_->poll_finished(); }
+
+  /// Defined in communicator.hpp (needs the Communicator definition).
+  double wait();
+
+ private:
+  friend class Communicator;
+  CommHandle(std::shared_ptr<detail::CommOp> op, Communicator* owner)
+      : op_(std::move(op)), owner_(owner) {}
+
+  void release() {
+    // Completing (not cancelling) keeps the barrier protocol matched; any
+    // pending error dies with the op record.
+    if (op_ && !op_->retired) op_->wait_finished();
+    op_.reset();
+  }
+
+  std::shared_ptr<detail::CommOp> op_;
+  Communicator* owner_ = nullptr;
+};
+
+/// Per-rank comm thread: executes posted ops strictly in FIFO order. The
+/// worker runs with an intra-rank kernel budget of 1 so the data movement it
+/// performs never spawns a compute pool of its own.
+class CommEngine {
+ public:
+  CommEngine();
+  ~CommEngine();  ///< drains the queue, then joins the worker
+  CommEngine(const CommEngine&) = delete;
+  CommEngine& operator=(const CommEngine&) = delete;
+
+  void post(std::shared_ptr<detail::CommOp> op);
+
+  /// Execute an op on the calling thread (inline mode / comm budget 0).
+  static void run_inline(detail::CommOp& op);
+
+ private:
+  void loop();
+
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<detail::CommOp>> queue_;
+  bool stop_ = false;
+  std::thread worker_;
+};
+
+/// Dedicated comm threads per rank. Resolution order: the value set by
+/// `set_comm_thread_budget`, else the PLEXUS_COMM_THREADS environment
+/// variable, else 1. 0 means inline mode: collectives execute on the posting
+/// thread at post time (no overlap, no extra threads) — the sim-time math is
+/// identical, only real concurrency is lost. Values > 1 are reserved for
+/// future per-group channels and currently behave like 1 (the op stream is
+/// totally ordered, so one thread saturates it).
+int comm_thread_budget();
+
+/// Process-wide override (clamped to [0, 8]); -1 restores the environment
+/// default. Takes effect for Communicators constructed afterwards.
+void set_comm_thread_budget(int n);
+
+/// The raw override state: -1 when the environment governs, else the value
+/// passed to set_comm_thread_budget. Lets scoped overrides restore
+/// "follow the environment" rather than pinning the resolved number.
+int comm_thread_override();
+
+/// RAII budget override for tests and benches.
+class ScopedCommThreads {
+ public:
+  explicit ScopedCommThreads(int n) : prev_(comm_thread_override()) {
+    set_comm_thread_budget(n);
+  }
+  ~ScopedCommThreads() { set_comm_thread_budget(prev_); }
+  ScopedCommThreads(const ScopedCommThreads&) = delete;
+  ScopedCommThreads& operator=(const ScopedCommThreads&) = delete;
+
+ private:
+  int prev_;
+};
+
+}  // namespace plexus::comm

@@ -1,0 +1,63 @@
+#pragma once
+/// \file timeline.hpp
+/// Per-rank simulated-time trace: compute spans, in-flight collective spans
+/// and the exposed (clock-charged) tail of each collective.
+///
+/// Disabled by default (span storage is unbounded); enable it per rank for
+/// breakdown harnesses (`TrainOptions::trace_timeline`, fig9_breakdown) or
+/// comm micro-benches. All instants are simulated seconds on the owning
+/// rank's clock. For one collective the trace carries up to two spans:
+///
+///   CommInFlight  [posted_clock, done_clock]  — the whole life of the op
+///                                               (queueing + transfer)
+///   CommExposed   [wait_clock,   done_clock]  — the part that stalled the
+///                                               rank (absent when fully
+///                                               hidden behind compute)
+///
+/// CommStats::hidden_seconds = transfer time minus exposed time (clamped at
+/// zero), the quantity the paper's blocked aggregation (section 5.2)
+/// maximises; link-queue delay counts as neither.
+
+#include <vector>
+
+#include "comm/cost.hpp"
+
+namespace plexus::comm {
+
+struct TimelineSpan {
+  enum class Kind { Compute, CommInFlight, CommExposed };
+  Kind kind = Kind::Compute;
+  Collective op = Collective::Barrier;  ///< meaningful for comm spans only
+  double t0 = 0.0;
+  double t1 = 0.0;
+
+  double seconds() const { return t1 - t0; }
+};
+
+class Timeline {
+ public:
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  void record(TimelineSpan::Kind kind, Collective op, double t0, double t1) {
+    if (!enabled_ || t1 <= t0) return;
+    spans_.push_back({kind, op, t0, t1});
+  }
+
+  const std::vector<TimelineSpan>& spans() const { return spans_; }
+  void reset() { spans_.clear(); }
+
+  double total(TimelineSpan::Kind kind) const {
+    double t = 0.0;
+    for (const auto& s : spans_) {
+      if (s.kind == kind) t += s.seconds();
+    }
+    return t;
+  }
+
+ private:
+  bool enabled_ = false;
+  std::vector<TimelineSpan> spans_;
+};
+
+}  // namespace plexus::comm

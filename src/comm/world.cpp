@@ -32,4 +32,8 @@ GroupId World::create_group(std::vector<int> members, LinkParams link,
   return static_cast<GroupId>(groups_.size() - 1);
 }
 
+void World::reset_link_time() {
+  for (auto& g : groups_) g->link_busy_until = 0.0;
+}
+
 }  // namespace plexus::comm

@@ -32,6 +32,12 @@ struct GroupShared {
   std::unique_ptr<std::barrier<>> barrier;
   std::vector<const void*> slots;
   std::vector<double> clock_slots;
+  /// Sim instant until which this group's ring links are occupied by the
+  /// latest collective. Serialises overlapping (pipelined) collectives on the
+  /// same group: a collective starts no earlier than this horizon. Written by
+  /// group member 0 in each op's read phase, read by members when publishing
+  /// the next op — the two accesses are separated by the op barriers.
+  double link_busy_until = 0.0;
 
   int size() const { return static_cast<int>(members.size()); }
 
@@ -56,6 +62,12 @@ class World {
   /// Create a process group. NOT thread-safe: call before the SPMD region.
   GroupId create_group(std::vector<int> members, LinkParams link = {},
                        double a2a_distance_penalty = 1.0);
+
+  /// Zero every group's link-busy horizon. Required when reusing a World for
+  /// a fresh simulation session whose SimClocks restart at 0 — otherwise the
+  /// first collective books the stale horizon as exposed time. NOT
+  /// thread-safe: call between SPMD regions.
+  void reset_link_time();
 
   GroupShared& group(GroupId id) {
     PLEXUS_CHECK(id >= 0 && static_cast<std::size_t>(id) < groups_.size(), "bad group id");

@@ -1,6 +1,8 @@
 #include "core/layer.hpp"
 
 #include <algorithm>
+#include <deque>
+#include <span>
 
 #include "dense/gemm.hpp"
 #include "dense/ops.hpp"
@@ -11,6 +13,27 @@
 #include "util/rng.hpp"
 
 namespace plexus::core {
+
+namespace {
+
+/// Retire the oldest in-flight per-block collectives until at most
+/// `depth - 1` remain (depth 1 = fully blocking). Exposed comm time is
+/// charged inside wait() from the handle's completion ordering.
+void trim_pipeline(std::deque<comm::CommHandle>& inflight, int depth) {
+  while (static_cast<int>(inflight.size()) >= depth) {
+    inflight.front().wait();
+    inflight.pop_front();
+  }
+}
+
+void drain_pipeline(std::deque<comm::CommHandle>& inflight) {
+  while (!inflight.empty()) {
+    inflight.front().wait();
+    inflight.pop_front();
+  }
+}
+
+}  // namespace
 
 DistGcnLayer::DistGcnLayer(const PlexusDataset& ds, const Grid3D& grid, int rank, int layer_index,
                            int num_layers, std::int64_t in_dim_padded, std::int64_t out_dim_padded,
@@ -55,9 +78,14 @@ DistGcnLayer::DistGcnLayer(const PlexusDataset& ds, const Grid3D& grid, int rank
   adam_ = dense::Adam(w_slice_.size(), opts.adam);
 }
 
+comm::CommHandle DistGcnLayer::igathered_weights(sim::RankContext& ctx, dense::Matrix& w_block) {
+  w_block = dense::Matrix(din_q_, dout_p_);
+  return ctx.comm.iall_gather<float>(r_group_, w_slice_, w_block.flat());
+}
+
 dense::Matrix DistGcnLayer::gathered_weights(sim::RankContext& ctx) {
-  dense::Matrix w_block(din_q_, dout_p_);
-  ctx.comm.all_gather<float>(r_group_, w_slice_, w_block.flat());
+  dense::Matrix w_block;
+  igathered_weights(ctx, w_block).wait();
   return w_block;
 }
 
@@ -71,22 +99,30 @@ dense::Matrix DistGcnLayer::forward(sim::RankContext& ctx, const dense::Matrix& 
   const sim::Machine& m = *ctx.machine;
 
   // ---- Step 1: aggregation H = SpMM(A, F), all-reduced over the P group.
-  // With blocked aggregation (section 5.2) the shard is processed in row
-  // blocks; block k's all-reduce overlaps block k+1's SpMM, so only the
-  // exposed communication is charged (overlap credit).
+  // Blocked aggregation (section 5.2) as a true software pipeline: block k's
+  // all-reduce executes on the comm thread while later blocks' SpMMs run
+  // here, with up to pipeline_depth - 1 collectives in flight. The exposed
+  // communication charge falls out of each handle's completion ordering
+  // against this rank's clock — there is no hand-fed overlap credit.
+  //
+  // The weight gather over R depends only on w_slice_, so it is posted before
+  // the aggregation and retired just before the combination GEMM: on the sim
+  // timeline it hides behind the SpMM blocks instead of charging full latency.
   h_ = dense::Matrix(rows_r_, din_q_);
   const int nb = std::max(1, opts_.agg_row_blocks);
+  const int depth = std::max(1, opts_.pipeline_depth);
   const auto bounds = sparse::block_bounds(rows_r_, nb);
-  std::int64_t prev_b0 = 0;
-  std::int64_t prev_b1 = 0;
-  bool have_pending = false;
+
+  dense::Matrix w_block;
+  comm::CommHandle w_gather = igathered_weights(ctx, w_block);
+
+  std::deque<comm::CommHandle> inflight;
   for (int k = 0; k < nb; ++k) {
     const std::int64_t b0 = bounds[static_cast<std::size_t>(k)];
     const std::int64_t b1 = bounds[static_cast<std::size_t>(k) + 1];
+    if (b0 == b1) continue;  // bounds are grid-derived, identical on all members
     sparse::spmm_rows(adj_->a, f_in, h_, b0, b1);
-    const std::int64_t block_nnz =
-        adj_->a.row_ptr()[static_cast<std::size_t>(b1)] - adj_->a.row_ptr()[static_cast<std::size_t>(b0)];
-    const sim::SpmmShape shape{block_nnz, b1 - b0, rows_p_, din_q_};
+    const sim::SpmmShape shape{adj_->a.range_nnz(b0, b1), b1 - b0, rows_p_, din_q_};
     const std::uint64_t noise_seed = util::hash_combine(
         epoch_seed, util::hash_combine(static_cast<std::uint64_t>(layer_),
                                        util::hash_combine(static_cast<std::uint64_t>(ctx.rank()),
@@ -94,21 +130,14 @@ dense::Matrix DistGcnLayer::forward(sim::RankContext& ctx, const dense::Matrix& 
     const double t_block = sim::spmm_time(m, shape) * sim::spmm_noise_factor(m, shape, noise_seed);
     ctx.comm.charge_compute(t_block);
     timers.spmm += t_block;
-    if (have_pending) {
-      std::span<float> rows{h_.row(prev_b0), static_cast<std::size_t>((prev_b1 - prev_b0) * din_q_)};
-      ctx.comm.all_reduce_sum<float>(p_group_, rows, /*overlap_credit=*/t_block);
-    }
-    prev_b0 = b0;
-    prev_b1 = b1;
-    have_pending = true;
+    std::span<float> rows{h_.row(b0), static_cast<std::size_t>((b1 - b0) * din_q_)};
+    inflight.push_back(ctx.comm.iall_reduce_sum<float>(p_group_, rows));
+    trim_pipeline(inflight, depth);
   }
-  {
-    std::span<float> rows{h_.row(prev_b0), static_cast<std::size_t>((prev_b1 - prev_b0) * din_q_)};
-    ctx.comm.all_reduce_sum<float>(p_group_, rows);
-  }
+  drain_pipeline(inflight);
 
   // ---- Step 2: combination Q = SGEMM(H, W), all-reduced over the Q group.
-  const dense::Matrix w_block = gathered_weights(ctx);
+  w_gather.wait();
   q_pre_ = dense::matmul(h_, w_block);
   const double t_gemm = sim::gemm_time(m, rows_r_, dout_p_, din_q_, dense::Trans::N,
                                        dense::Trans::N);
@@ -126,9 +155,15 @@ dense::Matrix DistGcnLayer::forward(sim::RankContext& ctx, const dense::Matrix& 
 }
 
 dense::Matrix DistGcnLayer::backward(sim::RankContext& ctx, const dense::Matrix& df_out,
-                                     bool last, KernelTimers& timers) {
+                                     bool last, KernelTimers& timers, bool fuse_r_all_reduce) {
   PLEXUS_CHECK(df_out.rows() == rows_r_ && df_out.cols() == dout_p_, "backward input shape");
   const sim::Machine& m = *ctx.machine;
+
+  // W is needed only for the dH GEMM: post the R-group gather now so it
+  // overlaps relu' and the dW GEMM (a blocking gather here used to charge its
+  // full latency every backward pass).
+  dense::Matrix w_block;
+  comm::CommHandle w_gather = igathered_weights(ctx, w_block);
 
   // dQ = dF_out (last layer: loss grad) or dF_out ⊙ relu'(Q) (eq. 2.4).
   dense::Matrix dq(rows_r_, dout_p_);
@@ -143,24 +178,25 @@ dense::Matrix DistGcnLayer::backward(sim::RankContext& ctx, const dense::Matrix&
 
   // dW = H^T dQ (eq. 2.5), reduce-scattered over the R group (Alg. 2 line 3).
   // Section 5.3 tuning replaces the slow transpose-first GEMM by the reversed
-  // order (SGEMM(dQ^T, H))^T, which dispatches in the fast mode.
-  dense::Matrix dw_block;
+  // order (SGEMM(dQ^T, H))^T, which dispatches in the fast mode. The
+  // reduce-scatter result is not needed until apply_grad, so it is posted
+  // asynchronously and hides behind the rest of the backward pass.
   if (opts_.gemm_dw_tuning) {
-    dw_block = dense::matmul(dq, h_, dense::Trans::T, dense::Trans::N).transposed();
+    dw_block_ = dense::matmul(dq, h_, dense::Trans::T, dense::Trans::N).transposed();
     const double t = sim::gemm_time(m, din_q_, dout_p_, rows_r_, dense::Trans::N, dense::Trans::T) +
-                     sim::elementwise_time(m, dw_block.size());
+                     sim::elementwise_time(m, dw_block_.size());
     ctx.comm.charge_compute(t);
     timers.gemm += t;
   } else {
-    dw_block = dense::matmul(h_, dq, dense::Trans::T, dense::Trans::N);
+    dw_block_ = dense::matmul(h_, dq, dense::Trans::T, dense::Trans::N);
     const double t = sim::gemm_time(m, din_q_, dout_p_, rows_r_, dense::Trans::T, dense::Trans::N);
     ctx.comm.charge_compute(t);
     timers.gemm += t;
   }
-  ctx.comm.reduce_scatter_sum<float>(r_group_, dw_block.flat(), dw_slice_);
+  dw_handle_ = ctx.comm.ireduce_scatter_sum<float>(r_group_, dw_block_.flat(), dw_slice_);
 
   // dH = dQ W^T (eq. 2.6), all-reduced over the P group (Alg. 2 lines 4-6).
-  const dense::Matrix w_block = gathered_weights(ctx);
+  w_gather.wait();
   dense::Matrix dh = dense::matmul(dq, w_block, dense::Trans::N, dense::Trans::T);
   {
     const double t = sim::gemm_time(m, rows_r_, din_q_, dout_p_, dense::Trans::N, dense::Trans::T);
@@ -169,18 +205,38 @@ dense::Matrix DistGcnLayer::backward(sim::RankContext& ctx, const dense::Matrix&
   }
   ctx.comm.all_reduce_sum<float>(p_group_, dh.flat());
 
-  // dF = SpMM(A^T, dH) (eq. 2.7); final collective over R applied by caller.
-  dense::Matrix df_in = sparse::spmm(adj_->a_t, dh);
-  {
-    const sim::SpmmShape shape{adj_->a_t.nnz(), rows_p_, rows_r_, din_q_};
+  // dF = SpMM(A^T, dH) (eq. 2.7), blocked over output rows — the backward
+  // mirror of section 5.2. With `fuse_r_all_reduce` each block's R-group
+  // all-reduce pipelines behind the next block's SpMM; otherwise the caller
+  // applies the final R-group collective (reduce-scatter at layer 0).
+  dense::Matrix df_in(rows_p_, din_q_);
+  const int nb = std::max(1, opts_.agg_row_blocks);
+  const int depth = std::max(1, opts_.pipeline_depth);
+  const auto bounds = sparse::block_bounds(rows_p_, nb);
+  std::deque<comm::CommHandle> inflight;
+  for (int k = 0; k < nb; ++k) {
+    const std::int64_t b0 = bounds[static_cast<std::size_t>(k)];
+    const std::int64_t b1 = bounds[static_cast<std::size_t>(k) + 1];
+    if (b0 == b1) continue;
+    sparse::spmm_rows(adj_->a_t, dh, df_in, b0, b1);
+    const sim::SpmmShape shape{adj_->a_t.range_nnz(b0, b1), b1 - b0, rows_r_, din_q_};
     const double t = sim::spmm_time(m, shape);
     ctx.comm.charge_compute(t);
     timers.spmm += t;
+    if (fuse_r_all_reduce) {
+      std::span<float> rows{df_in.row(b0), static_cast<std::size_t>((b1 - b0) * din_q_)};
+      inflight.push_back(ctx.comm.iall_reduce_sum<float>(r_group_, rows));
+      trim_pipeline(inflight, depth);
+    }
   }
+  drain_pipeline(inflight);
   return df_in;
 }
 
 void DistGcnLayer::apply_grad(sim::RankContext& ctx, KernelTimers& timers) {
+  // Retire the dW reduce-scatter posted in backward(); by now it has usually
+  // been fully hidden behind the remaining backward compute.
+  if (dw_handle_.valid()) dw_handle_.wait();
   adam_.step(w_slice_, dw_slice_);
   const double t = sim::elementwise_time(*ctx.machine, static_cast<std::int64_t>(w_slice_.size()),
                                          6.0);

@@ -28,6 +28,12 @@ namespace plexus::core {
 struct PlexusOptions {
   int agg_row_blocks = 1;       ///< >1 enables blocked aggregation (section 5.2)
   bool gemm_dw_tuning = false;  ///< reversed dL/dW multiplication order (section 5.3)
+  /// Software-pipeline depth of blocked aggregation: while a block's SpMM
+  /// runs, up to `pipeline_depth - 1` per-block all-reduces may be in flight
+  /// on the comm thread. 1 = fully blocking (wait immediately after post);
+  /// 2 = the classic one-block lookahead of section 5.2. Losses are
+  /// bitwise-identical for any depth — only the exposed comm time changes.
+  int pipeline_depth = 2;
   dense::AdamConfig adam;
 };
 
@@ -54,13 +60,18 @@ class DistGcnLayer {
 
   /// Backward: df_out is the gradient w.r.t. this layer's output (same block
   /// layout as the forward output, replicated over Q). Returns the *partial*
-  /// dF_in block (N/P x Din/Q); the caller applies the final collective over
-  /// the R-group (reduce-scatter at layer 0, all-reduce otherwise — the
-  /// section 3.2 distinction). Stores dW internally for apply_grad().
+  /// dF_in block (N/P x Din/Q). When `fuse_r_all_reduce` is set the layer
+  /// itself applies the R-group all-reduce, pipelined against the blocked
+  /// dF = SpMM(A^T, dH) (the backward mirror of section 5.2) — the returned
+  /// block is then the *reduced* dF_in. Otherwise the caller applies the
+  /// final R-group collective (reduce-scatter at layer 0 — the section 3.2
+  /// distinction). Stores dW internally; its reduce-scatter is posted
+  /// asynchronously and retired in apply_grad().
   dense::Matrix backward(sim::RankContext& ctx, const dense::Matrix& df_out, bool last,
-                         KernelTimers& timers);
+                         KernelTimers& timers, bool fuse_r_all_reduce = false);
 
   /// Adam step on the local weight slice using the gradient from backward().
+  /// Waits for the asynchronous dW reduce-scatter posted there.
   void apply_grad(sim::RankContext& ctx, KernelTimers& timers);
 
   const LayerRoles& roles() const { return roles_; }
@@ -71,6 +82,9 @@ class DistGcnLayer {
   dense::Matrix gather_weight_block(sim::RankContext& ctx);
 
  private:
+  /// Post the R-group all-gather assembling the (Din/Q x Dout/P) weight block
+  /// into `w_block`; the caller waits the handle before reading it.
+  comm::CommHandle igathered_weights(sim::RankContext& ctx, dense::Matrix& w_block);
   dense::Matrix gathered_weights(sim::RankContext& ctx);
 
   const PlexusDataset* ds_;
@@ -99,6 +113,12 @@ class DistGcnLayer {
   // Saved forward state.
   dense::Matrix h_;      ///< aggregated H block (N'/R x Din'/Q)
   dense::Matrix q_pre_;  ///< pre-activation combination output
+
+  // In-flight backward state: the full dW block must stay alive until its
+  // reduce-scatter (posted in backward, hidden behind the remaining backward
+  // compute) is retired in apply_grad.
+  dense::Matrix dw_block_;
+  comm::CommHandle dw_handle_;
 };
 
 }  // namespace plexus::core

@@ -74,6 +74,7 @@ dense::Matrix DistGcn::forward_all(sim::RankContext& ctx, std::uint64_t epoch_se
 EpochStats DistGcn::train_epoch(sim::RankContext& ctx, int epoch) {
   const double t0 = ctx.clock.time();
   const double comm0 = ctx.comm.stats().total_seconds();
+  const double hidden0 = ctx.comm.stats().total_hidden_seconds();
   KernelTimers timers;
   const std::uint64_t epoch_seed = util::hash_combine(spec_.seed, 0xe90c000 + epoch);
   const int L = spec_.num_layers();
@@ -84,15 +85,17 @@ EpochStats DistGcn::train_epoch(sim::RankContext& ctx, int epoch) {
                                            static_cast<double>(ds_->train_total));
 
   // Backward sweep (Alg. 2 per layer). Between layers the partial dF_in is
-  // all-reduced over that layer's R group; at layer 0 it is reduce-scattered
-  // onto the trainable feature slices instead (section 3.2).
+  // all-reduced over that layer's R group — fused into the layer's blocked
+  // dF SpMM so the per-block all-reduce pipelines behind compute; at layer 0
+  // it is reduce-scattered onto the trainable feature slices instead
+  // (section 3.2).
   dense::Matrix df = std::move(loss.dlogits);
   for (int l = L - 1; l >= 0; --l) {
     auto& layer = *layers_[static_cast<std::size_t>(l)];
-    dense::Matrix df_partial = layer.backward(ctx, df, /*last=*/l == L - 1, timers);
+    dense::Matrix df_partial =
+        layer.backward(ctx, df, /*last=*/l == L - 1, timers, /*fuse_r_all_reduce=*/l > 0);
     if (l > 0) {
-      ctx.comm.all_reduce_sum<float>(layer.r_group(), df_partial.flat());
-      df = std::move(df_partial);
+      df = std::move(df_partial);  // already reduced over the layer's R group
     } else if (spec_.train_input_features) {
       ctx.comm.reduce_scatter_sum<float>(layer.r_group(), df_partial.flat(), df_slice_);
     }
@@ -116,6 +119,7 @@ EpochStats DistGcn::train_epoch(sim::RankContext& ctx, int epoch) {
   s.gemm_seconds = timers.gemm;
   s.elementwise_seconds = timers.elementwise;
   s.comm_seconds = ctx.comm.stats().total_seconds() - comm0;
+  s.hidden_comm_seconds = ctx.comm.stats().total_hidden_seconds() - hidden0;
   return s;
 }
 

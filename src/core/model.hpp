@@ -40,10 +40,19 @@ struct EpochStats {
   double spmm_seconds = 0.0;
   double gemm_seconds = 0.0;
   double elementwise_seconds = 0.0;
-  double comm_seconds = 0.0;  ///< collective time charged to this rank
+  /// Time this rank stalled at collective wait()s: ring transfer tails plus
+  /// any straggler wait surfacing there (the standard "exposed communication"
+  /// of a comm/comp breakdown; see comm/communicator.hpp).
+  double comm_seconds = 0.0;
+  /// Transfer time hidden behind compute by the pipelined aggregation /
+  /// asynchronous gathers (see comm/communicator.hpp).
+  double hidden_comm_seconds = 0.0;
   double compute_seconds() const { return spmm_seconds + gemm_seconds + elementwise_seconds; }
-  /// Wait due to load imbalance + collectives = epoch - local compute.
-  double exposed_comm_seconds() const { return epoch_seconds - compute_seconds(); }
+  /// Everything the rank spent not computing (= epoch - local compute). The
+  /// clock only advances through compute charges and exposed collective
+  /// waits, so per epoch this equals comm_seconds up to collectives retired
+  /// across the epoch boundary.
+  double wait_seconds() const { return epoch_seconds - compute_seconds(); }
 };
 
 class DistGcn {

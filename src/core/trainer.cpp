@@ -20,7 +20,7 @@ double TrainResult::avg_comm_seconds(int skip) const {
   if (epochs.empty()) return 0.0;
   const auto start = std::min<std::size_t>(static_cast<std::size_t>(skip), epochs.size() - 1);
   double sum = 0.0;
-  for (std::size_t i = start; i < epochs.size(); ++i) sum += epochs[i].exposed_comm_seconds();
+  for (std::size_t i = start; i < epochs.size(); ++i) sum += epochs[i].wait_seconds();
   return sum / static_cast<double>(epochs.size() - start);
 }
 
@@ -48,8 +48,12 @@ TrainResult train_plexus(const PlexusDataset& ds, const TrainOptions& opt) {
   TrainResult result;
   result.epochs.resize(static_cast<std::size_t>(opt.epochs));
 
+  GcnSpec spec = opt.model;
+  if (opt.pipeline_depth > 0) spec.options.pipeline_depth = opt.pipeline_depth;
+
   const auto rank_fn = [&](sim::RankContext& ctx) {
-    DistGcn model(ctx, ds, grid, opt.model);
+    if (opt.trace_timeline && ctx.rank() == 0) ctx.comm.timeline().set_enabled(true);
+    DistGcn model(ctx, ds, grid, spec);
     for (int e = 0; e < opt.epochs; ++e) {
       EpochStats s = model.train_epoch(ctx, e);
       // Aggregate straggler-defining maxima; every rank computes the same
@@ -60,11 +64,15 @@ TrainResult train_plexus(const PlexusDataset& ds, const TrainOptions& opt) {
       s.gemm_seconds = ctx.comm.all_reduce_max_scalar(wg, s.gemm_seconds);
       s.elementwise_seconds = ctx.comm.all_reduce_max_scalar(wg, s.elementwise_seconds);
       s.comm_seconds = ctx.comm.all_reduce_max_scalar(wg, s.comm_seconds);
+      s.hidden_comm_seconds = ctx.comm.all_reduce_max_scalar(wg, s.hidden_comm_seconds);
       if (ctx.rank() == 0) result.epochs[static_cast<std::size_t>(e)] = s;
     }
     if (opt.evaluate_validation) {
       const double acc = model.evaluate(ctx, ds.val_mask);
       if (ctx.rank() == 0) result.val_accuracy = acc;
+    }
+    if (opt.trace_timeline && ctx.rank() == 0) {
+      result.rank0_timeline = std::move(ctx.comm.timeline());  // comm is end-of-life here
     }
   };
   sim::run_cluster(world, *opt.machine, rank_fn, /*enable_clock=*/true, opt.intra_rank_threads);

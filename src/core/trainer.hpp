@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "comm/timeline.hpp"
 #include "core/model.hpp"
 #include "core/preprocess.hpp"
 #include "graph/graph.hpp"
@@ -33,15 +34,27 @@ struct TrainOptions {
   /// kernels. 0 = auto: PLEXUS_THREADS (or the hardware concurrency) divided
   /// by the number of ranks. Losses are bitwise-identical for any value.
   int intra_rank_threads = 0;
+  /// Software-pipeline depth of blocked aggregation (see
+  /// PlexusOptions::pipeline_depth). 0 = keep model.options.pipeline_depth;
+  /// > 0 overrides it. 1 is fully blocking. Losses are bitwise-identical for
+  /// any depth; only the exposed communication time changes.
+  int pipeline_depth = 0;
+  /// Record rank 0's simulated timeline (compute / in-flight / exposed comm
+  /// spans) into TrainResult::rank0_timeline. Off by default (unbounded span
+  /// storage); breakdown harnesses (fig9) turn it on.
+  bool trace_timeline = false;
 };
 
 struct TrainResult {
   std::vector<EpochStats> epochs;  ///< max-over-ranks timings, rank-0 loss
   double val_accuracy = 0.0;
+  comm::Timeline rank0_timeline;   ///< populated when TrainOptions::trace_timeline
 
   /// Mean epoch time skipping the first `skip` epochs ("average performance of
   /// the last eight epochs to account for initial fluctuations", section 6.2).
   double avg_epoch_seconds(int skip = 2) const;
+  /// Mean EpochStats::wait_seconds(): exposed collectives + load-imbalance
+  /// stall (the paper's fig. 9 "comm" bars fold both in too).
   double avg_comm_seconds(int skip = 2) const;
   double avg_compute_seconds(int skip = 2) const;
   std::vector<double> losses() const;

@@ -15,7 +15,11 @@ int resolve_intra_rank_threads(int requested, int num_ranks) {
   if (requested > 0) return requested;
   const int env = util::env_thread_override();
   const int total = env > 0 ? env : util::hardware_threads();
-  return std::max(1, total / std::max(1, num_ranks));
+  // A rank's dedicated comm thread shares the rank's host-thread slice: when
+  // enabled, one slot of the per-rank share is reserved for it so compute
+  // pools plus comm threads never exceed the process budget.
+  const int comm_reserved = comm::comm_thread_budget() > 0 ? 1 : 0;
+  return std::max(1, total / std::max(1, num_ranks) - comm_reserved);
 }
 
 void run_cluster(comm::World& world, const Machine& machine, const RankFn& fn,
@@ -33,11 +37,12 @@ void run_cluster(comm::World& world, const Machine& machine, const RankFn& fn,
       // Each rank gets an equal slice of the host's compute threads; its
       // kernel pool lives and dies with this thread.
       util::set_intra_rank_threads(threads_per_rank);
-      // Context is built inside the thread so the communicator's scratch
-      // buffers are thread-local; the communicator references the context's
-      // own clock so callers can inspect it after fn returns.
+      // Context is built inside the thread so the communicator's comm engine
+      // is rank-local; the communicator references the context's own clock so
+      // callers can inspect it after fn returns (guaranteed elision places
+      // the Communicator in the aggregate directly — it is immovable).
       RankContext ctx{comm::Communicator(world, r, nullptr), comm::SimClock{}, &machine};
-      if (enable_clock) ctx.comm = comm::Communicator(world, r, &ctx.clock);
+      if (enable_clock) ctx.comm.set_clock(&ctx.clock);
       try {
         fn(ctx);
       } catch (...) {

@@ -34,6 +34,12 @@ class Csr {
 
   std::int64_t row_nnz(std::int64_t r) const { return row_ptr_[r + 1] - row_ptr_[r]; }
 
+  /// nnz of the row range [r0, r1) — the per-block work estimate of blocked
+  /// aggregation (section 5.2); O(1) from the row pointer.
+  std::int64_t range_nnz(std::int64_t r0, std::int64_t r1) const {
+    return row_ptr_[static_cast<std::size_t>(r1)] - row_ptr_[static_cast<std::size_t>(r0)];
+  }
+
   /// B with B[row_map[u], col_map[v]] = A[u, v]; i.e. B = P_r A P_c^T where the
   /// permutation maps old index -> new index.
   Csr permuted(std::span<const std::int64_t> row_map, std::span<const std::int64_t> col_map) const;

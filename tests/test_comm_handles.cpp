@@ -1,0 +1,339 @@
+// CommHandle lifecycle and nonblocking-collective semantics: overlap-derived
+// exposed/hidden accounting, link serialisation of in-flight collectives,
+// wait-twice, drop-without-wait, comm-thread exception propagation, and
+// inline-mode (PLEXUS_COMM_THREADS=0) equivalence of the sim-time math.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "comm/cost.hpp"
+#include "comm/handle.hpp"
+#include "comm/world.hpp"
+#include "sim/cluster.hpp"
+#include "sim/machine.hpp"
+
+namespace pc = plexus::comm;
+namespace psim = plexus::sim;
+
+namespace {
+
+void spmd(int size, const std::function<void(psim::RankContext&)>& fn) {
+  pc::World world(size);
+  psim::run_cluster(world, psim::Machine::test_machine(), fn);
+}
+
+double allreduce_cost(pc::World& w, std::int64_t bytes, int group_size) {
+  return pc::collective_time(pc::Collective::AllReduce, bytes, group_size, w.group(0).link);
+}
+
+}  // namespace
+
+TEST(CommHandles, FullyHiddenCollectiveChargesNothing) {
+  spmd(2, [](psim::RankContext& ctx) {
+    std::vector<float> buf{static_cast<float>(ctx.rank() + 1), 1.0f};
+    const double full = allreduce_cost(ctx.comm.world(), 8, 2);
+    ASSERT_GT(full, 0.0);
+    auto h = ctx.comm.iall_reduce_sum<float>(ctx.comm.world().world_group(), buf);
+    ctx.comm.charge_compute(10.0 * full);  // compute strictly covers the op
+    h.wait();
+    EXPECT_EQ(buf[0], 3.0f);  // data moved — the sum really happened
+    EXPECT_DOUBLE_EQ(ctx.comm.stats().total_seconds(), 0.0);
+    EXPECT_DOUBLE_EQ(ctx.comm.stats().total_hidden_seconds(), full);
+    EXPECT_DOUBLE_EQ(ctx.clock.time(), 10.0 * full);  // clock = compute only
+  });
+}
+
+TEST(CommHandles, PartialOverlapChargesExposedTail) {
+  spmd(2, [](psim::RankContext& ctx) {
+    std::vector<float> buf(1024, 1.0f);
+    const double full = allreduce_cost(ctx.comm.world(), 1024 * 4, 2);
+    auto h = ctx.comm.iall_reduce_sum<float>(ctx.comm.world().world_group(), buf);
+    ctx.comm.charge_compute(0.25 * full);
+    h.wait();
+    EXPECT_DOUBLE_EQ(ctx.comm.stats().total_seconds(), 0.75 * full);
+    EXPECT_DOUBLE_EQ(ctx.comm.stats().total_hidden_seconds(), 0.25 * full);
+    EXPECT_DOUBLE_EQ(ctx.clock.time(), full);  // ends when the collective does
+  });
+}
+
+TEST(CommHandles, InFlightCollectivesSerialiseOnTheLink) {
+  // Two all-reduces posted back-to-back share the group's ring: the second
+  // starts when the first finishes, so waiting both exposes 2 * T.
+  spmd(2, [](psim::RankContext& ctx) {
+    std::vector<float> a(256, 1.0f);
+    std::vector<float> b(256, 2.0f);
+    const double full = allreduce_cost(ctx.comm.world(), 256 * 4, 2);
+    auto ha = ctx.comm.iall_reduce_sum<float>(ctx.comm.world().world_group(), a);
+    auto hb = ctx.comm.iall_reduce_sum<float>(ctx.comm.world().world_group(), b);
+    ha.wait();
+    hb.wait();
+    EXPECT_DOUBLE_EQ(ctx.clock.time(), 2.0 * full);
+    EXPECT_DOUBLE_EQ(ctx.comm.stats().total_seconds(), 2.0 * full);
+    EXPECT_EQ(a[0], 2.0f);
+    EXPECT_EQ(b[0], 4.0f);
+  });
+}
+
+TEST(CommHandles, ClocklessModeChargesCostModelTimePerOp) {
+  // Functional-only mode (no SimClock): stats must charge exactly the
+  // cost-model time per op — not the cumulative link-busy horizon.
+  pc::World world(2);
+  pc::CommStats stats0;
+  plexus::sim::run_cluster(
+      world, psim::Machine::test_machine(),
+      [&](psim::RankContext& ctx) {
+        std::vector<float> buf(512, 1.0f);
+        for (int i = 0; i < 3; ++i) {
+          ctx.comm.all_reduce_sum<float>(ctx.comm.world().world_group(), buf);
+        }
+        if (ctx.rank() == 0) stats0 = ctx.comm.stats();
+      },
+      /*enable_clock=*/false);
+  const double full = allreduce_cost(world, 512 * 4, 2);
+  EXPECT_DOUBLE_EQ(stats0.total_seconds(), 3.0 * full);
+  EXPECT_DOUBLE_EQ(stats0.total_hidden_seconds(), 0.0);
+}
+
+TEST(CommHandles, OutOfOrderWaitDoesNotFabricateHiddenTime) {
+  // Waiting handles against post order: the clock advance caused by waiting
+  // on a *later* op is wait-stall, not compute, and must not surface as
+  // hidden time on the earlier op.
+  spmd(2, [](psim::RankContext& ctx) {
+    std::vector<float> a(256, 1.0f);
+    std::vector<float> b(256, 2.0f);
+    auto ha = ctx.comm.iall_reduce_sum<float>(ctx.comm.world().world_group(), a);
+    auto hb = ctx.comm.iall_reduce_sum<float>(ctx.comm.world().world_group(), b);
+    hb.wait();  // advances the clock past ha's completion
+    ha.wait();
+    EXPECT_DOUBLE_EQ(ctx.comm.stats().total_hidden_seconds(), 0.0);
+    const double full = allreduce_cost(ctx.comm.world(), 256 * 4, 2);
+    EXPECT_DOUBLE_EQ(ctx.comm.stats().total_seconds(), 2.0 * full);
+  });
+}
+
+TEST(CommHandles, TestPollsWithoutCharging) {
+  spmd(2, [](psim::RankContext& ctx) {
+    std::vector<float> buf(64, 1.0f);
+    auto h = ctx.comm.iall_reduce_sum<float>(ctx.comm.world().world_group(), buf);
+    // Both ranks posted, so the op completes; poll until it does. test() must
+    // never advance the clock or stats.
+    while (!h.test()) {
+    }
+    EXPECT_DOUBLE_EQ(ctx.comm.stats().total_seconds(), 0.0);
+    EXPECT_EQ(ctx.comm.stats().entry(pc::Collective::AllReduce).calls, 0);
+    h.wait();
+    EXPECT_EQ(ctx.comm.stats().entry(pc::Collective::AllReduce).calls, 1);
+  });
+}
+
+TEST(CommHandles, WaitTwiceChargesOnceAndReturnsCachedScalar) {
+  spmd(2, [](psim::RankContext& ctx) {
+    std::vector<float> buf(128, 1.0f);
+    auto h = ctx.comm.iall_reduce_sum<float>(ctx.comm.world().world_group(), buf);
+    h.wait();
+    const double t1 = ctx.clock.time();
+    const auto calls1 = ctx.comm.stats().entry(pc::Collective::AllReduce).calls;
+    h.wait();  // second wait: no-op
+    EXPECT_DOUBLE_EQ(ctx.clock.time(), t1);
+    EXPECT_EQ(ctx.comm.stats().entry(pc::Collective::AllReduce).calls, calls1);
+  });
+}
+
+TEST(CommHandles, DropWithoutWaitCompletesDataButChargesNothing) {
+  spmd(2, [](psim::RankContext& ctx) {
+    std::vector<float> buf{static_cast<float>(ctx.rank() + 1)};
+    {
+      auto h = ctx.comm.iall_reduce_sum<float>(ctx.comm.world().world_group(), buf);
+      // dropped un-waited: destructor completes the op (barriers stay matched)
+    }
+    EXPECT_EQ(buf[0], 3.0f);
+    EXPECT_EQ(ctx.comm.stats().entry(pc::Collective::AllReduce).calls, 0);
+    EXPECT_DOUBLE_EQ(ctx.clock.time(), 0.0);
+    // The group is still usable afterwards.
+    std::vector<float> again{1.0f};
+    ctx.comm.all_reduce_sum<float>(ctx.comm.world().world_group(), again);
+    EXPECT_EQ(again[0], 2.0f);
+  });
+}
+
+TEST(CommHandles, ExceptionFromCommThreadPropagatesAtWait) {
+  spmd(1, [](psim::RankContext& ctx) {
+    auto h = ctx.comm.icall([] { throw std::runtime_error("comm-thread boom"); });
+    EXPECT_THROW(h.wait(), std::runtime_error);
+    // The error was consumed by the first wait; a second wait is benign.
+    EXPECT_NO_THROW(h.wait());
+    // The comm thread survived the exception and keeps processing ops.
+    std::vector<float> buf{2.0f};
+    ctx.comm.all_reduce_sum<float>(ctx.comm.world().world_group(), buf);
+    EXPECT_EQ(buf[0], 2.0f);
+  });
+}
+
+TEST(CommHandles, ExceptionOnDroppedHandleIsSwallowed) {
+  spmd(1, [](psim::RankContext& ctx) {
+    { auto h = ctx.comm.icall([] { throw std::runtime_error("dropped"); }); }
+    std::vector<float> buf{1.0f};
+    ctx.comm.all_reduce_sum<float>(ctx.comm.world().world_group(), buf);
+    EXPECT_EQ(buf[0], 1.0f);
+  });
+}
+
+TEST(CommHandles, IcallRunsInPostOrderWithCollectives) {
+  spmd(1, [](psim::RankContext& ctx) {
+    std::vector<int> order;
+    auto h1 = ctx.comm.icall([&] { order.push_back(1); });
+    auto h2 = ctx.comm.icall([&] { order.push_back(2); });
+    auto h3 = ctx.comm.icall([&] { order.push_back(3); });
+    h3.wait();  // FIFO engine: op 3 done implies 1 and 2 ran before it
+    h1.wait();
+    h2.wait();
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], 1);
+    EXPECT_EQ(order[1], 2);
+    EXPECT_EQ(order[2], 3);
+  });
+}
+
+TEST(CommHandles, PipelinedBlocksMatchBlockingBitwise) {
+  // A miniature blocked aggregation: 4 row blocks, each all-reduced over the
+  // group. Pipelined (post all, wait all) must produce bitwise the same sums
+  // as blocking (post + wait each), and expose less simulated time when the
+  // compute between posts covers part of the collectives.
+  constexpr int kBlocks = 4;
+  constexpr std::size_t kBlockElems = 512;
+  std::vector<std::vector<float>> blocking(2), pipelined(2);
+  std::vector<double> exposed_blocking(2), exposed_pipelined(2);
+
+  for (int mode = 0; mode < 2; ++mode) {
+    spmd(2, [&, mode](psim::RankContext& ctx) {
+      std::vector<float> data(kBlocks * kBlockElems);
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        data[i] = static_cast<float>(ctx.rank() + 1) * 0.25f + static_cast<float>(i % 37);
+      }
+      const double full = allreduce_cost(ctx.comm.world(), kBlockElems * 4, 2);
+      std::vector<pc::CommHandle> handles;
+      for (int k = 0; k < kBlocks; ++k) {
+        ctx.comm.charge_compute(0.5 * full);  // the "SpMM" of block k
+        std::span<float> blk{data.data() + static_cast<std::size_t>(k) * kBlockElems,
+                             kBlockElems};
+        auto h = ctx.comm.iall_reduce_sum<float>(ctx.comm.world().world_group(), blk);
+        if (mode == 0) {
+          h.wait();  // blocking schedule
+        } else {
+          handles.push_back(std::move(h));  // pipelined schedule
+        }
+      }
+      for (auto& h : handles) h.wait();
+      auto& out = mode == 0 ? blocking : pipelined;
+      auto& exp = mode == 0 ? exposed_blocking : exposed_pipelined;
+      out[static_cast<std::size_t>(ctx.rank())] = data;
+      exp[static_cast<std::size_t>(ctx.rank())] = ctx.comm.stats().total_seconds();
+    });
+  }
+  for (int r = 0; r < 2; ++r) {
+    ASSERT_EQ(blocking[static_cast<std::size_t>(r)].size(),
+              pipelined[static_cast<std::size_t>(r)].size());
+    for (std::size_t i = 0; i < blocking[static_cast<std::size_t>(r)].size(); ++i) {
+      EXPECT_EQ(blocking[static_cast<std::size_t>(r)][i], pipelined[static_cast<std::size_t>(r)][i])
+          << "rank " << r << " elem " << i;  // bitwise
+    }
+    EXPECT_LT(exposed_pipelined[static_cast<std::size_t>(r)],
+              exposed_blocking[static_cast<std::size_t>(r)])
+        << "rank " << r;
+  }
+}
+
+TEST(CommHandles, InlineModeMatchesEngineSimTime) {
+  // PLEXUS_COMM_THREADS=0 executes ops on the posting thread; the sim-time
+  // math is derived from post clocks + the cost model, so clocks and stats
+  // must match the engine mode exactly.
+  auto run = [](double* clock_out, pc::CommStats* stats_out) {
+    spmd(2, [&](psim::RankContext& ctx) {
+      std::vector<float> buf(2048, 1.0f);
+      const double full = allreduce_cost(ctx.comm.world(), 2048 * 4, 2);
+      auto h = ctx.comm.iall_reduce_sum<float>(ctx.comm.world().world_group(), buf);
+      ctx.comm.charge_compute(0.5 * full);
+      h.wait();
+      ctx.comm.all_reduce_sum<float>(ctx.comm.world().world_group(), buf);
+      if (ctx.rank() == 0) {
+        *clock_out = ctx.clock.time();
+        *stats_out = ctx.comm.stats();
+      }
+    });
+  };
+  double clock_engine = 0.0, clock_inline = 0.0;
+  pc::CommStats stats_engine, stats_inline;
+  {
+    pc::ScopedCommThreads scoped(1);
+    run(&clock_engine, &stats_engine);
+  }
+  {
+    pc::ScopedCommThreads scoped(0);
+    run(&clock_inline, &stats_inline);
+  }
+  EXPECT_DOUBLE_EQ(clock_engine, clock_inline);
+  EXPECT_DOUBLE_EQ(stats_engine.total_seconds(), stats_inline.total_seconds());
+  EXPECT_DOUBLE_EQ(stats_engine.total_hidden_seconds(), stats_inline.total_hidden_seconds());
+  EXPECT_EQ(stats_engine.total_bytes(), stats_inline.total_bytes());
+}
+
+TEST(CommHandles, TimelineRecordsComputeInFlightAndExposedSpans) {
+  spmd(2, [](psim::RankContext& ctx) {
+    ctx.comm.timeline().set_enabled(true);
+    std::vector<float> buf(4096, 1.0f);
+    const double full = allreduce_cost(ctx.comm.world(), 4096 * 4, 2);
+    auto h = ctx.comm.iall_reduce_sum<float>(ctx.comm.world().world_group(), buf);
+    ctx.comm.charge_compute(0.5 * full);
+    h.wait();
+    const auto& tl = ctx.comm.timeline();
+    using Kind = pc::TimelineSpan::Kind;
+    EXPECT_DOUBLE_EQ(tl.total(Kind::Compute), 0.5 * full);
+    EXPECT_DOUBLE_EQ(tl.total(Kind::CommInFlight), full);
+    EXPECT_DOUBLE_EQ(tl.total(Kind::CommExposed), 0.5 * full);
+  });
+}
+
+TEST(CommHandles, ScalarReductionsAndBlockingOpsShareTheHandlePath) {
+  // Scalar reductions return through wait(); a straggler's clock still
+  // dominates, exactly as in the blocking-only design.
+  spmd(2, [](psim::RankContext& ctx) {
+    if (ctx.rank() == 1) ctx.comm.charge_compute(2.0);
+    const double mx =
+        ctx.comm.all_reduce_max_scalar(ctx.comm.world().world_group(), 1.0 + ctx.rank());
+    EXPECT_DOUBLE_EQ(mx, 2.0);
+    const double t_coll =
+        pc::collective_time(pc::Collective::AllReduce, 8, 2, ctx.comm.world().group(0).link);
+    EXPECT_NEAR(ctx.clock.time(), 2.0 + t_coll, 1e-12);
+  });
+}
+
+TEST(CommHandles, ResetLinkTimeAllowsWorldReuse) {
+  // Reusing one World across sessions whose clocks restart at 0: without
+  // reset_link_time() the stale link-busy horizon would be booked as exposed
+  // time by the first collective of the second session.
+  pc::World world(2);
+  auto session = [&world]() {
+    double clock0 = 0.0;
+    psim::run_cluster(world, psim::Machine::test_machine(), [&](psim::RankContext& ctx) {
+      std::vector<float> buf(1024, 1.0f);
+      ctx.comm.all_reduce_sum<float>(ctx.comm.world().world_group(), buf);
+      if (ctx.rank() == 0) clock0 = ctx.clock.time();
+    });
+    return clock0;
+  };
+  const double first = session();
+  EXPECT_GT(first, 0.0);
+  world.reset_link_time();
+  EXPECT_DOUBLE_EQ(session(), first);  // fresh session, identical timing
+}
+
+TEST(CommHandles, WaitOnEmptyHandleThrows) {
+  pc::CommHandle h;
+  EXPECT_FALSE(h.valid());
+  EXPECT_FALSE(h.test());
+  EXPECT_THROW(h.wait(), std::runtime_error);
+}

@@ -102,7 +102,10 @@ TEST(CommStats, AccumulatesAcrossCallsAndOps) {
   }
 }
 
-TEST(CommStats, OverlapCreditReducesChargedTimeOnly) {
+TEST(CommStats, OverlapSplitsExposedAndHiddenTime) {
+  // The overlap accounting is measured, not hand-fed: a collective posted
+  // asynchronously and waited after `credit` seconds of compute charges only
+  // the exposed tail; the covered part lands in hidden_seconds.
   pc::LinkParams link;
   link.bandwidth = 10e9;
   link.latency = 1e-6;
@@ -119,13 +122,18 @@ TEST(CommStats, OverlapCreditReducesChargedTimeOnly) {
     pc::SimClock clock;
     pc::Communicator comm(world, rank, &clock);
     std::vector<float> buf(kElems, 1.0f);
-    comm.all_reduce_sum<float>(g, {buf.data(), buf.size()}, credit);
+    auto h = comm.iall_reduce_sum<float>(g, {buf.data(), buf.size()});
+    comm.charge_compute(credit);  // independent compute behind the collective
+    h.wait();
     stats[static_cast<std::size_t>(rank)] = comm.stats();
   });
   for (const auto& s : stats) {
     // Bytes are the full logical volume; only the exposed time is charged.
-    EXPECT_EQ(s.entry(pc::Collective::AllReduce).bytes, bytes);
+    const auto& e = s.entry(pc::Collective::AllReduce);
+    EXPECT_EQ(e.bytes, bytes);
     EXPECT_DOUBLE_EQ(s.total_seconds(), full - credit);
+    EXPECT_DOUBLE_EQ(e.hidden_seconds, credit);
+    EXPECT_DOUBLE_EQ(s.total_hidden_seconds(), credit);
   }
 }
 
@@ -135,9 +143,12 @@ TEST(CommStats, ResetClearsEverything) {
   e.calls = 3;
   e.bytes = 999;
   e.sim_seconds = 1.5;
+  e.hidden_seconds = 0.5;
   EXPECT_GT(s.total_seconds(), 0.0);
+  EXPECT_GT(s.total_hidden_seconds(), 0.0);
   s.reset();
   EXPECT_EQ(s.total_bytes(), 0);
   EXPECT_DOUBLE_EQ(s.total_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(s.total_hidden_seconds(), 0.0);
   EXPECT_EQ(s.entry(pc::Collective::AllToAll).calls, 0);
 }

@@ -1,12 +1,16 @@
-// Determinism guarantees of the threaded kernel engine at the training level:
-// the same seed and grid must give bitwise-identical train_plexus losses
-// across repeated runs AND across intra-rank thread budgets. Every kernel's
-// output rows are owned by exactly one chunk and the loss reduction uses a
-// thread-count-independent chunk grid, so no tolerance is needed anywhere.
+// Determinism guarantees of the threaded kernel + comm engines at the
+// training level: the same seed and grid must give bitwise-identical
+// train_plexus losses across repeated runs, across intra-rank thread budgets,
+// across blocked-aggregation pipeline depths, and across comm-thread modes.
+// Every kernel's output rows are owned by exactly one chunk, the loss
+// reduction uses a thread-count-independent chunk grid, and the pipelined
+// per-block all-reduces sum in fixed member order over disjoint row ranges —
+// so no tolerance is needed anywhere.
 #include <gtest/gtest.h>
 
 #include <vector>
 
+#include "comm/handle.hpp"
 #include "core/trainer.hpp"
 #include "graph/datasets.hpp"
 #include "sim/machine.hpp"
@@ -58,6 +62,55 @@ TEST(Determinism, LossesIdenticalAcrossThreadBudgets) {
     for (std::size_t e = 0; e < serial.size(); ++e) {
       EXPECT_EQ(threaded[e], serial[e]) << "threads=" << threads << " epoch " << e;
     }
+  }
+}
+
+TEST(Determinism, LossesIdenticalAcrossPipelineDepthsAndThreads) {
+  // The paper's headline claim is that pipelining changes only the schedule:
+  // losses must be bitwise-identical between the fully blocking path
+  // (depth 1) and any pipelined depth, for any thread budget.
+  const pg::Graph g = pg::make_test_graph(1024, 8.0, 32, 4, /*seed=*/3);
+  pc::TrainOptions base = small_options();
+  base.grid = {2, 2, 1};
+  base.model.options.agg_row_blocks = 4;
+  base.pipeline_depth = 1;
+  base.intra_rank_threads = 1;
+  const auto blocking = pc::train_plexus(g, base).losses();
+  ASSERT_EQ(blocking.size(), 3u);
+  for (const int depth : {2, 4}) {
+    for (const int threads : {1, 2}) {
+      pc::TrainOptions opt = base;
+      opt.pipeline_depth = depth;
+      opt.intra_rank_threads = threads;
+      const auto piped = pc::train_plexus(g, opt).losses();
+      ASSERT_EQ(piped.size(), blocking.size());
+      for (std::size_t e = 0; e < blocking.size(); ++e) {
+        EXPECT_EQ(piped[e], blocking[e]) << "depth=" << depth << " threads=" << threads
+                                         << " epoch " << e;  // bitwise
+      }
+    }
+  }
+}
+
+TEST(Determinism, LossesIdenticalAcrossCommThreadModes) {
+  // Inline mode (PLEXUS_COMM_THREADS=0) executes collectives on the posting
+  // thread; the dedicated comm thread must not change a single bit.
+  const pg::Graph g = pg::make_test_graph(1024, 8.0, 32, 4, /*seed=*/3);
+  pc::TrainOptions opt = small_options();
+  opt.model.options.agg_row_blocks = 4;
+  opt.pipeline_depth = 4;
+  std::vector<double> with_engine, inline_mode;
+  {
+    plexus::comm::ScopedCommThreads scoped(1);
+    with_engine = pc::train_plexus(g, opt).losses();
+  }
+  {
+    plexus::comm::ScopedCommThreads scoped(0);
+    inline_mode = pc::train_plexus(g, opt).losses();
+  }
+  ASSERT_EQ(with_engine.size(), inline_mode.size());
+  for (std::size_t e = 0; e < with_engine.size(); ++e) {
+    EXPECT_EQ(with_engine[e], inline_mode[e]) << "epoch " << e;
   }
 }
 

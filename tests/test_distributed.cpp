@@ -161,6 +161,37 @@ TEST(Distributed, BlockedAggregationIsExact) {
   }
 }
 
+TEST(Distributed, PipelinedAggregationIsExactAndHidesComm) {
+  // The software pipeline (blocked aggregation with in-flight per-block
+  // all-reduces) changes the schedule, never the math: losses match the
+  // blocking path to the bit, while the exposed comm time can only shrink
+  // and the hidden share can only grow.
+  const auto g = small_graph();
+  pc::TrainOptions opt;
+  opt.grid = {2, 2, 2};
+  opt.machine = &psim::Machine::perlmutter_a100();
+  opt.model = small_spec();
+  opt.model.options.agg_row_blocks = 4;
+  opt.epochs = 5;
+  opt.pipeline_depth = 1;  // fully blocking baseline
+  const auto blocking = pc::train_plexus(g, opt);
+  opt.pipeline_depth = 4;
+  const auto piped = pc::train_plexus(g, opt);
+  ASSERT_EQ(blocking.epochs.size(), piped.epochs.size());
+  double blocking_comm = 0.0;
+  double piped_comm = 0.0;
+  double piped_hidden = 0.0;
+  for (std::size_t i = 0; i < blocking.epochs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(blocking.epochs[i].loss, piped.epochs[i].loss) << "epoch " << i;
+    blocking_comm += blocking.epochs[i].comm_seconds;
+    piped_comm += piped.epochs[i].comm_seconds;
+    piped_hidden += piped.epochs[i].hidden_comm_seconds;
+  }
+  EXPECT_LT(piped_comm, blocking_comm);  // pipelining strictly hides comm
+  EXPECT_GT(piped_hidden, 0.0);
+  EXPECT_LE(piped.avg_epoch_seconds(1), blocking.avg_epoch_seconds(1) + 1e-12);
+}
+
 TEST(Distributed, GemmTuningIsExact) {
   const auto g = small_graph();
   pc::TrainOptions opt;

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""CI perf-smoke gate for the pipelined aggregation path.
+
+Reads a google-benchmark JSON report from bench/micro_collectives and asserts
+that the pipelined blocked-aggregation schedule exposes strictly less
+simulated communication time than the fully blocking baseline, by at least
+the checked-in margin (tools/perf_smoke_thresholds.json). The gated counters
+(sim_exposed_comm_s / sim_hidden_comm_s) are derived from post-time clocks and
+the ring cost model — fully deterministic, so the gate is runner-independent.
+
+Usage: perf_smoke_check.py <micro_collectives.json> [thresholds.json]
+"""
+import json
+import os
+import sys
+
+
+def load_counters(report_path):
+    with open(report_path) as f:
+        report = json.load(f)
+    counters = {}
+    for b in report.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        counters[b["name"]] = b
+    return counters
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    report_path = sys.argv[1]
+    thresholds_path = (
+        sys.argv[2]
+        if len(sys.argv) > 2
+        else os.path.join(os.path.dirname(os.path.abspath(__file__)), "perf_smoke_thresholds.json")
+    )
+    with open(thresholds_path) as f:
+        thresholds = json.load(f)
+    counters = load_counters(report_path)
+
+    max_ratio = thresholds["pipelined_vs_blocking_max_ratio"]
+    failures = []
+    for pair in thresholds["pairs"]:
+        base_name, piped_name = pair["baseline"], pair["pipelined"]
+        missing = [n for n in (base_name, piped_name) if n not in counters]
+        if missing:
+            failures.append(f"benchmark(s) missing from report: {', '.join(missing)}")
+            continue
+        base = counters[base_name].get("sim_exposed_comm_s")
+        piped = counters[piped_name].get("sim_exposed_comm_s")
+        hidden = counters[piped_name].get("sim_hidden_comm_s")
+        if base is None or piped is None or hidden is None:
+            failures.append(f"{piped_name}: sim_* counters missing from report")
+            continue
+        ratio = piped / base if base > 0 else float("inf")
+        verdict = "OK" if (piped < base and ratio <= max_ratio and hidden > 0) else "FAIL"
+        print(
+            f"[{verdict}] {piped_name}: exposed {piped * 1e6:.1f}us vs blocking "
+            f"{base * 1e6:.1f}us (ratio {ratio:.3f}, limit {max_ratio}); "
+            f"hidden {hidden * 1e6:.1f}us"
+        )
+        if verdict == "FAIL":
+            failures.append(
+                f"{piped_name}: pipelined exposed comm not below blocking baseline by the "
+                f"required margin (ratio {ratio:.3f} > {max_ratio}) or no hidden time"
+            )
+
+    if failures:
+        print("\nperf-smoke FAILED:", file=sys.stderr)
+        for f_ in failures:
+            print(f"  - {f_}", file=sys.stderr)
+        return 1
+    print("\nperf-smoke passed: pipelined aggregation hides communication as required.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
