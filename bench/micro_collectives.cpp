@@ -97,13 +97,16 @@ int rmat_scale() { return plexus::bench::rmat_scale(/*default_scale=*/14); }
 /// `kBlocks` row blocks, each a real SpMM (charged via the machine's SpMM
 /// model) followed by a real per-block all-reduce, run at pipeline depth
 /// `state.range(1)` (1 = fully blocking — the schedule the retired
-/// overlap_credit heuristic used to approximate). The `sim_*` counters report
-/// the straggler rank's exposed/hidden communication seconds; they are
-/// deterministic (post-time clocks + ring cost model, zero machine noise), so
-/// CI's perf-smoke job gates on exposed(depth 4) < exposed(depth 1).
+/// overlap_credit heuristic used to approximate; 0 = adaptive: the depth the
+/// perf model picks from per-block SpMM vs ring time, reported in the
+/// `adaptive_depth` counter). The `sim_*` counters report the straggler
+/// rank's exposed/hidden communication seconds; they are deterministic
+/// (post-time clocks + ring cost model, zero machine noise), so CI's
+/// perf-smoke job gates on exposed(depth 4) < exposed(depth 1) and on
+/// exposed(adaptive) <= the best fixed depth.
 void BM_BlockedAggregation(benchmark::State& state) {
   const int ranks = static_cast<int>(state.range(0));
-  const int depth = static_cast<int>(state.range(1));
+  int depth = static_cast<int>(state.range(1));
   constexpr int kBlocks = 8;
   constexpr std::int64_t kCols = 64;
 
@@ -119,6 +122,27 @@ void BM_BlockedAggregation(benchmark::State& state) {
     }
     return f;
   }();
+
+  if (depth == 0) {
+    // Adaptive: the same rule DistGcnLayer applies to its local shard —
+    // fastest block's SpMM time vs the (uniform) per-block ring time.
+    const auto bounds = plexus::sparse::block_bounds(adj.rows(), kBlocks);
+    plexus::comm::World probe(ranks);
+    double t_spmm_min = 0.0;
+    for (int k = 0; k < kBlocks; ++k) {
+      const std::int64_t b0 = bounds[static_cast<std::size_t>(k)];
+      const std::int64_t b1 = bounds[static_cast<std::size_t>(k) + 1];
+      const plexus::sim::SpmmShape shape{adj.range_nnz(b0, b1), b1 - b0, adj.cols(), kCols};
+      const double t = plexus::sim::spmm_time(plexus::sim::Machine::test_machine(), shape);
+      t_spmm_min = k == 0 ? t : std::min(t_spmm_min, t);
+    }
+    const std::int64_t block_bytes = 4 * (bounds[1] - bounds[0]) * kCols;
+    const double t_ring = plexus::comm::collective_time(
+        plexus::comm::Collective::AllReduce, block_bytes, ranks, probe.group(0).link);
+    depth = plexus::comm::choose_pipeline_depth(t_spmm_min, t_ring, kBlocks);
+    state.counters["adaptive_depth"] =
+        benchmark::Counter(static_cast<double>(depth), benchmark::Counter::kDefaults);
+  }
 
   double exposed = 0.0, hidden = 0.0, total = 0.0;
   for (auto _ : state) {
@@ -171,8 +195,51 @@ BENCHMARK(BM_BlockedAggregation)
     ->Args({4, 1})
     ->Args({4, 2})
     ->Args({4, 4})
+    ->Args({4, 0})  // adaptive
     ->Args({8, 1})
+    ->Args({8, 2})
     ->Args({8, 4})
+    ->Args({8, 0})  // adaptive
+    ->Unit(benchmark::kMillisecond);
+
+/// Wall-clock effect of per-group comm channels: a 2x2 grid where every rank
+/// posts one all-reduce on its *row* line and one on its *column* line
+/// (GroupIds 1-4), then waits both. With one channel the two collectives
+/// serialise on the rank's single comm thread; with a budget of 4 every line
+/// group gets its own channel and the row/column collectives really execute
+/// concurrently. `state.range(0)` is the channel budget.
+void BM_DisjointGroupChannels(benchmark::State& state) {
+  plexus::comm::ScopedCommThreads scoped(static_cast<int>(state.range(0)));
+  const auto elems = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    plexus::comm::World world(4);
+    const auto row0 = world.create_group({0, 1});
+    const auto row1 = world.create_group({2, 3});
+    const auto col0 = world.create_group({0, 2});
+    const auto col1 = world.create_group({1, 3});
+    plexus::sim::run_cluster(
+        world, plexus::sim::Machine::test_machine(),
+        [&](plexus::sim::RankContext& ctx) {
+          const auto row = ctx.rank() < 2 ? row0 : row1;
+          const auto col = ctx.rank() % 2 == 0 ? col0 : col1;
+          std::vector<float> a(elems, 1.0f);
+          std::vector<float> b(elems, 2.0f);
+          for (int i = 0; i < 8; ++i) {
+            auto hr = ctx.comm.iall_reduce_sum<float>(row, a);
+            auto hc = ctx.comm.iall_reduce_sum<float>(col, b);
+            hr.wait();
+            hc.wait();
+          }
+          benchmark::DoNotOptimize(a[0]);
+          benchmark::DoNotOptimize(b[0]);
+        },
+        /*enable_clock=*/false);
+  }
+  state.SetBytesProcessed(state.iterations() * 8 * 2 * static_cast<std::int64_t>(elems) * 4 * 4);
+}
+BENCHMARK(BM_DisjointGroupChannels)
+    ->Args({1, 1 << 14})
+    ->Args({4, 1 << 14})
     ->Unit(benchmark::kMillisecond);
 
 /// Real wall-clock overlap: the comm engine reduces one buffer while the

@@ -9,14 +9,18 @@
 ///
 /// ## Nonblocking execution model
 ///
-/// Every collective is one op executed by exactly one thread per rank — the
-/// rank's dedicated comm thread (comm/handle.hpp) by default, or the posting
-/// thread in inline mode. The `i*` entry points return a `CommHandle`; the
-/// blocking entry points are `i*` + immediate `wait()`. Per rank, ops run
-/// strictly in post order, so SPMD programs must post collectives on a group
-/// in the same order on every member (the MPI nonblocking-collective rule).
+/// Every collective is one op executed by exactly one thread per rank — one
+/// of the rank's comm channels (comm/handle.hpp), routed by GroupId, or the
+/// posting thread in inline mode. The `i*` entry points return a
+/// `CommHandle`; the blocking entry points are `i*` + immediate `wait()`.
+/// Per rank, ops on the *same group* run strictly in post order, so SPMD
+/// programs must post collectives on a group in the same order on every
+/// member (the MPI nonblocking-collective rule). Ops on groups routed to
+/// different channels execute concurrently in real time — the sim-time math
+/// below never depended on execution order, so clocks, stats and data are
+/// bitwise-identical for any channel count.
 ///
-/// Synchronisation protocol per op (executed on the comm thread):
+/// Synchronisation protocol per op (executed on the op's channel thread):
 ///   1. publish: write own buffer pointer + *post-time* clock into the
 ///      group's slots; snapshot the group's link-busy horizon
 ///   2. barrier
@@ -26,7 +30,9 @@
 ///   5. write phase: writes to own published buffer (if in-place op)
 /// The trailing writes are ordered before any subsequent op's reads by that
 /// op's first barrier (std::barrier has acquire/release semantics), so
-/// back-to-back collectives are race-free.
+/// back-to-back collectives on a group are race-free. All mutable shared
+/// state of the protocol lives in the op's own GroupShared, so collectives on
+/// different groups may execute concurrently without synchronisation.
 ///
 /// ## Exposed vs hidden time
 ///
@@ -37,21 +43,27 @@
 ///
 /// where the link-busy horizon serialises overlapping collectives on the same
 /// group's ring (two in-flight all-reduces share the links; the second starts
-/// when the first finishes). Nothing is charged until `wait()`: if the caller
-/// waits at clock `t_wait`, only the *exposed* tail `max(0, done - t_wait)`
-/// advances the clock and lands in `CommStats::Entry::sim_seconds`; the part
-/// of the transfer itself that the caller covered, `max(0, T_collective -
-/// exposed)`, is recorded as `hidden_seconds` (queueing behind an earlier
-/// collective is neither — it is ordinary schedule slack). Everything is
-/// derived from post-time clock
-/// values and the deterministic cost model, so sim results are independent of
-/// real scheduling. This retires the old hand-fed `overlap_credit`: overlap
-/// is now measured from the handle's actual completion ordering against the
-/// simulated clock.
+/// when the first finishes). Disjoint groups have disjoint rings, so their
+/// in-flight ops overlap freely in simulated time. Nothing is charged until
+/// `wait()`: if the caller waits at clock `t_wait`, only the *exposed* tail
+/// `max(0, done - t_wait)` advances the clock and lands in
+/// `CommStats::Entry::sim_seconds`; the part of the transfer interval
+/// `[done - T_collective, done]` during which this rank was actually
+/// computing is recorded as `hidden_seconds` (queueing behind an earlier
+/// collective and stalls spent waiting on *other* handles are neither — they
+/// are ordinary schedule slack). Hidden time is derived from the rank's
+/// recorded compute busy-intervals, so the attribution is exact for *any*
+/// wait order — out-of-order waits charge exactly what FIFO waits charge in
+/// total (this stall-interval tracking replaces the old compute-since-post
+/// cap, which could credit compute performed after an op's sim completion).
+/// Everything is derived from post-time clock values and the deterministic
+/// cost model, so sim results are independent of real scheduling.
 
 #include <algorithm>
 #include <array>
 #include <cstring>
+#include <limits>
+#include <set>
 #include <span>
 #include <utility>
 #include <vector>
@@ -138,7 +150,7 @@ class Communicator {
   /// `clock` may be null (functional-only mode, no time simulation).
   Communicator(World& world, int rank, SimClock* clock = nullptr)
       : world_(&world), rank_(rank), clock_(clock),
-        async_enabled_(comm_thread_budget() > 0) {
+        channel_budget_(comm_thread_budget()) {
     PLEXUS_CHECK(rank >= 0 && rank < world.size(), "rank out of range");
   }
 
@@ -164,12 +176,19 @@ class Communicator {
   Timeline& timeline() { return timeline_; }
   const Timeline& timeline() const { return timeline_; }
 
-  /// Advance this rank's clock by modelled local-kernel time.
+  /// Advance this rank's clock by modelled local-kernel time. The busy
+  /// interval is recorded so collective waits can attribute hidden time
+  /// exactly (see the header comment).
   void charge_compute(double seconds) {
     if (seconds <= 0.0 || clock_ == nullptr) return;
     const double t0 = clock_->time();
     clock_->advance(seconds);
-    compute_charged_total_ += seconds;
+    if (!compute_spans_.empty() && compute_spans_.back().second == t0) {
+      compute_spans_.back().second = t0 + seconds;  // contiguous: extend
+    } else {
+      compute_spans_.emplace_back(t0, t0 + seconds);
+      prune_compute_spans();
+    }
     timeline_.record(TimelineSpan::Kind::Compute, Collective::Barrier, t0, t0 + seconds);
   }
 
@@ -185,26 +204,29 @@ class Communicator {
     const int pos = g.position_of(rank_);
     T* data = inout.data();
     const std::size_t n = inout.size();
-    // All of a rank's ops run on one thread (comm thread or inline poster),
-    // so the reused scratch buffer is race-free; the shared_ptr capture keeps
-    // it alive while queued ops drain during Communicator teardown.
-    return post_op(Collective::AllReduce, static_cast<std::int64_t>(n * sizeof(T)),
-                   [&g, pos, data, n, scratch = scratch_](detail::CommOp& op) {
+    // The accumulation scratch is per executing thread (detail::op_scratch),
+    // so concurrent all-reduces on different channels never share it.
+    return post_op(Collective::AllReduce, gid, static_cast<std::int64_t>(n * sizeof(T)),
+                   [&g, pos, data, n](detail::CommOp& op) {
                      const double floor = detail::publish(g, pos, data, op.posted_clock);
                      g.barrier->arrive_and_wait();
                      if (n > 0) {
-                       scratch->resize(n * sizeof(T));
-                       T* tmp = reinterpret_cast<T*>(scratch->data());
+                       auto& scratch = detail::op_scratch();
+                       scratch.resize(n * sizeof(T));
+                       T* tmp = reinterpret_cast<T*>(scratch.data());
                        std::memcpy(tmp, g.slots[0], n * sizeof(T));
                        for (int m = 1; m < g.size(); ++m) {
                          const T* src =
                              static_cast<const T*>(g.slots[static_cast<std::size_t>(m)]);
                          for (std::size_t i = 0; i < n; ++i) tmp[i] += src[i];
                        }
+                       detail::finish_read_phase(g, pos, floor, op);
+                       g.barrier->arrive_and_wait();
+                       std::memcpy(data, scratch.data(), n * sizeof(T));
+                     } else {
+                       detail::finish_read_phase(g, pos, floor, op);
+                       g.barrier->arrive_and_wait();
                      }
-                     detail::finish_read_phase(g, pos, floor, op);
-                     g.barrier->arrive_and_wait();
-                     if (n > 0) std::memcpy(data, scratch->data(), n * sizeof(T));
                    });
   }
 
@@ -219,7 +241,8 @@ class Communicator {
     const T* src_data = in.data();
     T* dst = out.data();
     const std::size_t n = in.size();
-    return post_op(Collective::AllGather, static_cast<std::int64_t>(out.size() * sizeof(T)),
+    return post_op(Collective::AllGather, gid,
+                   static_cast<std::int64_t>(out.size() * sizeof(T)),
                    [&g, pos, src_data, dst, n](detail::CommOp& op) {
                      const double floor = detail::publish(g, pos, src_data, op.posted_clock);
                      g.barrier->arrive_and_wait();
@@ -246,7 +269,8 @@ class Communicator {
     const T* src_data = in.data();
     T* dst = out.data();
     const std::size_t n = out.size();
-    return post_op(Collective::ReduceScatter, static_cast<std::int64_t>(in.size() * sizeof(T)),
+    return post_op(Collective::ReduceScatter, gid,
+                   static_cast<std::int64_t>(in.size() * sizeof(T)),
                    [&g, pos, src_data, dst, n](detail::CommOp& op) {
                      const double floor = detail::publish(g, pos, src_data, op.posted_clock);
                      g.barrier->arrive_and_wait();
@@ -265,12 +289,14 @@ class Communicator {
                    });
   }
 
-  /// Run `fn` on the comm thread, ordered with the rank's collectives. No sim
-  /// time or stats are charged; exceptions propagate at wait(). Useful for
-  /// asynchronous host-side staging and for testing comm-thread behaviour.
+  /// Run `fn` on the world group's channel, ordered with this rank's
+  /// world-group collectives. No sim time or stats are charged; exceptions
+  /// propagate at wait(). Useful for asynchronous host-side staging and for
+  /// testing channel behaviour.
   CommHandle icall(std::function<void()> fn) {
     auto op = std::make_shared<detail::CommOp>();
     op->accounted = false;
+    op->channel = world_->world_group();
     op->posted_clock = clock_ != nullptr ? clock_->time() : 0.0;
     op->done_clock = op->posted_clock;
     op->execute = [body = std::move(fn)](detail::CommOp&) { body(); };
@@ -285,7 +311,7 @@ class Communicator {
   void barrier(GroupId gid) {
     auto& g = world_->group(gid);
     const int pos = g.position_of(rank_);
-    post_op(Collective::Barrier, 0, [&g, pos](detail::CommOp& op) {
+    post_op(Collective::Barrier, gid, 0, [&g, pos](detail::CommOp& op) {
       const double floor = detail::publish(g, pos, nullptr, op.posted_clock);
       g.barrier->arrive_and_wait();
       detail::finish_read_phase(g, pos, floor, op);
@@ -315,7 +341,7 @@ class Communicator {
     const int pos = g.position_of(rank_);
     T* data = buf.data();
     const std::size_t n = buf.size();
-    post_op(Collective::Broadcast, static_cast<std::int64_t>(n * sizeof(T)),
+    post_op(Collective::Broadcast, gid, static_cast<std::int64_t>(n * sizeof(T)),
             [&g, pos, root_pos, data, n](detail::CommOp& op) {
               const double floor = detail::publish(g, pos, data, op.posted_clock);
               g.barrier->arrive_and_wait();
@@ -341,7 +367,7 @@ class Communicator {
     const std::size_t chunk = in.size() / static_cast<std::size_t>(g.size());
     const T* src_data = in.data();
     T* dst = out.data();
-    post_op(Collective::AllToAll, static_cast<std::int64_t>(in.size() * sizeof(T)),
+    post_op(Collective::AllToAll, gid, static_cast<std::int64_t>(in.size() * sizeof(T)),
             [&g, pos, src_data, dst, chunk](detail::CommOp& op) {
               const double floor = detail::publish(g, pos, src_data, op.posted_clock);
               g.barrier->arrive_and_wait();
@@ -372,7 +398,7 @@ class Communicator {
     for (const auto& s : send) my_bytes += static_cast<std::int64_t>(s.size() * sizeof(T));
     const auto* send_ptr = &send;
     auto* recv_ptr = &recv;
-    post_op(Collective::AllToAll, /*bytes=*/0,
+    post_op(Collective::AllToAll, gid, /*bytes=*/0,
             [&g, pos, send_ptr, recv_ptr, my_bytes](detail::CommOp& op) {
               detail::aux_value(g, pos) = static_cast<double>(my_bytes);
               const double floor = detail::publish(g, pos, send_ptr, op.posted_clock);
@@ -408,7 +434,7 @@ class Communicator {
   double scalar_reduce(GroupId gid, double value, bool is_max) {
     auto& g = world_->group(gid);
     const int pos = g.position_of(rank_);
-    return post_op(Collective::AllReduce, 8, [&g, pos, value, is_max](detail::CommOp& op) {
+    return post_op(Collective::AllReduce, gid, 8, [&g, pos, value, is_max](detail::CommOp& op) {
              detail::aux_value(g, pos) = value;
              const double floor = detail::publish(g, pos, nullptr, op.posted_clock);
              g.barrier->arrive_and_wait();
@@ -425,27 +451,72 @@ class Communicator {
   }
 
   /// The one accounting path every collective shares: build the op record,
-  /// hand it to the comm thread (or execute inline), return the handle.
-  CommHandle post_op(Collective kind, std::int64_t bytes,
+  /// hand it to the op's channel (or execute inline), return the handle.
+  /// `gid` is the channel routing key and must be the group the op runs on.
+  CommHandle post_op(Collective kind, GroupId gid, std::int64_t bytes,
                      std::function<void(detail::CommOp&)> body) {
     auto op = std::make_shared<detail::CommOp>();
     op->op = kind;
     op->bytes = bytes;
+    op->channel = gid;
     op->posted_clock = clock_ != nullptr ? clock_->time() : 0.0;
-    op->posted_compute_total = compute_charged_total_;
     op->execute = std::move(body);
+    if (clock_ != nullptr) outstanding_posts_.insert(op->posted_clock);
     dispatch(op);
     return CommHandle(std::move(op), this);
   }
 
   void dispatch(const std::shared_ptr<detail::CommOp>& op) {
     posted_any_ = true;
-    if (async_enabled_) {
-      if (!engine_) engine_ = std::make_unique<CommEngine>();
+    if (channel_budget_ > 0) {
+      if (!engine_) engine_ = std::make_unique<CommEngine>(channel_budget_);
       engine_->post(op);
     } else {
       CommEngine::run_inline(*op);
     }
+  }
+
+  /// Total compute-busy time inside the sim interval [a, b]. compute_spans_
+  /// is sorted and disjoint, so binary-search the first span ending after `a`
+  /// and walk forward.
+  double compute_overlap(double a, double b) const {
+    if (b <= a) return 0.0;
+    auto it = std::upper_bound(
+        compute_spans_.begin(), compute_spans_.end(), a,
+        [](double v, const std::pair<double, double>& s) { return v < s.second; });
+    double acc = 0.0;
+    for (; it != compute_spans_.end() && it->first < b; ++it) {
+      acc += std::min(b, it->second) - std::max(a, it->first);
+    }
+    return acc;
+  }
+
+  /// Drop compute spans no future retire can reference: a transfer interval
+  /// starts no earlier than its op's own post clock, so spans ending at or
+  /// before the oldest outstanding post (or before "now" when nothing is
+  /// outstanding) are dead. Amortised so the span list stays small over long
+  /// trainings.
+  void prune_compute_spans() {
+    if (compute_spans_.size() < 64) return;
+    const double floor = outstanding_posts_.empty()
+                             ? std::numeric_limits<double>::infinity()
+                             : *outstanding_posts_.begin();
+    auto keep = std::find_if(
+        compute_spans_.begin(), compute_spans_.end(),
+        [floor](const std::pair<double, double>& s) { return s.second > floor; });
+    compute_spans_.erase(compute_spans_.begin(), keep);
+  }
+
+  void forget_post(const detail::CommOp& op) {
+    if (clock_ == nullptr) return;
+    const auto it = outstanding_posts_.find(op.posted_clock);
+    if (it != outstanding_posts_.end()) outstanding_posts_.erase(it);
+  }
+
+  /// Accounting for a dropped (never-waited) handle: no time, no stats, but
+  /// the op must stop pinning the compute-span prune floor.
+  void discard(detail::CommOp& op) {
+    if (op.accounted) forget_post(op);
   }
 
   /// Charge the finished op onto this rank's clock/stats (caller thread only).
@@ -457,6 +528,7 @@ class Communicator {
       std::rethrow_exception(e);
     }
     if (!op.accounted) return op.scalar;
+    forget_post(op);
     auto& e = stats_.entry(op.op);
     e.calls += 1;
     e.bytes += op.bytes;
@@ -468,17 +540,16 @@ class Communicator {
     }
     const double t_wait = clock_->time();
     const double exposed = std::max(0.0, op.done_clock - t_wait);
-    // Hidden = the covered part of the transfer itself, capped by the compute
-    // this rank actually charged since posting. Exposed can exceed
-    // full_seconds (straggler + link-queue wait surfaces at a blocking
-    // wait()), and the clock can advance by waiting on *other* handles —
-    // neither queue delay nor wait-stall ever counts as hidden. The cap is an
-    // approximation for out-of-order waits: compute charged between another
-    // handle's wait and this one is credited even if it ran after this op's
-    // sim completion (exact attribution would need stall-interval tracking;
-    // FIFO waits — every schedule in core/ — are exact).
-    const double hidden = std::min(std::max(0.0, op.full_seconds - exposed),
-                                   compute_charged_total_ - op.posted_compute_total);
+    // Hidden = the part of the transfer interval [done - T, done] this rank
+    // spent computing, measured against the recorded busy intervals. Exact
+    // for any wait order: clock advances caused by waiting on *other*
+    // handles are not busy intervals, and compute charged after this op's
+    // sim completion lies outside the transfer interval, so neither is ever
+    // credited (the old compute-since-post cap could credit the latter under
+    // out-of-order waits). Exposed can exceed full_seconds (straggler +
+    // link-queue wait surfaces at a blocking wait()); hidden + exposed never
+    // exceeds full_seconds because busy intervals end at t_wait.
+    const double hidden = compute_overlap(op.done_clock - op.full_seconds, op.done_clock);
     e.sim_seconds += exposed;
     e.hidden_seconds += hidden;
     if (op.done_clock > clock_->time()) clock_->set(op.done_clock);
@@ -492,14 +563,14 @@ class Communicator {
   SimClock* clock_;
   CommStats stats_;
   Timeline timeline_;
-  double compute_charged_total_ = 0.0;  ///< lifetime sum of charge_compute()
-  bool async_enabled_;
+  /// Disjoint, sorted [t0, t1) intervals during which this rank charged
+  /// compute — the ground truth for exact hidden-time attribution.
+  std::vector<std::pair<double, double>> compute_spans_;
+  /// Post clocks of accounted, not-yet-retired ops (prune floor).
+  std::multiset<double> outstanding_posts_;
+  int channel_budget_;       ///< snapshot of comm_thread_budget() at creation
   bool posted_any_ = false;  ///< any op dispatched (guards set_clock)
   std::unique_ptr<CommEngine> engine_;
-  /// All-reduce accumulation scratch, reused across ops (only the executing
-  /// thread touches it; see iall_reduce_sum).
-  std::shared_ptr<std::vector<unsigned char>> scratch_ =
-      std::make_shared<std::vector<unsigned char>>();
 };
 
 inline double CommHandle::wait() {
@@ -508,6 +579,17 @@ inline double CommHandle::wait() {
   if (op_->retired) return op_->scalar;  // second wait: cached result, no charge
   op_->retired = true;
   return owner_->retire(*op_);
+}
+
+inline void CommHandle::release() {
+  if (op_ && !op_->retired) {
+    // Completing (not cancelling) keeps the barrier protocol matched; any
+    // pending error dies with the op record.
+    op_->wait_finished();
+    op_->retired = true;
+    if (owner_ != nullptr) owner_->discard(*op_);
+  }
+  op_.reset();
 }
 
 }  // namespace plexus::comm

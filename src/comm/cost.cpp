@@ -1,5 +1,6 @@
 #include "comm/cost.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace plexus::comm {
@@ -36,6 +37,29 @@ double collective_time(Collective op, std::int64_t bytes, int group_size, const 
       return m / link.bandwidth + link.latency;
   }
   return 0.0;
+}
+
+const char* collective_name(Collective op) {
+  switch (op) {
+    case Collective::Barrier: return "Barrier";
+    case Collective::Broadcast: return "Broadcast";
+    case Collective::AllGather: return "AllGather";
+    case Collective::AllReduce: return "AllReduce";
+    case Collective::ReduceScatter: return "ReduceScatter";
+    case Collective::AllToAll: return "AllToAll";
+    case Collective::Send: return "Send";
+  }
+  return "?";
+}
+
+int choose_pipeline_depth(double block_compute_seconds, double block_ring_seconds,
+                          int num_blocks, int max_depth) {
+  if (num_blocks <= 1 || block_ring_seconds <= 0.0) return 1;
+  const int cap = std::max(2, std::min(num_blocks, max_depth));
+  if (block_compute_seconds <= 0.0) return cap;  // nothing to hide behind: max lookahead
+  const double ratio = block_ring_seconds / block_compute_seconds;
+  const int depth = 2 + static_cast<int>(std::ceil(ratio));
+  return std::max(2, std::min(depth, cap));
 }
 
 }  // namespace plexus::comm

@@ -40,4 +40,21 @@ struct LinkParams {
 double collective_time(Collective op, std::int64_t bytes, int group_size,
                        const LinkParams& link, double a2a_distance_penalty = 1.0);
 
+/// Human-readable op name ("AllReduce", ...) for traces and tables.
+const char* collective_name(Collective op);
+
+/// Perf-model rule for the software-pipeline depth of a blocked aggregation
+/// (paper section 5.2 + the section 4 cost model): given the *fastest*
+/// per-block compute time and the *slowest* per-block ring time, return the
+/// smallest depth whose `depth - 1` in-flight slots let every collective
+/// complete inside the compute of the blocks posted after it. Compute-bound
+/// blocks (ring <= compute) need only one spare slot plus slack; comm-bound
+/// blocks need ceil(ring / compute) lookahead because the ring is the
+/// bottleneck and the poster must keep it fed. Exposed simulated comm time is
+/// monotone non-increasing in depth, so erring deep is safe; the returned
+/// value is clamped to [2, min(num_blocks, max_depth)] (1 when there is
+/// nothing to pipeline: a single block or a free collective).
+int choose_pipeline_depth(double block_compute_seconds, double block_ring_seconds,
+                          int num_blocks, int max_depth = 8);
+
 }  // namespace plexus::comm

@@ -8,23 +8,42 @@
 
 namespace plexus::comm {
 
-CommEngine::CommEngine() : worker_([this] { loop(); }) {}
+namespace detail {
+
+std::vector<unsigned char>& op_scratch() {
+  static thread_local std::vector<unsigned char> buf;
+  return buf;
+}
+
+}  // namespace detail
+
+CommEngine::CommEngine(int channels) {
+  channels_.resize(static_cast<std::size_t>(std::max(1, channels)));
+  for (auto& ch : channels_) ch = std::make_unique<Channel>();
+}
 
 CommEngine::~CommEngine() {
-  {
-    std::lock_guard<std::mutex> lock(m_);
-    stop_ = true;
+  for (auto& ch : channels_) {
+    {
+      std::lock_guard<std::mutex> lock(ch->m);
+      ch->stop = true;
+    }
+    ch->cv.notify_all();
   }
-  cv_.notify_all();
-  worker_.join();
+  for (auto& ch : channels_) {
+    if (ch->worker.joinable()) ch->worker.join();
+  }
 }
 
 void CommEngine::post(std::shared_ptr<detail::CommOp> op) {
+  const auto idx = static_cast<std::size_t>(op->channel) % channels_.size();
+  Channel& ch = *channels_[idx];
   {
-    std::lock_guard<std::mutex> lock(m_);
-    queue_.push_back(std::move(op));
+    std::lock_guard<std::mutex> lock(ch.m);
+    ch.queue.push_back(std::move(op));
+    if (!ch.worker.joinable()) ch.worker = std::thread([this, &ch] { loop(ch); });
   }
-  cv_.notify_one();
+  ch.cv.notify_one();
 }
 
 void CommEngine::run_inline(detail::CommOp& op) {
@@ -37,18 +56,18 @@ void CommEngine::run_inline(detail::CommOp& op) {
   op.mark_finished();
 }
 
-void CommEngine::loop() {
-  // The comm thread moves bytes; it must never recursively build a kernel
-  // pool, so it keeps the serial budget for its whole lifetime.
+void CommEngine::loop(Channel& ch) {
+  // Channel threads move bytes; they must never recursively build a kernel
+  // pool, so each keeps the serial budget for its whole lifetime.
   util::set_intra_rank_threads(1);
   for (;;) {
     std::shared_ptr<detail::CommOp> op;
     {
-      std::unique_lock<std::mutex> lock(m_);
-      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ set and fully drained
-      op = std::move(queue_.front());
-      queue_.pop_front();
+      std::unique_lock<std::mutex> lock(ch.m);
+      ch.cv.wait(lock, [&] { return ch.stop || !ch.queue.empty(); });
+      if (ch.queue.empty()) return;  // stop set and fully drained
+      op = std::move(ch.queue.front());
+      ch.queue.pop_front();
     }
     run_inline(*op);
   }

@@ -1,22 +1,29 @@
 #pragma once
 /// \file handle.hpp
 /// Nonblocking-collective plumbing: the shared op record, the `CommHandle`
-/// a caller polls/waits on, and the per-rank `CommEngine` comm thread.
+/// a caller polls/waits on, and the per-rank `CommEngine` channel threads.
 ///
 /// Every collective — blocking or not — is represented by one `detail::CommOp`
-/// and executed by exactly one thread per rank: the rank's dedicated comm
-/// thread when `comm_thread_budget() > 0` (the default), or the posting thread
-/// itself in inline mode (`PLEXUS_COMM_THREADS=0`). Because each rank's ops
-/// run strictly in post order, the per-group barrier protocol of
+/// and executed by exactly one thread per rank: one of the rank's comm
+/// *channels* when `comm_thread_budget() > 0` (the default), or the posting
+/// thread itself in inline mode (`PLEXUS_COMM_THREADS=0`). Ops are routed to
+/// channels by their `GroupId` (channel = gid mod budget), so ops on the same
+/// group always run strictly in post order — the per-group barrier protocol of
 /// communicator.hpp stays matched across ranks exactly as in the blocking-only
-/// design — SPMD programs must post collectives on a group in the same order
-/// on every member, the same rule MPI imposes on nonblocking collectives.
+/// design — while ops on groups mapped to *different* channels execute
+/// concurrently in real time (disjoint X-/Y-/Z-line collectives overlap on the
+/// wall clock the way the sim cost model already lets them overlap in
+/// simulated time). SPMD programs must post collectives on a group in the same
+/// order on every member, the same rule MPI imposes on nonblocking
+/// collectives; additionally, cross-group posting order must be consistent
+/// across ranks for groups that share a channel (with one channel — the old
+/// single-FIFO behaviour — that means all groups).
 ///
 /// Sim-time semantics (see communicator.hpp for the full contract): an op
 /// records the poster's clock at post time and, during execution, derives its
 /// completion instant `done_clock` from all members' post clocks, the group's
 /// link-busy horizon and the ring cost model. The *caller* charges clocks and
-/// stats at `wait()`; the comm thread never touches the rank clock.
+/// stats at `wait()`; channel threads never touch the rank clock.
 
 #include <condition_variable>
 #include <cstdint>
@@ -26,6 +33,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "comm/cost.hpp"
 
@@ -44,9 +52,9 @@ struct CommOp {
 
   Collective op = Collective::Barrier;
   std::int64_t bytes = 0;
+  int channel = 0;             ///< channel routing key (the op's GroupId)
   bool accounted = true;       ///< false for user ops (icall): no stats/clock
   double posted_clock = 0.0;   ///< poster's sim clock at post time
-  double posted_compute_total = 0.0;  ///< poster's cumulative compute at post
 
   // Filled by execute (read phase):
   double full_seconds = 0.0;   ///< cost-model duration of the collective
@@ -76,6 +84,11 @@ struct CommOp {
     return finished;
   }
 };
+
+/// Per-executing-thread accumulation scratch for in-place reductions. Each
+/// channel thread (and each posting thread in inline mode) owns its own
+/// buffer, so concurrent ops on different channels never race on scratch.
+std::vector<unsigned char>& op_scratch();
 
 }  // namespace detail
 
@@ -128,49 +141,58 @@ class CommHandle {
   CommHandle(std::shared_ptr<detail::CommOp> op, Communicator* owner)
       : op_(std::move(op)), owner_(owner) {}
 
-  void release() {
-    // Completing (not cancelling) keeps the barrier protocol matched; any
-    // pending error dies with the op record.
-    if (op_ && !op_->retired) op_->wait_finished();
-    op_.reset();
-  }
+  /// Defined in communicator.hpp: completing (not cancelling) keeps the
+  /// barrier protocol matched, then tells the owner the op was abandoned so
+  /// its stall-interval bookkeeping stays exact. Any pending error dies with
+  /// the op record.
+  void release();
 
   std::shared_ptr<detail::CommOp> op_;
   Communicator* owner_ = nullptr;
 };
 
-/// Per-rank comm thread: executes posted ops strictly in FIFO order. The
-/// worker runs with an intra-rank kernel budget of 1 so the data movement it
-/// performs never spawns a compute pool of its own.
+/// Per-rank comm channels: op k executes on channel `op->channel mod
+/// channel_count`, strictly in post order *within* a channel; ops routed to
+/// different channels run concurrently. Channel workers are spawned lazily on
+/// first use and run with an intra-rank kernel budget of 1 so the data
+/// movement they perform never spawns a compute pool of its own.
 class CommEngine {
  public:
-  CommEngine();
-  ~CommEngine();  ///< drains the queue, then joins the worker
+  /// `channels` is clamped below at 1 (the single-FIFO behaviour).
+  explicit CommEngine(int channels);
+  ~CommEngine();  ///< drains every channel queue, then joins the workers
   CommEngine(const CommEngine&) = delete;
   CommEngine& operator=(const CommEngine&) = delete;
 
   void post(std::shared_ptr<detail::CommOp> op);
 
+  int channel_count() const { return static_cast<int>(channels_.size()); }
+
   /// Execute an op on the calling thread (inline mode / comm budget 0).
   static void run_inline(detail::CommOp& op);
 
  private:
-  void loop();
+  struct Channel {
+    std::mutex m;
+    std::condition_variable cv;
+    std::deque<std::shared_ptr<detail::CommOp>> queue;
+    bool stop = false;
+    std::thread worker;  ///< spawned on the channel's first post
+  };
 
-  std::mutex m_;
-  std::condition_variable cv_;
-  std::deque<std::shared_ptr<detail::CommOp>> queue_;
-  bool stop_ = false;
-  std::thread worker_;
+  void loop(Channel& ch);
+
+  std::vector<std::unique_ptr<Channel>> channels_;
 };
 
-/// Dedicated comm threads per rank. Resolution order: the value set by
+/// Comm channel budget per rank. Resolution order: the value set by
 /// `set_comm_thread_budget`, else the PLEXUS_COMM_THREADS environment
 /// variable, else 1. 0 means inline mode: collectives execute on the posting
-/// thread at post time (no overlap, no extra threads) — the sim-time math is
-/// identical, only real concurrency is lost. Values > 1 are reserved for
-/// future per-group channels and currently behave like 1 (the op stream is
-/// totally ordered, so one thread saturates it).
+/// thread at post time (no real overlap, no extra threads) — the sim-time
+/// math is identical, only real concurrency is lost. 1 is the single-FIFO
+/// comm thread; values > 1 cap the number of concurrent per-group channels
+/// (ops on GroupIds congruent mod the budget share a channel and serialise).
+/// Simulated clocks, stats and losses are bitwise-identical for any value.
 int comm_thread_budget();
 
 /// Process-wide override (clamped to [0, 8]); -1 restores the environment

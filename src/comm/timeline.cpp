@@ -1,0 +1,65 @@
+#include "comm/timeline.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace plexus::comm {
+
+namespace {
+
+constexpr int kLaneCompute = 0;
+constexpr int kLaneInFlight = 1;
+constexpr int kLaneExposed = 2;
+
+int lane_of(TimelineSpan::Kind kind) {
+  switch (kind) {
+    case TimelineSpan::Kind::Compute: return kLaneCompute;
+    case TimelineSpan::Kind::CommInFlight: return kLaneInFlight;
+    case TimelineSpan::Kind::CommExposed: return kLaneExposed;
+  }
+  return kLaneCompute;
+}
+
+void write_thread_name(std::ostream& os, int pid, int tid, const char* name, bool& first) {
+  if (!first) os << ",\n";
+  first = false;
+  os << "  {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
+     << ",\"args\":{\"name\":\"" << name << "\"}}";
+}
+
+}  // namespace
+
+void write_chrome_trace(const Timeline& timeline, std::ostream& os, int pid) {
+  os << std::setprecision(15);  // microsecond stamps keep full double precision
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  write_thread_name(os, pid, kLaneCompute, "compute", first);
+  write_thread_name(os, pid, kLaneInFlight, "comm in-flight", first);
+  write_thread_name(os, pid, kLaneExposed, "comm exposed", first);
+  // Fixed-point microsecond timestamps keep the output locale-independent
+  // and chrome://tracing-friendly (it truncates sub-us precision anyway).
+  for (const auto& s : timeline.spans()) {
+    const char* name =
+        s.kind == TimelineSpan::Kind::Compute ? "compute" : collective_name(s.op);
+    const char* cat = s.kind == TimelineSpan::Kind::Compute
+                          ? "compute"
+                          : (s.kind == TimelineSpan::Kind::CommInFlight ? "comm-inflight"
+                                                                        : "comm-exposed");
+    os << ",\n  {\"name\":\"" << name << "\",\"cat\":\"" << cat << "\",\"ph\":\"X\",\"ts\":"
+       << s.t0 * 1e6 << ",\"dur\":" << s.seconds() * 1e6 << ",\"pid\":" << pid
+       << ",\"tid\":" << lane_of(s.kind) << "}";
+  }
+  os << "\n]}\n";
+}
+
+void write_chrome_trace_file(const Timeline& timeline, const std::string& path, int pid) {
+  std::ofstream out(path);
+  PLEXUS_CHECK(out.good(), "write_chrome_trace_file: cannot open output file");
+  write_chrome_trace(timeline, out, pid);
+  PLEXUS_CHECK(out.good(), "write_chrome_trace_file: write failed");
+}
+
+}  // namespace plexus::comm

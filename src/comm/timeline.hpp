@@ -18,6 +18,8 @@
 /// zero), the quantity the paper's blocked aggregation (section 5.2)
 /// maximises; link-queue delay counts as neither.
 
+#include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "comm/cost.hpp"
@@ -59,5 +61,17 @@ class Timeline {
   bool enabled_ = false;
   std::vector<TimelineSpan> spans_;
 };
+
+/// Serialise a timeline as Chrome-trace JSON (the `chrome://tracing` /
+/// Perfetto "traceEvents" format) so simulated schedules are inspectable
+/// visually. Spans become complete ("ph":"X") events in microseconds on three
+/// named lanes of process `pid`: compute, comm in-flight, comm exposed; comm
+/// events are named after their collective. `pid` lets multiple ranks share
+/// one trace file.
+void write_chrome_trace(const Timeline& timeline, std::ostream& os, int pid = 0);
+
+/// Convenience: write_chrome_trace to `path` (overwrites). Throws
+/// plexus::util errors on I/O failure.
+void write_chrome_trace_file(const Timeline& timeline, const std::string& path, int pid = 0);
 
 }  // namespace plexus::comm

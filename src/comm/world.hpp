@@ -25,6 +25,9 @@ using GroupId = int;
 
 /// Shared per-group state. `slots` hold pointers published by members during a
 /// collective; `clock_slots` carry their simulated clocks for synchronisation.
+/// All mutable protocol state is per-group (guarded by the group's own op
+/// barriers), so collectives on *different* groups may execute concurrently
+/// on per-group comm channels without any cross-group synchronisation.
 struct GroupShared {
   std::vector<int> members;  ///< global ranks, ascending
   LinkParams link;
@@ -58,6 +61,10 @@ class World {
 
   /// Group 0: all ranks, default link parameters.
   GroupId world_group() const { return 0; }
+
+  /// Number of groups created so far (GroupIds are dense: [0, group_count)).
+  /// GroupIds double as comm-channel routing keys (see comm/handle.hpp).
+  int group_count() const { return static_cast<int>(groups_.size()); }
 
   /// Create a process group. NOT thread-safe: call before the SPMD region.
   GroupId create_group(std::vector<int> members, LinkParams link = {},

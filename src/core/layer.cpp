@@ -93,6 +93,37 @@ dense::Matrix DistGcnLayer::gather_weight_block(sim::RankContext& ctx) {
   return gathered_weights(ctx);
 }
 
+int DistGcnLayer::resolve_depth(sim::RankContext& ctx, const sparse::Csr& a,
+                                const std::vector<std::int64_t>& bounds,
+                                std::int64_t dense_rows, comm::GroupId gid,
+                                comm::Collective op, int* cache) {
+  if (opts_.pipeline_depth > 0) return opts_.pipeline_depth;
+  if (*cache > 0) return *cache;
+  // Adaptive (pipeline_depth == 0): pick the depth from the exact per-block
+  // costs — the fastest block's noise-free SpMM time (noise only slows blocks
+  // down, so this lower-bounds the hiding window) against the largest block's
+  // ring time on this group's links.
+  const int nb = static_cast<int>(bounds.size()) - 1;
+  double t_spmm_min = 0.0;
+  std::int64_t max_rows = 0;
+  bool any = false;
+  for (int k = 0; k < nb; ++k) {
+    const std::int64_t b0 = bounds[static_cast<std::size_t>(k)];
+    const std::int64_t b1 = bounds[static_cast<std::size_t>(k) + 1];
+    if (b0 == b1) continue;
+    const sim::SpmmShape shape{a.range_nnz(b0, b1), b1 - b0, dense_rows, din_q_};
+    const double t = sim::spmm_time(*ctx.machine, shape);
+    t_spmm_min = any ? std::min(t_spmm_min, t) : t;
+    max_rows = std::max(max_rows, b1 - b0);
+    any = true;
+  }
+  const auto& g = ctx.comm.world().group(gid);
+  const double t_ring = comm::collective_time(op, 4 * max_rows * din_q_, g.size(), g.link,
+                                              g.a2a_distance_penalty);
+  *cache = comm::choose_pipeline_depth(t_spmm_min, t_ring, nb);
+  return *cache;
+}
+
 dense::Matrix DistGcnLayer::forward(sim::RankContext& ctx, const dense::Matrix& f_in, bool last,
                                     std::uint64_t epoch_seed, KernelTimers& timers) {
   PLEXUS_CHECK(f_in.rows() == rows_p_ && f_in.cols() == din_q_, "forward input block shape");
@@ -110,8 +141,9 @@ dense::Matrix DistGcnLayer::forward(sim::RankContext& ctx, const dense::Matrix& 
   // timeline it hides behind the SpMM blocks instead of charging full latency.
   h_ = dense::Matrix(rows_r_, din_q_);
   const int nb = std::max(1, opts_.agg_row_blocks);
-  const int depth = std::max(1, opts_.pipeline_depth);
   const auto bounds = sparse::block_bounds(rows_r_, nb);
+  const int depth = resolve_depth(ctx, adj_->a, bounds, rows_p_, p_group_,
+                                  comm::Collective::AllReduce, &fwd_depth_);
 
   dense::Matrix w_block;
   comm::CommHandle w_gather = igathered_weights(ctx, w_block);
@@ -155,7 +187,8 @@ dense::Matrix DistGcnLayer::forward(sim::RankContext& ctx, const dense::Matrix& 
 }
 
 dense::Matrix DistGcnLayer::backward(sim::RankContext& ctx, const dense::Matrix& df_out,
-                                     bool last, KernelTimers& timers, bool fuse_r_all_reduce) {
+                                     bool last, KernelTimers& timers, FinalReduce final_reduce,
+                                     std::span<float> grad_slice) {
   PLEXUS_CHECK(df_out.rows() == rows_r_ && df_out.cols() == dout_p_, "backward input shape");
   const sim::Machine& m = *ctx.machine;
 
@@ -206,13 +239,27 @@ dense::Matrix DistGcnLayer::backward(sim::RankContext& ctx, const dense::Matrix&
   ctx.comm.all_reduce_sum<float>(p_group_, dh.flat());
 
   // dF = SpMM(A^T, dH) (eq. 2.7), blocked over output rows — the backward
-  // mirror of section 5.2. With `fuse_r_all_reduce` each block's R-group
-  // all-reduce pipelines behind the next block's SpMM; otherwise the caller
-  // applies the final R-group collective (reduce-scatter at layer 0).
+  // mirror of section 5.2. The final R-group collective pipelines behind the
+  // next block's SpMM: per-block all-reduces for the hidden layers, or (layer
+  // 0 with trainable features) per-block reduce-scatters whose R-aligned row
+  // blocks land directly on the caller's resharded flat gradient slice.
   dense::Matrix df_in(rows_p_, din_q_);
   const int nb = std::max(1, opts_.agg_row_blocks);
-  const int depth = std::max(1, opts_.pipeline_depth);
-  const auto bounds = sparse::block_bounds(rows_p_, nb);
+  const bool scatter = final_reduce == FinalReduce::ReduceScatter;
+  const auto bounds = scatter ? sparse::block_bounds_aligned(rows_p_, nb, ext_r_)
+                              : sparse::block_bounds(rows_p_, nb);
+  const int depth =
+      final_reduce == FinalReduce::None
+          ? 1
+          : resolve_depth(ctx, adj_->a_t, bounds, rows_r_, r_group_,
+                          scatter ? comm::Collective::ReduceScatter
+                                  : comm::Collective::AllReduce,
+                          &bwd_depth_);
+  if (scatter) {
+    PLEXUS_CHECK(grad_slice.size() ==
+                     static_cast<std::size_t>(rows_p_ / ext_r_ * din_q_),
+                 "backward: grad_slice does not match the resharded feature slice");
+  }
   std::deque<comm::CommHandle> inflight;
   for (int k = 0; k < nb; ++k) {
     const std::int64_t b0 = bounds[static_cast<std::size_t>(k)];
@@ -223,13 +270,21 @@ dense::Matrix DistGcnLayer::backward(sim::RankContext& ctx, const dense::Matrix&
     const double t = sim::spmm_time(m, shape);
     ctx.comm.charge_compute(t);
     timers.spmm += t;
-    if (fuse_r_all_reduce) {
-      std::span<float> rows{df_in.row(b0), static_cast<std::size_t>((b1 - b0) * din_q_)};
-      inflight.push_back(ctx.comm.iall_reduce_sum<float>(r_group_, rows));
+    std::span<const float> rows{df_in.row(b0), static_cast<std::size_t>((b1 - b0) * din_q_)};
+    if (final_reduce == FinalReduce::AllReduce) {
+      std::span<float> inout{df_in.row(b0), rows.size()};
+      inflight.push_back(ctx.comm.iall_reduce_sum<float>(r_group_, inout));
+      trim_pipeline(inflight, depth);
+    } else if (scatter) {
+      std::span<float> out =
+          grad_slice.subspan(static_cast<std::size_t>(b0 / ext_r_ * din_q_),
+                             rows.size() / static_cast<std::size_t>(ext_r_));
+      inflight.push_back(ctx.comm.ireduce_scatter_sum<float>(r_group_, rows, out));
       trim_pipeline(inflight, depth);
     }
   }
   drain_pipeline(inflight);
+  if (scatter) return {};
   return df_in;
 }
 

@@ -12,6 +12,8 @@
 /// synchronise through the communicator.
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "core/adjacency_store.hpp"
 #include "core/grid.hpp"
@@ -29,13 +31,24 @@ struct PlexusOptions {
   int agg_row_blocks = 1;       ///< >1 enables blocked aggregation (section 5.2)
   bool gemm_dw_tuning = false;  ///< reversed dL/dW multiplication order (section 5.3)
   /// Software-pipeline depth of blocked aggregation: while a block's SpMM
-  /// runs, up to `pipeline_depth - 1` per-block all-reduces may be in flight
-  /// on the comm thread. 1 = fully blocking (wait immediately after post);
-  /// 2 = the classic one-block lookahead of section 5.2. Losses are
-  /// bitwise-identical for any depth — only the exposed comm time changes.
+  /// runs, up to `pipeline_depth - 1` per-block collectives may be in flight
+  /// on the comm channels. 1 = fully blocking (wait immediately after post);
+  /// 2 = the classic one-block lookahead of section 5.2. 0 = adaptive: each
+  /// layer picks its own depth from the perf model (per-block SpMM time vs
+  /// per-block ring time — comm::choose_pipeline_depth), separately for the
+  /// forward and backward aggregations. Losses are bitwise-identical for any
+  /// depth — only the exposed comm time changes, and the adaptive choice
+  /// exposes no more than any fixed depth.
   int pipeline_depth = 2;
   dense::AdamConfig adam;
 };
+
+/// How DistGcnLayer::backward applies the final R-group collective to the
+/// partial dF_in block (section 3.2): fused into the blocked dF SpMM pipeline
+/// as per-block all-reduces (layers > 0), fused as per-block reduce-scatters
+/// onto the caller's row-major-resharded gradient slice (layer 0 with
+/// trainable features), or left to the caller entirely.
+enum class FinalReduce { None, AllReduce, ReduceScatter };
 
 /// Per-rank accumulated simulated kernel time, by category.
 struct KernelTimers {
@@ -59,16 +72,22 @@ class DistGcnLayer {
                         std::uint64_t epoch_seed, KernelTimers& timers);
 
   /// Backward: df_out is the gradient w.r.t. this layer's output (same block
-  /// layout as the forward output, replicated over Q). Returns the *partial*
-  /// dF_in block (N/P x Din/Q). When `fuse_r_all_reduce` is set the layer
-  /// itself applies the R-group all-reduce, pipelined against the blocked
-  /// dF = SpMM(A^T, dH) (the backward mirror of section 5.2) — the returned
-  /// block is then the *reduced* dF_in. Otherwise the caller applies the
-  /// final R-group collective (reduce-scatter at layer 0 — the section 3.2
-  /// distinction). Stores dW internally; its reduce-scatter is posted
-  /// asynchronously and retired in apply_grad().
+  /// layout as the forward output, replicated over Q). The final R-group
+  /// collective over the partial dF_in block is applied per `final_reduce`,
+  /// pipelined against the blocked dF = SpMM(A^T, dH) (the backward mirror of
+  /// section 5.2):
+  ///  * FinalReduce::AllReduce — returns the *reduced* dF_in block.
+  ///  * FinalReduce::ReduceScatter — row blocks are aligned to the R extent
+  ///    and each block is reduce-scattered onto `grad_slice` (the caller's
+  ///    row-major-resharded flat gradient slice, layer 0 / section 3.2);
+  ///    returns an empty matrix.
+  ///  * FinalReduce::None — returns the *partial* dF_in; the caller applies
+  ///    whatever collective it needs.
+  /// Stores dW internally; its reduce-scatter is posted asynchronously and
+  /// retired in apply_grad().
   dense::Matrix backward(sim::RankContext& ctx, const dense::Matrix& df_out, bool last,
-                         KernelTimers& timers, bool fuse_r_all_reduce = false);
+                         KernelTimers& timers, FinalReduce final_reduce = FinalReduce::None,
+                         std::span<float> grad_slice = {});
 
   /// Adam step on the local weight slice using the gradient from backward().
   /// Waits for the asynchronous dW reduce-scatter posted there.
@@ -86,6 +105,15 @@ class DistGcnLayer {
   /// into `w_block`; the caller waits the handle before reading it.
   comm::CommHandle igathered_weights(sim::RankContext& ctx, dense::Matrix& w_block);
   dense::Matrix gathered_weights(sim::RankContext& ctx);
+
+  /// Pipeline depth for this layer's blocked aggregation: the fixed
+  /// PlexusOptions value, or (pipeline_depth == 0) the perf-model choice from
+  /// the actual per-block SpMM times and this group's ring parameters —
+  /// computed once per (direction, collective) and cached. Purely a local
+  /// scheduling decision: ranks need not agree on it.
+  int resolve_depth(sim::RankContext& ctx, const sparse::Csr& a,
+                    const std::vector<std::int64_t>& bounds, std::int64_t dense_rows,
+                    comm::GroupId gid, comm::Collective op, int* cache);
 
   const PlexusDataset* ds_;
   const Grid3D* grid_;
@@ -119,6 +147,11 @@ class DistGcnLayer {
   // compute) is retired in apply_grad.
   dense::Matrix dw_block_;
   comm::CommHandle dw_handle_;
+
+  // Cached adaptive pipeline depths (0 = not yet computed); the machine,
+  // shards and links are fixed for the layer's lifetime.
+  int fwd_depth_ = 0;
+  int bwd_depth_ = 0;
 };
 
 }  // namespace plexus::core

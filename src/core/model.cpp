@@ -1,7 +1,11 @@
 #include "core/model.hpp"
 
+#include <algorithm>
+#include <span>
+
 #include "core/shard.hpp"
 #include "sim/kernels.hpp"
+#include "sparse/partition2d.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -39,22 +43,54 @@ DistGcn::DistGcn(sim::RankContext& ctx, const PlexusDataset& ds, const Grid3D& g
         spec_.seed));
   }
 
-  // Input feature shard: block (rows along P0, cols along Q0), flat-sharded
-  // across R0 because the trainable embeddings carry Adam state (section 3.1).
+  // Input feature shard: block (rows along P0, cols along Q0), sharded 1/R0
+  // across R0 because the trainable embeddings carry Adam state (section
+  // 3.1). The slice is resharded row-major against the R0-aligned aggregation
+  // row blocks (see model.hpp) so the layer-0 gradient reduce-scatter and the
+  // input gather both run per block and join the software pipeline.
   const LayerRoles r0 = roles_for_layer(0);
   const Coords c = grid.coords_of(ctx.rank());
   const auto blk = matrix_shard(ds.padded_nodes, padded_dims_[0], grid, c, r0.p, r0.q);
   f_block_rows_ = blk.rows.size();
   f_block_cols_ = blk.cols.size();
   const dense::Matrix f_block = extract_block(ds.features, blk.rows, blk.cols);
-  f_slice_ = flat_slice(f_block, grid.extent(r0.r), Grid3D::coord(c, r0.r));
+  f_r_ext_ = grid.extent(r0.r);
+  f_r_coord_ = Grid3D::coord(c, r0.r);
+  const int nb = std::max(1, spec_.options.agg_row_blocks);
+  f_bounds_ = sparse::block_bounds_aligned(f_block_rows_, nb, f_r_ext_);
+  f_slice_.reserve(static_cast<std::size_t>(f_block_rows_ / f_r_ext_ * f_block_cols_));
+  for (std::size_t k = 0; k + 1 < f_bounds_.size(); ++k) {
+    const std::int64_t len = f_bounds_[k + 1] - f_bounds_[k];
+    const std::int64_t sub = len / f_r_ext_;
+    const std::int64_t r0_row = f_bounds_[k] + f_r_coord_ * sub;
+    const float* src = f_block.row(r0_row);
+    f_slice_.insert(f_slice_.end(), src, src + sub * f_block_cols_);
+  }
   df_slice_.assign(f_slice_.size(), 0.0f);
   f_adam_ = dense::Adam(f_slice_.size(), spec_.options.adam);
 }
 
 dense::Matrix DistGcn::gather_input_features(sim::RankContext& ctx) {
+  // One all-gather per aggregation row block: member m's sub-slice of block k
+  // lands exactly on rows [b0 + m*len/R0, b0 + (m+1)*len/R0) — the reshard
+  // layout — so the gathers reassemble the row-major block in place. Posting
+  // all blocks before waiting pipelines them on the R0 ring.
   dense::Matrix block(f_block_rows_, f_block_cols_);
-  ctx.comm.all_gather<float>(layers_[0]->r_group(), f_slice_, block.flat());
+  const auto gid = layers_[0]->r_group();
+  std::vector<comm::CommHandle> inflight;
+  inflight.reserve(f_bounds_.size());
+  std::size_t off = 0;
+  for (std::size_t k = 0; k + 1 < f_bounds_.size(); ++k) {
+    const std::int64_t b0 = f_bounds_[k];
+    const std::int64_t len = f_bounds_[k + 1] - b0;
+    if (len == 0) continue;  // bounds are grid-derived, identical on all members
+    const std::size_t n = static_cast<std::size_t>(len / f_r_ext_ * f_block_cols_);
+    std::span<const float> in{f_slice_.data() + off, n};
+    std::span<float> out{block.row(b0), static_cast<std::size_t>(len * f_block_cols_)};
+    inflight.push_back(ctx.comm.iall_gather<float>(gid, in, out));
+    off += n;
+  }
+  for (auto& h : inflight) h.wait();
   return block;
 }
 
@@ -86,19 +122,18 @@ EpochStats DistGcn::train_epoch(sim::RankContext& ctx, int epoch) {
 
   // Backward sweep (Alg. 2 per layer). Between layers the partial dF_in is
   // all-reduced over that layer's R group — fused into the layer's blocked
-  // dF SpMM so the per-block all-reduce pipelines behind compute; at layer 0
-  // it is reduce-scattered onto the trainable feature slices instead
-  // (section 3.2).
+  // dF SpMM so the per-block collective pipelines behind compute; at layer 0
+  // it is reduce-scattered per block onto the resharded trainable feature
+  // slices instead (section 3.2), riding the same pipeline.
   dense::Matrix df = std::move(loss.dlogits);
   for (int l = L - 1; l >= 0; --l) {
     auto& layer = *layers_[static_cast<std::size_t>(l)];
+    const FinalReduce mode = l > 0 ? FinalReduce::AllReduce
+                                   : (spec_.train_input_features ? FinalReduce::ReduceScatter
+                                                                 : FinalReduce::None);
     dense::Matrix df_partial =
-        layer.backward(ctx, df, /*last=*/l == L - 1, timers, /*fuse_r_all_reduce=*/l > 0);
-    if (l > 0) {
-      df = std::move(df_partial);  // already reduced over the layer's R group
-    } else if (spec_.train_input_features) {
-      ctx.comm.reduce_scatter_sum<float>(layer.r_group(), df_partial.flat(), df_slice_);
-    }
+        layer.backward(ctx, df, /*last=*/l == L - 1, timers, mode, df_slice_);
+    if (l > 0) df = std::move(df_partial);  // already reduced over the layer's R group
   }
 
   // Optimizer step.

@@ -82,12 +82,21 @@ class DistGcn {
   std::unique_ptr<AdjacencyStore> adj_store_;
   std::vector<std::unique_ptr<DistGcnLayer>> layers_;
 
-  // Trainable input features: flat 1/R0 slice of the (N/P0 x D0/Q0) block.
+  // Trainable input features: a 1/R0 slice of the (N/P0 x D0/Q0) block,
+  // resharded row-major against the blocked-aggregation row blocks: for each
+  // aggregation block this rank owns the coord_r0-th sub-range of its rows.
+  // This alignment lets the layer-0 feature-gradient reduce-scatter run
+  // per block inside the backward software pipeline, and the input gather run
+  // per block, instead of as one unblocked collective (with agg_row_blocks ==
+  // 1 the layout degenerates to the old contiguous flat slice).
   std::vector<float> f_slice_;
   std::vector<float> df_slice_;
   dense::Adam f_adam_;
   std::int64_t f_block_rows_ = 0;
   std::int64_t f_block_cols_ = 0;
+  std::vector<std::int64_t> f_bounds_;  ///< R0-aligned aggregation row blocks
+  int f_r_ext_ = 1;                     ///< R0 extent (reshard parts)
+  int f_r_coord_ = 0;                   ///< this rank's R0 coordinate
 };
 
 }  // namespace plexus::core

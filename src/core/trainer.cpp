@@ -49,7 +49,7 @@ TrainResult train_plexus(const PlexusDataset& ds, const TrainOptions& opt) {
   result.epochs.resize(static_cast<std::size_t>(opt.epochs));
 
   GcnSpec spec = opt.model;
-  if (opt.pipeline_depth > 0) spec.options.pipeline_depth = opt.pipeline_depth;
+  if (opt.pipeline_depth >= 0) spec.options.pipeline_depth = opt.pipeline_depth;
 
   const auto rank_fn = [&](sim::RankContext& ctx) {
     if (opt.trace_timeline && ctx.rank() == 0) ctx.comm.timeline().set_enabled(true);

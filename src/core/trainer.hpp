@@ -35,10 +35,12 @@ struct TrainOptions {
   /// by the number of ranks. Losses are bitwise-identical for any value.
   int intra_rank_threads = 0;
   /// Software-pipeline depth of blocked aggregation (see
-  /// PlexusOptions::pipeline_depth). 0 = keep model.options.pipeline_depth;
-  /// > 0 overrides it. 1 is fully blocking. Losses are bitwise-identical for
-  /// any depth; only the exposed communication time changes.
-  int pipeline_depth = 0;
+  /// PlexusOptions::pipeline_depth). < 0 = keep model.options.pipeline_depth
+  /// (the default); 0 = adaptive per-layer depth from the perf model;
+  /// > 0 overrides with a fixed depth (1 is fully blocking). Losses are
+  /// bitwise-identical for any depth; only the exposed communication time
+  /// changes, and the adaptive choice exposes no more than any fixed depth.
+  int pipeline_depth = -1;
   /// Record rank 0's simulated timeline (compute / in-flight / exposed comm
   /// spans) into TrainResult::rank0_timeline. Off by default (unbounded span
   /// storage); breakdown harnesses (fig9) turn it on.

@@ -71,6 +71,16 @@ struct EpochPrediction {
 EpochPrediction predict_epoch(const sim::Machine& machine, const WorkloadStats& w,
                               const sim::GridShape& g);
 
+/// Per-layer software-pipeline depth for blocked aggregation (section 5.2),
+/// chosen by balancing the layer's per-block SpMM time against the per-block
+/// ring time of its P-group all-reduce (the section-4 cost model applied at
+/// block granularity). This is the workload-level form wired through
+/// `PlexusOptions::pipeline_depth == 0`; DistGcnLayer applies the same rule
+/// (comm::choose_pipeline_depth) to its exact local shard costs. Returns 1
+/// when there is nothing to pipeline (one block, or a 1-wide P group).
+int choose_pipeline_depth(const sim::Machine& machine, const WorkloadStats& w,
+                          const sim::GridShape& g, int layer, int agg_row_blocks);
+
 /// All factorisations x*y*z == gpus.
 std::vector<sim::GridShape> enumerate_grids(int gpus);
 

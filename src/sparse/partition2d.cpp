@@ -19,6 +19,15 @@ std::vector<std::int64_t> block_bounds(std::int64_t extent, std::int64_t parts) 
   return bounds;
 }
 
+std::vector<std::int64_t> block_bounds_aligned(std::int64_t extent, std::int64_t parts,
+                                               std::int64_t align) {
+  PLEXUS_CHECK(align > 0, "block_bounds_aligned: align must be positive");
+  PLEXUS_CHECK(extent % align == 0, "block_bounds_aligned: extent not a multiple of align");
+  auto bounds = block_bounds(extent / align, parts);
+  for (auto& b : bounds) b *= align;
+  return bounds;
+}
+
 std::vector<std::int64_t> grid_nnz(const Csr& a, std::int64_t grid_rows, std::int64_t grid_cols) {
   const auto rb = block_bounds(a.rows(), grid_rows);
   const auto cb = block_bounds(a.cols(), grid_cols);

@@ -16,6 +16,16 @@ namespace plexus::sparse {
 /// must be divisible by `parts` for shard use; stats tolerate ragged tails.
 std::vector<std::int64_t> block_bounds(std::int64_t extent, std::int64_t parts);
 
+/// Like block_bounds, but every boundary (and therefore every block length)
+/// is a multiple of `align`. Requires `extent % align == 0`. Used where row
+/// blocks must subdivide evenly across a process group — e.g. the per-block
+/// reduce-scatter of the layer-0 feature gradient, whose chunks must align
+/// with the row-major resharded trainable-feature slices (core/model.cpp).
+/// When extent/align < parts the trailing blocks are empty, matching
+/// block_bounds' behaviour for small extents.
+std::vector<std::int64_t> block_bounds_aligned(std::int64_t extent, std::int64_t parts,
+                                               std::int64_t align);
+
 /// nnz of each block in an R x C uniform grid decomposition, row-major order.
 std::vector<std::int64_t> grid_nnz(const Csr& a, std::int64_t grid_rows, std::int64_t grid_cols);
 

@@ -1,12 +1,16 @@
 // CommHandle lifecycle and nonblocking-collective semantics: overlap-derived
-// exposed/hidden accounting, link serialisation of in-flight collectives,
-// wait-twice, drop-without-wait, comm-thread exception propagation, and
-// inline-mode (PLEXUS_COMM_THREADS=0) equivalence of the sim-time math.
+// exposed/hidden accounting (exact under any wait order via stall-interval
+// tracking), link serialisation of in-flight collectives, concurrent
+// per-group channels, wait-twice, drop-without-wait, comm-thread exception
+// propagation, and inline-mode (PLEXUS_COMM_THREADS=0) equivalence of the
+// sim-time math.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <functional>
 #include <span>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "comm/communicator.hpp"
@@ -96,6 +100,128 @@ TEST(CommHandles, ClocklessModeChargesCostModelTimePerOp) {
   const double full = allreduce_cost(world, 512 * 4, 2);
   EXPECT_DOUBLE_EQ(stats0.total_seconds(), 3.0 * full);
   EXPECT_DOUBLE_EQ(stats0.total_hidden_seconds(), 0.0);
+}
+
+TEST(CommHandles, DisjointGroupsOverlapInSimTime) {
+  // Two groups over the same ranks have independent link-busy horizons: ops
+  // posted back-to-back on *different* groups overlap in simulated time (the
+  // clock ends at max, not sum), unlike the same-group case above.
+  pc::World world(2);
+  const auto g1 = world.create_group({0, 1});
+  const auto g2 = world.create_group({0, 1});
+  psim::run_cluster(world, psim::Machine::test_machine(), [&](psim::RankContext& ctx) {
+    ctx.comm.timeline().set_enabled(true);
+    std::vector<float> a(256, 1.0f);
+    std::vector<float> b(1024, 2.0f);
+    const double full_a = allreduce_cost(ctx.comm.world(), 256 * 4, 2);
+    const double full_b = allreduce_cost(ctx.comm.world(), 1024 * 4, 2);
+    auto ha = ctx.comm.iall_reduce_sum<float>(g1, a);
+    auto hb = ctx.comm.iall_reduce_sum<float>(g2, b);
+    ha.wait();
+    hb.wait();
+    EXPECT_DOUBLE_EQ(ctx.clock.time(), std::max(full_a, full_b));  // not full_a + full_b
+    EXPECT_EQ(a[0], 2.0f);
+    EXPECT_EQ(b[0], 4.0f);
+    // Both in-flight spans start at 0: they overlap on the sim timeline.
+    using Kind = pc::TimelineSpan::Kind;
+    int inflight_at_zero = 0;
+    for (const auto& s : ctx.comm.timeline().spans()) {
+      if (s.kind == Kind::CommInFlight && s.t0 == 0.0) ++inflight_at_zero;
+    }
+    EXPECT_EQ(inflight_at_zero, 2);
+  });
+}
+
+TEST(CommHandles, ConcurrentChannelsMakeCrossGroupProgress) {
+  // Rank 0 posts on g1 (members {0,1}) and then g2 (members {0,2}), but rank
+  // 1 refuses to post its g1 op until rank 2 has *completed* the g2 op. With
+  // the old single-FIFO comm thread rank 0's g2 op could never start (its
+  // g1 op blocks the queue waiting for rank 1) — a deadlock. With per-group
+  // channels (budget 2; gids 1 and 2 map to different channels) the g2 op
+  // proceeds concurrently and the dependency resolves.
+  pc::ScopedCommThreads scoped(2);
+  pc::World world(3);
+  const auto g1 = world.create_group({0, 1});
+  const auto g2 = world.create_group({0, 2});
+  std::atomic<bool> g2_done{false};
+  psim::run_cluster(world, psim::Machine::test_machine(), [&](psim::RankContext& ctx) {
+    std::vector<float> buf{static_cast<float>(ctx.rank() + 1)};
+    if (ctx.rank() == 0) {
+      auto h1 = ctx.comm.iall_reduce_sum<float>(g1, buf);
+      std::vector<float> buf2{10.0f};
+      auto h2 = ctx.comm.iall_reduce_sum<float>(g2, buf2);
+      h2.wait();
+      h1.wait();
+      EXPECT_EQ(buf[0], 3.0f);    // 1 + 2 over {0,1}
+      EXPECT_EQ(buf2[0], 13.0f);  // 10 + 3 over {0,2}
+    } else if (ctx.rank() == 1) {
+      while (!g2_done.load(std::memory_order_acquire)) std::this_thread::yield();
+      ctx.comm.all_reduce_sum<float>(g1, buf);
+      EXPECT_EQ(buf[0], 3.0f);
+    } else {
+      std::vector<float> buf2{3.0f};
+      ctx.comm.all_reduce_sum<float>(g2, buf2);
+      EXPECT_EQ(buf2[0], 13.0f);
+      g2_done.store(true, std::memory_order_release);
+    }
+  });
+}
+
+TEST(CommHandles, OutOfOrderWaitMatchesFifoAccountingExactly) {
+  // Stall-interval tracking makes hidden/exposed attribution independent of
+  // wait order: the same post-and-compute schedule waited FIFO and waited
+  // reversed must book identical totals (and the identical final clock).
+  for (const int reversed : {0, 1}) {
+    pc::World world(2);
+    const auto g1 = world.create_group({0, 1});
+    const auto g2 = world.create_group({0, 1});
+    psim::run_cluster(world, psim::Machine::test_machine(), [&](psim::RankContext& ctx) {
+      std::vector<float> a(512, 1.0f);
+      std::vector<float> b(2048, 2.0f);
+      const double full_a = allreduce_cost(ctx.comm.world(), 512 * 4, 2);
+      auto ha = ctx.comm.iall_reduce_sum<float>(g1, a);
+      auto hb = ctx.comm.iall_reduce_sum<float>(g2, b);
+      ctx.comm.charge_compute(0.5 * full_a);  // partially covers both transfers
+      if (reversed == 0) {
+        ha.wait();
+        hb.wait();
+      } else {
+        hb.wait();
+        ha.wait();
+      }
+      const double full_b = allreduce_cost(ctx.comm.world(), 2048 * 4, 2);
+      EXPECT_DOUBLE_EQ(ctx.clock.time(), std::max(full_a, full_b));
+      EXPECT_DOUBLE_EQ(ctx.comm.stats().total_seconds(),
+                       std::max(full_a, full_b) - 0.5 * full_a);
+      // Each transfer interval starts at 0, so the same compute covers both.
+      EXPECT_DOUBLE_EQ(ctx.comm.stats().total_hidden_seconds(), 2 * (0.5 * full_a));
+    });
+  }
+}
+
+TEST(CommHandles, ComputeAfterOpCompletionIsNeverHidden) {
+  // The exactness the old compute-since-post cap lacked: compute charged
+  // after an op's sim completion (here: after a wait on a *later-finishing*
+  // op on another group advanced the clock past it) lies outside the
+  // transfer interval and must not surface as hidden time.
+  pc::World world(2);
+  const auto g1 = world.create_group({0, 1});
+  const auto g2 = world.create_group({0, 1});
+  psim::run_cluster(world, psim::Machine::test_machine(), [&](psim::RankContext& ctx) {
+    std::vector<float> a(256, 1.0f);
+    std::vector<float> b(4096, 2.0f);  // much larger: finishes much later
+    const double full_a = allreduce_cost(ctx.comm.world(), 256 * 4, 2);
+    const double full_b = allreduce_cost(ctx.comm.world(), 4096 * 4, 2);
+    ASSERT_GT(full_b, full_a);
+    auto ha = ctx.comm.iall_reduce_sum<float>(g1, a);
+    auto hb = ctx.comm.iall_reduce_sum<float>(g2, b);
+    hb.wait();                          // clock -> full_b, past ha's completion
+    ctx.comm.charge_compute(full_a);    // compute entirely after ha's transfer
+    ha.wait();
+    EXPECT_DOUBLE_EQ(ctx.comm.stats().total_hidden_seconds(), 0.0);
+    EXPECT_DOUBLE_EQ(ctx.comm.stats().total_seconds(), full_b);
+    EXPECT_DOUBLE_EQ(ctx.clock.time(), full_b + full_a);
+  });
 }
 
 TEST(CommHandles, OutOfOrderWaitDoesNotFabricateHiddenTime) {
@@ -247,17 +373,26 @@ TEST(CommHandles, PipelinedBlocksMatchBlockingBitwise) {
   }
 }
 
-TEST(CommHandles, InlineModeMatchesEngineSimTime) {
-  // PLEXUS_COMM_THREADS=0 executes ops on the posting thread; the sim-time
-  // math is derived from post clocks + the cost model, so clocks and stats
-  // must match the engine mode exactly.
-  auto run = [](double* clock_out, pc::CommStats* stats_out) {
-    spmd(2, [&](psim::RankContext& ctx) {
+TEST(CommHandles, SimTimeIsIdenticalForAnyChannelCount) {
+  // The sim-time math is derived from post clocks + the cost model, never
+  // from real execution order: inline mode (budget 0), the single-FIFO comm
+  // thread (1) and concurrent per-group channels (2, 4) must produce
+  // identical clocks and stats on a schedule that mixes two groups with
+  // partially-hidden collectives.
+  auto run = [](int budget, double* clock_out, pc::CommStats* stats_out) {
+    pc::ScopedCommThreads scoped(budget);
+    pc::World world(2);
+    const auto g1 = world.create_group({0, 1});
+    const auto g2 = world.create_group({0, 1});
+    psim::run_cluster(world, psim::Machine::test_machine(), [&](psim::RankContext& ctx) {
       std::vector<float> buf(2048, 1.0f);
+      std::vector<float> other(512, 2.0f);
       const double full = allreduce_cost(ctx.comm.world(), 2048 * 4, 2);
-      auto h = ctx.comm.iall_reduce_sum<float>(ctx.comm.world().world_group(), buf);
+      auto h = ctx.comm.iall_reduce_sum<float>(g1, buf);
+      auto h2 = ctx.comm.iall_reduce_sum<float>(g2, other);
       ctx.comm.charge_compute(0.5 * full);
       h.wait();
+      h2.wait();
       ctx.comm.all_reduce_sum<float>(ctx.comm.world().world_group(), buf);
       if (ctx.rank() == 0) {
         *clock_out = ctx.clock.time();
@@ -265,20 +400,19 @@ TEST(CommHandles, InlineModeMatchesEngineSimTime) {
       }
     });
   };
-  double clock_engine = 0.0, clock_inline = 0.0;
-  pc::CommStats stats_engine, stats_inline;
-  {
-    pc::ScopedCommThreads scoped(1);
-    run(&clock_engine, &stats_engine);
+  double clock_ref = 0.0;
+  pc::CommStats stats_ref;
+  run(1, &clock_ref, &stats_ref);
+  for (const int budget : {0, 2, 4}) {
+    double clock = 0.0;
+    pc::CommStats stats;
+    run(budget, &clock, &stats);
+    EXPECT_DOUBLE_EQ(clock, clock_ref) << "budget " << budget;
+    EXPECT_DOUBLE_EQ(stats.total_seconds(), stats_ref.total_seconds()) << "budget " << budget;
+    EXPECT_DOUBLE_EQ(stats.total_hidden_seconds(), stats_ref.total_hidden_seconds())
+        << "budget " << budget;
+    EXPECT_EQ(stats.total_bytes(), stats_ref.total_bytes()) << "budget " << budget;
   }
-  {
-    pc::ScopedCommThreads scoped(0);
-    run(&clock_inline, &stats_inline);
-  }
-  EXPECT_DOUBLE_EQ(clock_engine, clock_inline);
-  EXPECT_DOUBLE_EQ(stats_engine.total_seconds(), stats_inline.total_seconds());
-  EXPECT_DOUBLE_EQ(stats_engine.total_hidden_seconds(), stats_inline.total_hidden_seconds());
-  EXPECT_EQ(stats_engine.total_bytes(), stats_inline.total_bytes());
 }
 
 TEST(CommHandles, TimelineRecordsComputeInFlightAndExposedSpans) {
@@ -329,6 +463,29 @@ TEST(CommHandles, ResetLinkTimeAllowsWorldReuse) {
   EXPECT_GT(first, 0.0);
   world.reset_link_time();
   EXPECT_DOUBLE_EQ(session(), first);  // fresh session, identical timing
+}
+
+TEST(PipelineDepth, RuleBalancesComputeAgainstRingTime) {
+  // Nothing to pipeline: one block, or a free collective.
+  EXPECT_EQ(pc::choose_pipeline_depth(1.0, 1.0, 1), 1);
+  EXPECT_EQ(pc::choose_pipeline_depth(1.0, 0.0, 8), 1);
+  // Compute-bound: one spare slot plus slack hides everything.
+  EXPECT_EQ(pc::choose_pipeline_depth(1.0, 0.5, 8), 3);
+  EXPECT_EQ(pc::choose_pipeline_depth(2.0, 0.01, 8), 3);
+  // Comm-bound: lookahead grows with the ring/compute ratio.
+  EXPECT_EQ(pc::choose_pipeline_depth(1.0, 2.5, 8), 5);
+  EXPECT_EQ(pc::choose_pipeline_depth(1.0, 1.5, 8), 4);
+  // Clamped to the block count and the hard cap.
+  EXPECT_EQ(pc::choose_pipeline_depth(1.0, 3.0, 4), 4);
+  EXPECT_EQ(pc::choose_pipeline_depth(0.001, 10.0, 64), 8);
+  EXPECT_EQ(pc::choose_pipeline_depth(0.0, 1.0, 8), 8);  // no compute to hide behind
+  // Monotone in the ratio.
+  int prev = 0;
+  for (const double ring : {0.1, 0.5, 1.0, 2.0, 4.0}) {
+    const int d = pc::choose_pipeline_depth(1.0, ring, 16);
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
 }
 
 TEST(CommHandles, WaitOnEmptyHandleThrows) {

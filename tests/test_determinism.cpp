@@ -77,7 +77,7 @@ TEST(Determinism, LossesIdenticalAcrossPipelineDepthsAndThreads) {
   base.intra_rank_threads = 1;
   const auto blocking = pc::train_plexus(g, base).losses();
   ASSERT_EQ(blocking.size(), 3u);
-  for (const int depth : {2, 4}) {
+  for (const int depth : {2, 4, 0}) {  // 0 = adaptive per-layer depth
     for (const int threads : {1, 2}) {
       pc::TrainOptions opt = base;
       opt.pipeline_depth = depth;
@@ -92,25 +92,30 @@ TEST(Determinism, LossesIdenticalAcrossPipelineDepthsAndThreads) {
   }
 }
 
-TEST(Determinism, LossesIdenticalAcrossCommThreadModes) {
+TEST(Determinism, LossesIdenticalAcrossCommChannelCounts) {
   // Inline mode (PLEXUS_COMM_THREADS=0) executes collectives on the posting
-  // thread; the dedicated comm thread must not change a single bit.
+  // thread; the single-FIFO comm thread (1) and concurrent per-group channels
+  // (2, 4) must not change a single bit — the data math and the sim-time math
+  // are both independent of real execution order. A 2x2 grid gives each rank
+  // collectives on several distinct line groups, so channels really differ.
   const pg::Graph g = pg::make_test_graph(1024, 8.0, 32, 4, /*seed=*/3);
   pc::TrainOptions opt = small_options();
+  opt.grid = {2, 2, 1};
   opt.model.options.agg_row_blocks = 4;
   opt.pipeline_depth = 4;
-  std::vector<double> with_engine, inline_mode;
+  std::vector<double> reference;
   {
     plexus::comm::ScopedCommThreads scoped(1);
-    with_engine = pc::train_plexus(g, opt).losses();
+    reference = pc::train_plexus(g, opt).losses();
   }
-  {
-    plexus::comm::ScopedCommThreads scoped(0);
-    inline_mode = pc::train_plexus(g, opt).losses();
-  }
-  ASSERT_EQ(with_engine.size(), inline_mode.size());
-  for (std::size_t e = 0; e < with_engine.size(); ++e) {
-    EXPECT_EQ(with_engine[e], inline_mode[e]) << "epoch " << e;
+  ASSERT_EQ(reference.size(), 3u);
+  for (const int budget : {0, 2, 4}) {
+    plexus::comm::ScopedCommThreads scoped(budget);
+    const auto losses = pc::train_plexus(g, opt).losses();
+    ASSERT_EQ(losses.size(), reference.size());
+    for (std::size_t e = 0; e < losses.size(); ++e) {
+      EXPECT_EQ(losses[e], reference[e]) << "budget=" << budget << " epoch " << e;
+    }
   }
 }
 

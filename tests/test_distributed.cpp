@@ -192,6 +192,40 @@ TEST(Distributed, PipelinedAggregationIsExactAndHidesComm) {
   EXPECT_LE(piped.avg_epoch_seconds(1), blocking.avg_epoch_seconds(1) + 1e-12);
 }
 
+TEST(Distributed, AdaptiveDepthIsExactAndExposesNoMoreThanAnyFixedDepth) {
+  // pipeline_depth = 0: each layer picks its depth from the perf model
+  // (per-block SpMM vs ring time). The choice changes only the schedule —
+  // losses bitwise-match every fixed depth — and the exposed communication
+  // must be <= every fixed depth in {1, 2, 4} (exposed time is monotone
+  // non-increasing in lookahead, and the adaptive rule errs deep).
+  const pg::Graph g = pg::make_test_graph(4096, 10.0, 48, 6, /*seed=*/21);
+  pc::TrainOptions opt;
+  opt.grid = {2, 2, 2};
+  opt.machine = &psim::Machine::test_machine();
+  opt.model = small_spec();
+  opt.model.hidden_dims = {48};
+  opt.model.options.agg_row_blocks = 8;
+  opt.epochs = 4;
+
+  opt.pipeline_depth = 0;  // adaptive
+  const auto adaptive = pc::train_plexus(g, opt);
+  double adaptive_comm = 0.0;
+  for (const auto& e : adaptive.epochs) adaptive_comm += e.comm_seconds;
+
+  for (const int depth : {1, 2, 4}) {
+    opt.pipeline_depth = depth;
+    const auto fixed = pc::train_plexus(g, opt);
+    ASSERT_EQ(fixed.epochs.size(), adaptive.epochs.size());
+    double fixed_comm = 0.0;
+    for (std::size_t i = 0; i < fixed.epochs.size(); ++i) {
+      EXPECT_DOUBLE_EQ(adaptive.epochs[i].loss, fixed.epochs[i].loss)
+          << "depth " << depth << " epoch " << i;
+      fixed_comm += fixed.epochs[i].comm_seconds;
+    }
+    EXPECT_LE(adaptive_comm, fixed_comm * (1.0 + 1e-12)) << "depth " << depth;
+  }
+}
+
 TEST(Distributed, GemmTuningIsExact) {
   const auto g = small_graph();
   pc::TrainOptions opt;

@@ -2,17 +2,27 @@
 """CI perf-smoke gate for the pipelined aggregation path.
 
 Reads a google-benchmark JSON report from bench/micro_collectives and asserts
-that the pipelined blocked-aggregation schedule exposes strictly less
-simulated communication time than the fully blocking baseline, by at least
-the checked-in margin (tools/perf_smoke_thresholds.json). The gated counters
+
+  1. the pipelined blocked-aggregation schedule exposes strictly less
+     simulated communication time than the fully blocking baseline, by at
+     least the checked-in margin, and
+  2. the perf-model adaptive pipeline depth (depth arg 0) exposes no more
+     simulated communication time than the *best* fixed depth in the sweep.
+
+Thresholds live in tools/perf_smoke_thresholds.json. The gated counters
 (sim_exposed_comm_s / sim_hidden_comm_s) are derived from post-time clocks and
 the ring cost model — fully deterministic, so the gate is runner-independent.
+On failure every violated threshold is printed with a value-vs-limit diff.
 
 Usage: perf_smoke_check.py <micro_collectives.json> [thresholds.json]
 """
 import json
 import os
 import sys
+
+# Deterministic counters still cross the JSON text round-trip; allow one ulp
+# worth of slack so "equal to the best fixed depth" never flakes.
+EPS = 1e-12
 
 
 def load_counters(report_path):
@@ -24,6 +34,77 @@ def load_counters(report_path):
             continue
         counters[b["name"]] = b
     return counters
+
+
+def get_counter(counters, name, key, failures):
+    bench = counters.get(name)
+    if bench is None:
+        failures.append(f"benchmark missing from report: {name}")
+        return None
+    value = bench.get(key)
+    if value is None:
+        failures.append(f"{name}: counter {key} missing from report")
+    return value
+
+
+def fmt_us(seconds):
+    return f"{seconds * 1e6:.2f}us"
+
+
+def check_pipelined_vs_blocking(counters, thresholds, failures):
+    max_ratio = thresholds["pipelined_vs_blocking_max_ratio"]
+    for pair in thresholds["pairs"]:
+        base_name, piped_name = pair["baseline"], pair["pipelined"]
+        base = get_counter(counters, base_name, "sim_exposed_comm_s", failures)
+        piped = get_counter(counters, piped_name, "sim_exposed_comm_s", failures)
+        hidden = get_counter(counters, piped_name, "sim_hidden_comm_s", failures)
+        if base is None or piped is None or hidden is None:
+            continue
+        ratio = piped / base if base > 0 else float("inf")
+        ok = piped < base and ratio <= max_ratio and hidden > 0
+        print(
+            f"[{'OK' if ok else 'FAIL'}] {piped_name}: exposed {fmt_us(piped)} vs blocking "
+            f"{fmt_us(base)} (ratio {ratio:.3f}, limit {max_ratio}); hidden {fmt_us(hidden)}"
+        )
+        if not ok:
+            failures.append(
+                f"{piped_name}: exposed {fmt_us(piped)} not below blocking {fmt_us(base)} by "
+                f"the required margin (ratio {ratio:.3f} > limit {max_ratio}"
+                f", diff {fmt_us(piped - base * max_ratio)} over)"
+                + ("" if hidden > 0 else "; and no hidden time at all")
+            )
+
+
+def check_adaptive_vs_best_fixed(counters, thresholds, failures):
+    max_ratio = thresholds.get("adaptive_vs_best_fixed_max_ratio")
+    groups = thresholds.get("adaptive", [])
+    if max_ratio is None or not groups:
+        return
+    for group in groups:
+        adaptive_name = group["adaptive"]
+        adaptive = get_counter(counters, adaptive_name, "sim_exposed_comm_s", failures)
+        fixed = {}
+        for name in group["fixed"]:
+            v = get_counter(counters, name, "sim_exposed_comm_s", failures)
+            if v is not None:
+                fixed[name] = v
+        if adaptive is None or len(fixed) != len(group["fixed"]):
+            continue
+        best_name, best = min(fixed.items(), key=lambda kv: kv[1])
+        limit = best * max_ratio + EPS
+        ok = adaptive <= limit
+        depth = counters[adaptive_name].get("adaptive_depth")
+        depth_str = f", chose depth {depth:.0f}" if depth is not None else ""
+        print(
+            f"[{'OK' if ok else 'FAIL'}] {adaptive_name}: exposed {fmt_us(adaptive)} vs best "
+            f"fixed {best_name} {fmt_us(best)} (limit ratio {max_ratio}{depth_str})"
+        )
+        if not ok:
+            per_depth = ", ".join(f"{n}={fmt_us(v)}" for n, v in sorted(fixed.items()))
+            failures.append(
+                f"{adaptive_name}: adaptive exposed {fmt_us(adaptive)} exceeds limit "
+                f"{fmt_us(limit)} ({fmt_us(adaptive - limit)} over; fixed sweep: {per_depth})"
+            )
 
 
 def main():
@@ -40,39 +121,19 @@ def main():
         thresholds = json.load(f)
     counters = load_counters(report_path)
 
-    max_ratio = thresholds["pipelined_vs_blocking_max_ratio"]
     failures = []
-    for pair in thresholds["pairs"]:
-        base_name, piped_name = pair["baseline"], pair["pipelined"]
-        missing = [n for n in (base_name, piped_name) if n not in counters]
-        if missing:
-            failures.append(f"benchmark(s) missing from report: {', '.join(missing)}")
-            continue
-        base = counters[base_name].get("sim_exposed_comm_s")
-        piped = counters[piped_name].get("sim_exposed_comm_s")
-        hidden = counters[piped_name].get("sim_hidden_comm_s")
-        if base is None or piped is None or hidden is None:
-            failures.append(f"{piped_name}: sim_* counters missing from report")
-            continue
-        ratio = piped / base if base > 0 else float("inf")
-        verdict = "OK" if (piped < base and ratio <= max_ratio and hidden > 0) else "FAIL"
-        print(
-            f"[{verdict}] {piped_name}: exposed {piped * 1e6:.1f}us vs blocking "
-            f"{base * 1e6:.1f}us (ratio {ratio:.3f}, limit {max_ratio}); "
-            f"hidden {hidden * 1e6:.1f}us"
-        )
-        if verdict == "FAIL":
-            failures.append(
-                f"{piped_name}: pipelined exposed comm not below blocking baseline by the "
-                f"required margin (ratio {ratio:.3f} > {max_ratio}) or no hidden time"
-            )
+    check_pipelined_vs_blocking(counters, thresholds, failures)
+    check_adaptive_vs_best_fixed(counters, thresholds, failures)
 
     if failures:
-        print("\nperf-smoke FAILED:", file=sys.stderr)
+        print(f"\nperf-smoke FAILED ({len(failures)} threshold(s) violated):", file=sys.stderr)
         for f_ in failures:
             print(f"  - {f_}", file=sys.stderr)
         return 1
-    print("\nperf-smoke passed: pipelined aggregation hides communication as required.")
+    print(
+        "\nperf-smoke passed: pipelining hides communication and the adaptive depth "
+        "matches or beats every fixed depth."
+    )
     return 0
 
 
