@@ -1,13 +1,14 @@
 // Command-line training driver — the "plexus run" entry point a downstream
 // user would script:
 //
-//   ./build/examples/plexus_train [dataset] [nodes] [gx] [gy] [gz] [epochs]
-//   ./build/examples/plexus_train ogbn-products 8000 4 2 2 10
+//   ./build/examples/plexus_train [dataset] [nodes] [gx] [gy] [gz] [epochs] [backend]
+//   ./build/examples/plexus_train ogbn-products 8000 4 2 2 10 local
 //
 // dataset: any Table 4 name (a scaled proxy is generated at `nodes` scale).
 // Pass gx=0 to let the performance model choose the grid for gx*gy*gz... i.e.
 // `plexus_train ogbn-products 8000 0 16` asks the model for the best 16-GPU
-// configuration.
+// configuration. `backend` picks the byte transport (sim | local; default:
+// PLEXUS_BACKEND, else sim) — losses and sim timings are bitwise-identical.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -24,6 +25,18 @@ int main(int argc, char** argv) {
   int gy = argc > 4 ? std::atoi(argv[4]) : 2;
   int gz = argc > 5 ? std::atoi(argv[5]) : 2;
   const int epochs = argc > 6 ? std::atoi(argv[6]) : 10;
+  auto backend = plexus::comm::default_backend();
+  if (argc > 7 && !plexus::comm::backend_from_string(argv[7], backend)) {
+    std::fprintf(stderr, "unknown backend '%s' (expected sim | local)\n", argv[7]);
+    return 1;
+  }
+  if (backend == plexus::comm::Backend::Mpi) {
+    // One process per rank; this driver runs the threaded in-process cluster.
+    std::fprintf(stderr,
+                 "the mpi backend needs a one-process-per-rank launcher "
+                 "(see docs/COMM.md); use sim or local here\n");
+    return 1;
+  }
 
   const auto& info = plexus::graph::dataset_info(dataset);
   const auto g = plexus::graph::make_proxy(info, nodes, /*seed=*/1);
@@ -40,9 +53,11 @@ int main(int argc, char** argv) {
                 plexus::perf::grid_to_string(best).c_str());
   }
 
-  std::printf("training %s proxy (%lld nodes, %lld edges) on a %dx%dx%d grid, %d epochs\n",
-              dataset.c_str(), static_cast<long long>(g.num_nodes),
-              static_cast<long long>(g.num_edges()), gx, gy, gz, epochs);
+  std::printf(
+      "training %s proxy (%lld nodes, %lld edges) on a %dx%dx%d grid, %d epochs, %s transport\n",
+      dataset.c_str(), static_cast<long long>(g.num_nodes),
+      static_cast<long long>(g.num_edges()), gx, gy, gz, epochs,
+      plexus::comm::backend_name(backend));
 
   plexus::core::TrainOptions opt;
   opt.grid = {gx, gy, gz};
@@ -50,6 +65,7 @@ int main(int argc, char** argv) {
   opt.model.hidden_dims = {128, 128};
   opt.epochs = epochs;
   opt.evaluate_validation = true;
+  opt.backend = backend;
 
   const auto result = plexus::core::train_plexus(g, opt);
   for (std::size_t e = 0; e < result.epochs.size(); ++e) {

@@ -1,11 +1,22 @@
 #pragma once
 /// \file communicator.hpp
-/// Per-rank communicator: NCCL/MPI-style collectives over shared memory.
+/// Per-rank communicator: NCCL/MPI-style collectives with pluggable
+/// byte-transport backends.
 ///
 /// Every simulated GPU thread owns one `Communicator`. Collectives move real
 /// data between ranks (so the distributed algebra is exact) and synchronise
 /// the ranks' simulated clocks; the cost of a collective comes from the ring
 /// cost model (comm/cost.hpp) with the group's effective link parameters.
+///
+/// The communicator is the **cost / accounting layer**. *How the payload
+/// bytes travel* is delegated to a `Transport` (comm/transport.hpp): the Sim
+/// backend reads peers' published buffers directly, the Local backend runs
+/// real ring/staged schedules between the rank threads, and the optional MPI
+/// backend maps each op onto a nonblocking MPI request on a per-group
+/// sub-communicator. Everything in this file — post-time clocks, link-busy
+/// horizons, exposed/hidden attribution, stats, timeline — is
+/// backend-invariant for the in-process transports: clocks, stats and losses
+/// are bitwise-identical under Sim and Local.
 ///
 /// ## Nonblocking execution model
 ///
@@ -72,6 +83,7 @@
 #include "comm/cost.hpp"
 #include "comm/handle.hpp"
 #include "comm/timeline.hpp"
+#include "comm/transport.hpp"
 #include "comm/world.hpp"
 #include "util/error.hpp"
 
@@ -143,15 +155,34 @@ inline void finish_read_phase(GroupShared& g, int pos, double busy_floor, CommOp
   if (pos == 0) g.link_busy_until = op.done_clock;
 }
 
+/// Elementwise `acc[i] += src[i]` over `n` elements of T — the one reduction
+/// kernel every transport applies, in canonical member order (0, 1, …, G-1),
+/// so reductions are bitwise-identical across backends.
+template <typename T>
+void accumulate_sum(void* acc, const void* src, std::size_t n) {
+  T* a = static_cast<T*>(acc);
+  const T* s = static_cast<const T*>(src);
+  for (std::size_t i = 0; i < n; ++i) a[i] += s[i];
+}
+
 }  // namespace detail
 
 class Communicator {
  public:
   /// `clock` may be null (functional-only mode, no time simulation).
-  Communicator(World& world, int rank, SimClock* clock = nullptr)
+  /// `transport` selects the byte-movement backend; null resolves
+  /// `transport_for(default_backend())` (the PLEXUS_BACKEND environment
+  /// variable, else Sim). Distributed (non-protocol) transports are
+  /// functional-only: they synchronise no clock slots, so `clock` must stay
+  /// null and stats charge the cost-model time per op.
+  Communicator(World& world, int rank, SimClock* clock = nullptr,
+               Transport* transport = nullptr)
       : world_(&world), rank_(rank), clock_(clock),
+        transport_(transport != nullptr ? transport : &transport_for(default_backend())),
         channel_budget_(comm_thread_budget()) {
     PLEXUS_CHECK(rank >= 0 && rank < world.size(), "rank out of range");
+    PLEXUS_CHECK(clock == nullptr || transport_->uses_group_protocol(),
+                 "distributed transports are functional-only (no SimClock)");
   }
 
   /// Immovable: outstanding CommHandles point back at this object, so a move
@@ -164,8 +195,13 @@ class Communicator {
   /// (accounting starts from a clean slate).
   void set_clock(SimClock* clock) {
     PLEXUS_CHECK(!posted_any_, "set_clock: must precede the first collective");
+    PLEXUS_CHECK(clock == nullptr || transport_->uses_group_protocol(),
+                 "distributed transports are functional-only (no SimClock)");
     clock_ = clock;
   }
+
+  Transport& transport() const { return *transport_; }
+  Backend backend() const { return transport_->backend(); }
 
   int rank() const { return rank_; }
   int world_size() const { return world_->size(); }
@@ -200,34 +236,15 @@ class Communicator {
   /// Elementwise sum across the group, in place over `inout`.
   template <typename T>
   CommHandle iall_reduce_sum(GroupId gid, std::span<T> inout) {
-    auto& g = world_->group(gid);
-    const int pos = g.position_of(rank_);
-    T* data = inout.data();
-    const std::size_t n = inout.size();
-    // The accumulation scratch is per executing thread (detail::op_scratch),
-    // so concurrent all-reduces on different channels never share it.
-    return post_op(Collective::AllReduce, gid, static_cast<std::int64_t>(n * sizeof(T)),
-                   [&g, pos, data, n](detail::CommOp& op) {
-                     const double floor = detail::publish(g, pos, data, op.posted_clock);
-                     g.barrier->arrive_and_wait();
-                     if (n > 0) {
-                       auto& scratch = detail::op_scratch();
-                       scratch.resize(n * sizeof(T));
-                       T* tmp = reinterpret_cast<T*>(scratch.data());
-                       std::memcpy(tmp, g.slots[0], n * sizeof(T));
-                       for (int m = 1; m < g.size(); ++m) {
-                         const T* src =
-                             static_cast<const T*>(g.slots[static_cast<std::size_t>(m)]);
-                         for (std::size_t i = 0; i < n; ++i) tmp[i] += src[i];
-                       }
-                       detail::finish_read_phase(g, pos, floor, op);
-                       g.barrier->arrive_and_wait();
-                       std::memcpy(data, scratch.data(), n * sizeof(T));
-                     } else {
-                       detail::finish_read_phase(g, pos, floor, op);
-                       g.barrier->arrive_and_wait();
-                     }
-                   });
+    CollArgs a;
+    a.kind = Collective::AllReduce;
+    a.gid = gid;
+    a.recv = inout.data();
+    a.elem = sizeof(T);
+    a.count = inout.size();
+    a.dtype = dtype_of<T>();
+    a.accumulate = &detail::accumulate_sum<T>;
+    return post_collective(a, static_cast<std::int64_t>(inout.size() * sizeof(T)));
   }
 
   /// out[i * chunk ..] = member i's `in`. `in.size()` must be equal across the
@@ -235,27 +252,17 @@ class Communicator {
   template <typename T>
   CommHandle iall_gather(GroupId gid, std::span<const T> in, std::span<T> out) {
     auto& g = world_->group(gid);
-    const int pos = g.position_of(rank_);
     PLEXUS_CHECK(out.size() == in.size() * static_cast<std::size_t>(g.size()),
                  "all_gather: bad output size");
-    const T* src_data = in.data();
-    T* dst = out.data();
-    const std::size_t n = in.size();
-    return post_op(Collective::AllGather, gid,
-                   static_cast<std::int64_t>(out.size() * sizeof(T)),
-                   [&g, pos, src_data, dst, n](detail::CommOp& op) {
-                     const double floor = detail::publish(g, pos, src_data, op.posted_clock);
-                     g.barrier->arrive_and_wait();
-                     if (n > 0) {
-                       for (int m = 0; m < g.size(); ++m) {
-                         const T* src =
-                             static_cast<const T*>(g.slots[static_cast<std::size_t>(m)]);
-                         std::memcpy(dst + static_cast<std::size_t>(m) * n, src, n * sizeof(T));
-                       }
-                     }
-                     detail::finish_read_phase(g, pos, floor, op);
-                     g.barrier->arrive_and_wait();
-                   });
+    CollArgs a;
+    a.kind = Collective::AllGather;
+    a.gid = gid;
+    a.send = in.data();
+    a.recv = out.data();
+    a.elem = sizeof(T);
+    a.count = in.size();
+    a.dtype = dtype_of<T>();
+    return post_collective(a, static_cast<std::int64_t>(out.size() * sizeof(T)));
   }
 
   /// Sum across the group, scattering chunk `pos` to member `pos`.
@@ -263,30 +270,18 @@ class Communicator {
   template <typename T>
   CommHandle ireduce_scatter_sum(GroupId gid, std::span<const T> in, std::span<T> out) {
     auto& g = world_->group(gid);
-    const int pos = g.position_of(rank_);
     PLEXUS_CHECK(in.size() == out.size() * static_cast<std::size_t>(g.size()),
                  "reduce_scatter: bad sizes");
-    const T* src_data = in.data();
-    T* dst = out.data();
-    const std::size_t n = out.size();
-    return post_op(Collective::ReduceScatter, gid,
-                   static_cast<std::int64_t>(in.size() * sizeof(T)),
-                   [&g, pos, src_data, dst, n](detail::CommOp& op) {
-                     const double floor = detail::publish(g, pos, src_data, op.posted_clock);
-                     g.barrier->arrive_and_wait();
-                     const std::size_t off = static_cast<std::size_t>(pos) * n;
-                     if (n > 0) {
-                       const T* first = static_cast<const T*>(g.slots[0]);
-                       std::memcpy(dst, first + off, n * sizeof(T));
-                       for (int m = 1; m < g.size(); ++m) {
-                         const T* src =
-                             static_cast<const T*>(g.slots[static_cast<std::size_t>(m)]) + off;
-                         for (std::size_t i = 0; i < n; ++i) dst[i] += src[i];
-                       }
-                     }
-                     detail::finish_read_phase(g, pos, floor, op);
-                     g.barrier->arrive_and_wait();
-                   });
+    CollArgs a;
+    a.kind = Collective::ReduceScatter;
+    a.gid = gid;
+    a.send = in.data();
+    a.recv = out.data();
+    a.elem = sizeof(T);
+    a.count = out.size();
+    a.dtype = dtype_of<T>();
+    a.accumulate = &detail::accumulate_sum<T>;
+    return post_collective(a, static_cast<std::int64_t>(in.size() * sizeof(T)));
   }
 
   /// Run `fn` on the world group's channel, ordered with this rank's
@@ -309,14 +304,10 @@ class Communicator {
   // ---------------------------------------------------------------------
 
   void barrier(GroupId gid) {
-    auto& g = world_->group(gid);
-    const int pos = g.position_of(rank_);
-    post_op(Collective::Barrier, gid, 0, [&g, pos](detail::CommOp& op) {
-      const double floor = detail::publish(g, pos, nullptr, op.posted_clock);
-      g.barrier->arrive_and_wait();
-      detail::finish_read_phase(g, pos, floor, op);
-      g.barrier->arrive_and_wait();
-    }).wait();
+    CollArgs a;
+    a.kind = Collective::Barrier;
+    a.gid = gid;
+    post_collective(a, 0).wait();
   }
 
   template <typename T>
@@ -337,23 +328,15 @@ class Communicator {
   /// Copy root's buffer to every member (root given as group position).
   template <typename T>
   void broadcast(GroupId gid, std::span<T> buf, int root_pos) {
-    auto& g = world_->group(gid);
-    const int pos = g.position_of(rank_);
-    T* data = buf.data();
-    const std::size_t n = buf.size();
-    post_op(Collective::Broadcast, gid, static_cast<std::int64_t>(n * sizeof(T)),
-            [&g, pos, root_pos, data, n](detail::CommOp& op) {
-              const double floor = detail::publish(g, pos, data, op.posted_clock);
-              g.barrier->arrive_and_wait();
-              if (pos != root_pos && n > 0) {
-                const T* src =
-                    static_cast<const T*>(g.slots[static_cast<std::size_t>(root_pos)]);
-                std::memcpy(data, src, n * sizeof(T));
-              }
-              detail::finish_read_phase(g, pos, floor, op);
-              g.barrier->arrive_and_wait();
-            })
-        .wait();
+    CollArgs a;
+    a.kind = Collective::Broadcast;
+    a.gid = gid;
+    a.recv = buf.data();
+    a.elem = sizeof(T);
+    a.count = buf.size();
+    a.root = root_pos;
+    a.dtype = dtype_of<T>();
+    post_collective(a, static_cast<std::int64_t>(buf.size() * sizeof(T))).wait();
   }
 
   /// Equal-chunk all-to-all: member m receives chunk `pos` of member m's `in`
@@ -361,27 +344,17 @@ class Communicator {
   template <typename T>
   void all_to_all(GroupId gid, std::span<const T> in, std::span<T> out) {
     auto& g = world_->group(gid);
-    const int pos = g.position_of(rank_);
     PLEXUS_CHECK(in.size() == out.size(), "all_to_all: sizes must match");
     PLEXUS_CHECK(in.size() % static_cast<std::size_t>(g.size()) == 0, "all_to_all: chunking");
-    const std::size_t chunk = in.size() / static_cast<std::size_t>(g.size());
-    const T* src_data = in.data();
-    T* dst = out.data();
-    post_op(Collective::AllToAll, gid, static_cast<std::int64_t>(in.size() * sizeof(T)),
-            [&g, pos, src_data, dst, chunk](detail::CommOp& op) {
-              const double floor = detail::publish(g, pos, src_data, op.posted_clock);
-              g.barrier->arrive_and_wait();
-              if (chunk > 0) {
-                for (int m = 0; m < g.size(); ++m) {
-                  const T* src = static_cast<const T*>(g.slots[static_cast<std::size_t>(m)]) +
-                                 static_cast<std::size_t>(pos) * chunk;
-                  std::memcpy(dst + static_cast<std::size_t>(m) * chunk, src, chunk * sizeof(T));
-                }
-              }
-              detail::finish_read_phase(g, pos, floor, op);
-              g.barrier->arrive_and_wait();
-            })
-        .wait();
+    CollArgs a;
+    a.kind = Collective::AllToAll;
+    a.gid = gid;
+    a.send = in.data();
+    a.recv = out.data();
+    a.elem = sizeof(T);
+    a.count = in.size() / static_cast<std::size_t>(g.size());
+    a.dtype = dtype_of<T>();
+    post_collective(a, static_cast<std::int64_t>(in.size() * sizeof(T))).wait();
   }
 
   /// Variable all-to-all: `send[m]` goes to member m; `recv[m]` receives from
@@ -393,6 +366,34 @@ class Communicator {
     auto& g = world_->group(gid);
     const int pos = g.position_of(rank_);
     PLEXUS_CHECK(send.size() == static_cast<std::size_t>(g.size()), "all_to_all_v: send size");
+    if (!transport_->uses_group_protocol()) {
+      // Distributed backends exchange flat byte buffers (the transport runs
+      // the count exchange + MPI_Ialltoallv); repack into the typed vectors.
+      std::vector<std::span<const unsigned char>> send_bytes(send.size());
+      for (std::size_t m = 0; m < send.size(); ++m) {
+        send_bytes[m] = {reinterpret_cast<const unsigned char*>(send[m].data()),
+                         send[m].size() * sizeof(T)};
+      }
+      std::vector<std::vector<unsigned char>> recv_bytes;
+      CollArgs a;
+      a.kind = Collective::AllToAll;
+      a.gid = gid;
+      a.pos = pos;
+      a.elem = sizeof(T);
+      Transport* t = transport_;
+      post_op(Collective::AllToAll, gid, /*bytes=*/0,
+              [&g, a, t, &send_bytes, &recv_bytes](detail::CommOp& op) {
+                t->alltoallv(g, a, send_bytes, recv_bytes, op);
+              })
+          .wait();  // blocking: the referenced buffers outlive the op
+      recv.assign(static_cast<std::size_t>(g.size()), {});
+      for (std::size_t m = 0; m < recv_bytes.size(); ++m) {
+        PLEXUS_CHECK(recv_bytes[m].size() % sizeof(T) == 0, "all_to_all_v: ragged payload");
+        recv[m].resize(recv_bytes[m].size() / sizeof(T));
+        std::memcpy(recv[m].data(), recv_bytes[m].data(), recv_bytes[m].size());
+      }
+      return;
+    }
     recv.assign(static_cast<std::size_t>(g.size()), {});
     std::int64_t my_bytes = 0;
     for (const auto& s : send) my_bytes += static_cast<std::int64_t>(s.size() * sizeof(T));
@@ -434,6 +435,19 @@ class Communicator {
   double scalar_reduce(GroupId gid, double value, bool is_max) {
     auto& g = world_->group(gid);
     const int pos = g.position_of(rank_);
+    if (!transport_->uses_group_protocol()) {
+      CollArgs a;
+      a.kind = Collective::AllReduce;
+      a.gid = gid;
+      a.pos = pos;
+      a.scalar_op = true;
+      a.scalar_is_max = is_max;
+      a.scalar_value = value;
+      Transport* t = transport_;
+      return post_op(Collective::AllReduce, gid, 8,
+                     [&g, a, t](detail::CommOp& op) { t->execute(g, a, op); })
+          .wait();
+    }
     return post_op(Collective::AllReduce, gid, 8, [&g, pos, value, is_max](detail::CommOp& op) {
              detail::aux_value(g, pos) = value;
              const double floor = detail::publish(g, pos, nullptr, op.posted_clock);
@@ -450,15 +464,41 @@ class Communicator {
         .wait();
   }
 
+  /// Route one data collective through the selected transport. For
+  /// in-process (protocol) transports the execute closure runs the shared
+  /// barrier protocol — publish clocks+buffer, transport movement, completion
+  /// derivation, trailing writes — so the accounting is transport-invariant.
+  /// Non-protocol transports own the whole op (they fill the completion
+  /// fields from the cost model themselves).
+  CommHandle post_collective(CollArgs a, std::int64_t bytes) {
+    auto& g = world_->group(a.gid);
+    a.pos = g.position_of(rank_);
+    Transport* t = transport_;
+    if (!t->uses_group_protocol()) {
+      return post_op(a.kind, a.gid, bytes,
+                     [&g, a, t](detail::CommOp& op) { t->execute(g, a, op); });
+    }
+    return post_op(a.kind, a.gid, bytes, [&g, a, t](detail::CommOp& op) {
+      const void* pub = a.send != nullptr ? a.send : static_cast<const void*>(a.recv);
+      const double floor = detail::publish(g, a.pos, pub, op.posted_clock);
+      g.barrier->arrive_and_wait();
+      t->move(g, a);
+      detail::finish_read_phase(g, a.pos, floor, op);
+      g.barrier->arrive_and_wait();
+      t->finalize(g, a);
+    });
+  }
+
   /// The one accounting path every collective shares: build the op record,
   /// hand it to the op's channel (or execute inline), return the handle.
-  /// `gid` is the channel routing key and must be the group the op runs on.
+  /// `gid` must be the group the op runs on; the channel routing key is the
+  /// group's channel_route (line family when tagged, else the GroupId).
   CommHandle post_op(Collective kind, GroupId gid, std::int64_t bytes,
                      std::function<void(detail::CommOp&)> body) {
     auto op = std::make_shared<detail::CommOp>();
     op->op = kind;
     op->bytes = bytes;
-    op->channel = gid;
+    op->channel = channel_route(world_->group(gid), gid);
     op->posted_clock = clock_ != nullptr ? clock_->time() : 0.0;
     op->execute = std::move(body);
     if (clock_ != nullptr) outstanding_posts_.insert(op->posted_clock);
@@ -561,6 +601,7 @@ class Communicator {
   World* world_;
   int rank_;
   SimClock* clock_;
+  Transport* transport_;  ///< byte-movement backend (never null)
   CommStats stats_;
   Timeline timeline_;
   /// Disjoint, sorted [t0, t1) intervals during which this rank charged

@@ -7,17 +7,26 @@
 /// and executed by exactly one thread per rank: one of the rank's comm
 /// *channels* when `comm_thread_budget() > 0` (the default), or the posting
 /// thread itself in inline mode (`PLEXUS_COMM_THREADS=0`). Ops are routed to
-/// channels by their `GroupId` (channel = gid mod budget), so ops on the same
-/// group always run strictly in post order — the per-group barrier protocol of
-/// communicator.hpp stays matched across ranks exactly as in the blocking-only
-/// design — while ops on groups mapped to *different* channels execute
-/// concurrently in real time (disjoint X-/Y-/Z-line collectives overlap on the
-/// wall clock the way the sim cost model already lets them overlap in
-/// simulated time). SPMD programs must post collectives on a group in the same
-/// order on every member, the same rule MPI imposes on nonblocking
-/// collectives; additionally, cross-group posting order must be consistent
-/// across ranks for groups that share a channel (with one channel — the old
-/// single-FIFO behaviour — that means all groups).
+/// channels by their group's `channel_route` key — the group's X/Y/Z line
+/// *family* when the 3D grid tagged it (`GroupShared::channel_hint`), else
+/// the `GroupId` — taken mod the budget. Family routing is topology-aware: a
+/// rank's own three line groups always land on three distinct keys, so with
+/// a channel budget >= 3 they never collide on one channel, which the old
+/// plain `GroupId mod budget` routing could not guarantee. Ops on the same
+/// group always run strictly in post order — the per-group barrier protocol
+/// of communicator.hpp stays matched across ranks exactly as in the
+/// blocking-only design — while ops on groups mapped to *different* channels
+/// execute concurrently in real time (disjoint X-/Y-/Z-line collectives
+/// overlap on the wall clock the way the sim cost model already lets them
+/// overlap in simulated time). SPMD programs must post collectives on a group
+/// in the same order on every member, the same rule MPI imposes on
+/// nonblocking collectives; additionally, cross-group posting order must be
+/// consistent across ranks for groups that share a channel (with one channel
+/// — the old single-FIFO behaviour — that means all groups).
+///
+/// The bytes an op moves travel through the Communicator's selected
+/// `Transport` (comm/transport.hpp); the op record, channels and handle
+/// semantics here are backend-independent.
 ///
 /// Sim-time semantics (see communicator.hpp for the full contract): an op
 /// records the poster's clock at post time and, during execution, derives its
@@ -52,7 +61,7 @@ struct CommOp {
 
   Collective op = Collective::Barrier;
   std::int64_t bytes = 0;
-  int channel = 0;             ///< channel routing key (the op's GroupId)
+  int channel = 0;             ///< routing key (group's line family, else GroupId)
   bool accounted = true;       ///< false for user ops (icall): no stats/clock
   double posted_clock = 0.0;   ///< poster's sim clock at post time
 
@@ -92,19 +101,39 @@ std::vector<unsigned char>& op_scratch();
 
 }  // namespace detail
 
-/// Handle to an in-flight collective, in the spirit of MPI_Request:
+/// Handle to an in-flight collective, in the spirit of MPI_Request.
 ///
-///  * `wait()` blocks until the comm thread has executed the op, then charges
-///    the *exposed* time — the part of the collective not already hidden
-///    behind compute the caller performed since posting — onto the rank clock
-///    and CommStats, and returns the scalar result (0 for data collectives).
-///    Exceptions thrown on the comm thread are rethrown here, once.
-///  * `wait()` twice is allowed: the second call returns the cached scalar and
-///    charges nothing.
-///  * Dropping an un-waited handle completes the data movement (the destructor
-///    blocks until the op has executed, keeping the group barriers matched)
-///    but charges no sim time and no stats — like MPI_Request_free, the
-///    caller gives up on the accounting, not on the collective.
+/// ## Lifecycle
+///
+/// A handle's op passes through four states:
+///
+///  1. **posted** — the `i*` entry point built the op record (post-time clock
+///     snapshot, byte count, routing key) and enqueued it on its channel (or
+///     ran it inline). The caller may compute freely; the buffers named in
+///     the call belong to the op until it is waited or dropped.
+///  2. **in flight** — a channel thread is executing the op: for in-process
+///     transports, the group barrier protocol plus the transport's byte
+///     movement; for the MPI transport, the posted `MPI_I*` request being
+///     progressed to completion. `test()` polls this state without blocking
+///     and never charges time.
+///  3. **complete** — the executing thread published the completion fields
+///     (`done_clock`, `full_seconds`, scalar result, or error) and signalled
+///     `finished`. Data buffers now hold the collective's result, but no
+///     accounting has happened yet.
+///  4. **retired or dropped** — terminal, reached exactly once:
+///     * `wait()` blocks until complete, then *retires* the op: it charges
+///       the **exposed** tail (the part of the transfer not hidden behind
+///       recorded compute) onto the rank clock and `CommStats`, records the
+///       timeline spans, and returns the scalar result (0 for data
+///       collectives). Exceptions thrown on the executing thread are
+///       rethrown here, once. A second `wait()` returns the cached scalar
+///       and charges nothing.
+///     * Destroying an un-waited handle *drops* the op: the destructor
+///       blocks until the op has executed (keeping the group barriers
+///       matched — the collective itself is never cancelled) but charges no
+///       sim time and no stats, like `MPI_Request_free`: the caller gives up
+///       on the accounting, not on the collective. Any pending error dies
+///       with the op record.
 ///
 /// A handle must not outlive its Communicator. Move-only.
 class CommHandle {

@@ -1,0 +1,204 @@
+#pragma once
+/// \file transport.hpp
+/// Pluggable byte-transport backends behind the Communicator.
+///
+/// The comm stack is split into two layers:
+///
+///  * **cost / accounting** (communicator.hpp) — post-time clocks, the ring
+///    cost model, link-busy horizons, exposed-vs-hidden attribution,
+///    CommStats and the timeline. This layer is backend-invariant: simulated
+///    clocks, stats and losses are bitwise-identical for every in-process
+///    transport.
+///  * **byte movement** (this file) — how the payload of a collective
+///    actually travels between ranks. Selected per Communicator via a
+///    `Transport`.
+///
+/// Three backends:
+///
+///  * `Backend::Sim` — the shared-slot simulator movement: every member
+///    publishes its buffer pointer and peers read it directly. This is the
+///    historic behaviour, preserved bit for bit (same copies, same float
+///    summation order).
+///  * `Backend::Local` — really moves bytes between the in-process rank
+///    threads the way a network transport would: ring all-gather and ring
+///    broadcast relay hop neighbour-to-neighbour with a group-barrier per
+///    step, all-to-all uses a rotated exchange schedule, and reductions stage
+///    every peer contribution into a receive buffer before combining. The
+///    combination order is canonical (member 0, 1, …, G-1 — the same
+///    left-fold the Sim backend uses), so results stay bitwise-identical to
+///    Sim: determinism is part of the transport conformance contract, the
+///    reason a true ring *reduction* (whose partial sums nest in ring order)
+///    is deliberately not used.
+///  * `Backend::Mpi` — optional, compiled behind the `PLEXUS_WITH_MPI` CMake
+///    option: maps each CommHandle onto an `MPI_Iallgatherv` /
+///    `MPI_Ireduce_scatter` / `MPI_Iallreduce` / `MPI_Ibcast` /
+///    `MPI_Ialltoallv` request on a per-group sub-communicator
+///    (`MPI_Comm_create_group` over the group's member list). One process per
+///    rank; functional-only (no SimClock — stats charge the cost-model time
+///    per op). See docs/COMM.md.
+///
+/// In-process transports implement `move()` (+ optional `finalize()`), which
+/// the Communicator runs inside the group's barrier protocol. Distributed
+/// transports set `uses_group_protocol() == false` and implement `execute()`,
+/// owning the whole collective.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "comm/handle.hpp"
+#include "comm/world.hpp"
+
+namespace plexus::comm {
+
+/// Byte-transport backend selector. Resolution: explicit API argument, else
+/// `set_default_backend()`, else the `PLEXUS_BACKEND` environment variable
+/// (`sim` | `local` | `mpi`), else Sim.
+enum class Backend {
+  Sim,    ///< shared-slot simulator movement (historic behaviour)
+  Local,  ///< in-process ring/staged movement between rank threads
+  Mpi,    ///< real MPI nonblocking collectives (requires PLEXUS_WITH_MPI)
+};
+
+/// Element type of a collective payload, for backends (MPI) that need a real
+/// datatype for reductions. Byte-copy collectives may use `Bytes`.
+enum class DType { Bytes, F32, F64, I32, I64 };
+
+template <typename T>
+constexpr DType dtype_of() {
+  if constexpr (std::is_same_v<T, float>) return DType::F32;
+  else if constexpr (std::is_same_v<T, double>) return DType::F64;
+  else if constexpr (std::is_same_v<T, std::int32_t>) return DType::I32;
+  else if constexpr (std::is_same_v<T, std::int64_t>) return DType::I64;
+  else return DType::Bytes;
+}
+
+/// Type-erased description of one collective, built by the Communicator's
+/// templated entry points. Field meaning by kind:
+///
+/// | kind          | send        | recv          | count (elements)        |
+/// |---------------|-------------|---------------|-------------------------|
+/// | AllGather     | own chunk   | gathered out  | per-member chunk        |
+/// | ReduceScatter | full input  | own chunk out | per-member chunk (out)  |
+/// | AllReduce     | nullptr     | in-place buf  | buffer elements         |
+/// | Broadcast     | nullptr     | in-place buf  | buffer elements         |
+/// | AllToAll      | full input  | full output   | per-member chunk        |
+/// | Barrier       | nullptr     | nullptr       | 0                       |
+struct CollArgs {
+  Collective kind = Collective::Barrier;
+  GroupId gid = 0;  ///< the op's group (sub-communicator key for MPI)
+  int pos = 0;      ///< caller's position within the group
+  const void* send = nullptr;
+  void* recv = nullptr;
+  std::size_t elem = 0;   ///< element size in bytes
+  std::size_t count = 0;  ///< element count (see table above)
+  int root = 0;           ///< broadcast root (group position)
+  DType dtype = DType::Bytes;
+  /// Typed accumulation `acc[i] += src[i]` over `n` elements; null for
+  /// non-reducing collectives. Every backend must apply contributions with
+  /// this exact function in canonical member order for bitwise conformance.
+  void (*accumulate)(void* acc, const void* src, std::size_t n) = nullptr;
+  /// Scalar reductions (all_reduce_{max,sum}_scalar) for non-protocol
+  /// backends; in-process backends exchange scalars through the group's
+  /// clock-slot aux values instead.
+  bool scalar_op = false;
+  bool scalar_is_max = false;
+  double scalar_value = 0.0;
+};
+
+/// A byte-movement backend. Stateless (Sim/Local) or process-global (MPI)
+/// singletons returned by `transport_for`; shared by every Communicator that
+/// selects them, so implementations must be thread-safe across concurrent
+/// rank and channel threads.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual Backend backend() const = 0;
+  virtual const char* name() const = 0;
+
+  /// True when the transport moves bytes inside the shared-memory group
+  /// protocol (publish / barrier / read phase / barrier) — the in-process
+  /// backends. False for distributed backends (MPI), which own the whole op
+  /// via execute() and never touch group barriers or clock slots.
+  virtual bool uses_group_protocol() const { return true; }
+
+  /// In-process data movement. Runs on the op's executing thread between the
+  /// group's protocol barriers; `g.slots[m]` holds member m's published
+  /// buffer (CollArgs::send if set, else recv). Implementations may run
+  /// extra `g.barrier` rounds (every member executes the same schedule) and
+  /// may publish additional pointers through `g.xfer_slots`.
+  virtual void move(GroupShared& g, const CollArgs& a);
+
+  /// Trailing writes to the member's *own* buffers, run after the protocol's
+  /// completion barrier (e.g. the all-reduce copy-back from scratch). The
+  /// next op's first barrier orders these writes before any peer reads.
+  virtual void finalize(GroupShared& g, const CollArgs& a);
+
+  /// Whole-op execution for non-protocol backends: perform the collective,
+  /// fill `op.full_seconds` / `op.done_clock` (cost-model time) and, for
+  /// scalar ops, `op.scalar`.
+  virtual void execute(GroupShared& g, const CollArgs& a, detail::CommOp& op);
+
+  /// Variable all-to-all for non-protocol backends: `send[m]` goes to member
+  /// m, `recv[m]` is resized and filled with member m's bytes. Must set
+  /// `op.bytes` to the maximum per-member total send volume (the straggler
+  /// defines the exchange). In-process backends exchange the nested vectors
+  /// through the slot protocol instead (communicator.hpp).
+  virtual void alltoallv(GroupShared& g, const CollArgs& a,
+                         const std::vector<std::span<const unsigned char>>& send,
+                         std::vector<std::vector<unsigned char>>& recv,
+                         detail::CommOp& op);
+};
+
+/// Backend name ("sim", "local", "mpi") for logs and CLI flags.
+const char* backend_name(Backend b);
+
+/// Parse a backend name (case-insensitive). Returns false on unknown names.
+bool backend_from_string(std::string_view s, Backend& out);
+
+/// The process-wide default backend: `set_default_backend` override, else
+/// `PLEXUS_BACKEND`, else Sim.
+Backend default_backend();
+
+/// Process-wide override; pass `reset_default_backend()` semantics by calling
+/// with the environment-resolved value, or use ScopedBackend in tests.
+void set_default_backend(Backend b);
+
+/// Restore "follow the PLEXUS_BACKEND environment variable".
+void reset_default_backend();
+
+/// The singleton transport for a backend. Aborts for Backend::Mpi when the
+/// tree was configured without PLEXUS_WITH_MPI.
+Transport& transport_for(Backend b);
+
+/// True when this build carries the MPI transport (PLEXUS_WITH_MPI=ON).
+bool mpi_transport_available();
+
+/// RAII default-backend override for tests and benches.
+class ScopedBackend {
+ public:
+  explicit ScopedBackend(Backend b);
+  ~ScopedBackend();
+  ScopedBackend(const ScopedBackend&) = delete;
+  ScopedBackend& operator=(const ScopedBackend&) = delete;
+
+ private:
+  bool had_override_;
+  Backend prev_;
+};
+
+namespace detail {
+/// Accessors used by the Local transport ring schedules; exposed for the
+/// conformance tests.
+Transport& sim_transport();
+Transport& local_transport();
+#ifdef PLEXUS_WITH_MPI
+Transport& mpi_transport();
+#endif
+}  // namespace detail
+
+}  // namespace plexus::comm

@@ -1,0 +1,290 @@
+/// \file transport_mpi.cpp
+/// The MPI byte-transport (compiled only with -DPLEXUS_WITH_MPI=ON).
+///
+/// One process per rank. Each plexus `GroupShared` is lazily mapped onto an
+/// MPI sub-communicator via `MPI_Comm_create_group` over the group's member
+/// list (collective only over the members, so creation order follows the SPMD
+/// posting order without involving non-members); the plexus World size must
+/// equal `MPI_COMM_WORLD`'s size and plexus ranks are MPI ranks.
+///
+/// Each CommHandle maps onto one nonblocking MPI request:
+///
+///   iall_gather        -> MPI_Iallgatherv   (equal counts)
+///   ireduce_scatter    -> MPI_Ireduce_scatter (equal recvcounts, MPI_SUM)
+///   iall_reduce_sum    -> MPI_Iallreduce    (MPI_IN_PLACE)
+///   broadcast          -> MPI_Ibcast
+///   all_to_all         -> MPI_Ialltoallv    (equal counts)
+///   all_to_all_v       -> MPI_Alltoall of counts + MPI_Ialltoallv payload
+///   barrier            -> MPI_Ibarrier
+///   scalar reductions  -> MPI_Iallreduce    (1 double, MPI_SUM / MPI_MAX)
+///
+/// The request is posted and completed on the op's executing thread (a comm
+/// channel, or the posting thread in inline mode), so CommHandle
+/// post/wait/test/drop keep their exact semantics: `test()` polls the
+/// channel-side completion flag, `wait()` retires the op, dropping completes
+/// but skips the accounting. With channel budgets > 0 multiple threads enter
+/// MPI concurrently — initialise with MPI_THREAD_MULTIPLE, or run
+/// `PLEXUS_COMM_THREADS=0` (inline) under MPI_THREAD_FUNNELED/SINGLE.
+///
+/// This backend is functional-only: there are no cross-process clock slots,
+/// so Communicators must run without a SimClock and CommStats charge the
+/// cost-model time per op (the `clock == nullptr` accounting path). Note
+/// MPI reduction order is implementation-defined, so floating-point results
+/// are *not* guaranteed bitwise-equal to the Sim/Local backends — the
+/// conformance suite checks reductions to a tolerance and copies exactly.
+
+#include <mpi.h>
+
+#include <limits>
+#include <mutex>
+#include <unordered_map>
+
+#include "comm/transport.hpp"
+#include "util/error.hpp"
+
+namespace plexus::comm {
+
+namespace {
+
+void mpi_check(int err, const char* what) {
+  if (err == MPI_SUCCESS) return;
+  char msg[MPI_MAX_ERROR_STRING + 1] = {0};
+  int len = 0;
+  MPI_Error_string(err, msg, &len);
+  PLEXUS_CHECK(false, std::string(what) + ": " + msg);
+}
+
+MPI_Datatype mpi_dtype(DType t) {
+  switch (t) {
+    case DType::F32: return MPI_FLOAT;
+    case DType::F64: return MPI_DOUBLE;
+    case DType::I32: return MPI_INT32_T;
+    case DType::I64: return MPI_INT64_T;
+    case DType::Bytes: return MPI_BYTE;
+  }
+  return MPI_BYTE;
+}
+
+class MpiTransport final : public Transport {
+ public:
+  ~MpiTransport() override {
+    // Communicators leak deliberately: MPI_Finalize order vs static
+    // destruction is unknowable, and freeing after finalize aborts.
+  }
+
+  Backend backend() const override { return Backend::Mpi; }
+  const char* name() const override { return "mpi"; }
+  bool uses_group_protocol() const override { return false; }
+
+  void execute(GroupShared& g, const CollArgs& a, detail::CommOp& op) override {
+    MPI_Comm comm = comm_for(g, a.gid);
+    check_rank_identity(g, a);
+    const int G = g.size();
+    MPI_Request req = MPI_REQUEST_NULL;
+    // MPI-3 counts and displacements are int: reject payloads whose per-chunk
+    // size or whose largest displacement (G-1 chunks in) would overflow,
+    // turning silent corruption into a clean error. (Large-count MPI-4
+    // *_c variants are a follow-on.)
+    const std::uint64_t chunk_bytes =
+        static_cast<std::uint64_t>(a.count) * static_cast<std::uint64_t>(a.elem);
+    PLEXUS_CHECK(chunk_bytes * static_cast<std::uint64_t>(G) <=
+                     static_cast<std::uint64_t>(std::numeric_limits<int>::max()),
+                 "MPI transport: payload exceeds MPI int counts/displacements");
+    const auto n = static_cast<int>(a.count);
+    const auto nb = static_cast<int>(chunk_bytes);
+    switch (a.kind) {
+      case Collective::Barrier:
+        mpi_check(MPI_Ibarrier(comm, &req), "MPI_Ibarrier");
+        break;
+      case Collective::AllGather: {
+        counts_.assign(static_cast<std::size_t>(G), nb);
+        displs_.resize(static_cast<std::size_t>(G));
+        for (int m = 0; m < G; ++m) displs_[static_cast<std::size_t>(m)] = m * nb;
+        mpi_check(MPI_Iallgatherv(a.send, nb, MPI_BYTE, a.recv, counts_.data(),
+                                  displs_.data(), MPI_BYTE, comm, &req),
+                  "MPI_Iallgatherv");
+        break;
+      }
+      case Collective::ReduceScatter: {
+        counts_.assign(static_cast<std::size_t>(G), n);
+        mpi_check(MPI_Ireduce_scatter(a.send, a.recv, counts_.data(), mpi_dtype(a.dtype),
+                                      MPI_SUM, comm, &req),
+                  "MPI_Ireduce_scatter");
+        break;
+      }
+      case Collective::AllReduce: {
+        if (a.scalar_op) {
+          op.scalar = a.scalar_value;
+          mpi_check(MPI_Iallreduce(MPI_IN_PLACE, &op.scalar, 1, MPI_DOUBLE,
+                                   a.scalar_is_max ? MPI_MAX : MPI_SUM, comm, &req),
+                    "MPI_Iallreduce(scalar)");
+          break;
+        }
+        mpi_check(MPI_Iallreduce(MPI_IN_PLACE, a.recv, n, mpi_dtype(a.dtype), MPI_SUM,
+                                 comm, &req),
+                  "MPI_Iallreduce");
+        break;
+      }
+      case Collective::Broadcast:
+        mpi_check(MPI_Ibcast(a.recv, nb, MPI_BYTE, a.root, comm, &req), "MPI_Ibcast");
+        break;
+      case Collective::AllToAll: {
+        counts_.assign(static_cast<std::size_t>(G), nb);
+        displs_.resize(static_cast<std::size_t>(G));
+        for (int m = 0; m < G; ++m) displs_[static_cast<std::size_t>(m)] = m * nb;
+        mpi_check(MPI_Ialltoallv(a.send, counts_.data(), displs_.data(), MPI_BYTE, a.recv,
+                                 counts_.data(), displs_.data(), MPI_BYTE, comm, &req),
+                  "MPI_Ialltoallv");
+        break;
+      }
+      case Collective::Send:
+        PLEXUS_CHECK(false, "point-to-point is accounting-only");
+    }
+    mpi_check(MPI_Wait(&req, MPI_STATUS_IGNORE), "MPI_Wait");
+    finish(g, op);
+  }
+
+  void alltoallv(GroupShared& g, const CollArgs& a,
+                 const std::vector<std::span<const unsigned char>>& send,
+                 std::vector<std::vector<unsigned char>>& recv,
+                 detail::CommOp& op) override {
+    MPI_Comm comm = comm_for(g, a.gid);
+    check_rank_identity(g, a);
+    const int G = g.size();
+    // Exchange per-member byte counts, then the payload.
+    std::vector<std::int64_t> send_counts(static_cast<std::size_t>(G));
+    std::vector<std::int64_t> recv_counts(static_cast<std::size_t>(G));
+    std::int64_t my_total = 0;
+    for (int m = 0; m < G; ++m) {
+      send_counts[static_cast<std::size_t>(m)] =
+          static_cast<std::int64_t>(send[static_cast<std::size_t>(m)].size());
+      my_total += send_counts[static_cast<std::size_t>(m)];
+    }
+    mpi_check(MPI_Alltoall(send_counts.data(), 1, MPI_INT64_T, recv_counts.data(), 1,
+                           MPI_INT64_T, comm),
+              "MPI_Alltoall(counts)");
+    std::vector<int> scounts(static_cast<std::size_t>(G)), sdispls(static_cast<std::size_t>(G));
+    std::vector<int> rcounts(static_cast<std::size_t>(G)), rdispls(static_cast<std::size_t>(G));
+    std::int64_t soff64 = 0, roff64 = 0;
+    for (int m = 0; m < G; ++m) {
+      soff64 += send_counts[static_cast<std::size_t>(m)];
+      roff64 += recv_counts[static_cast<std::size_t>(m)];
+    }
+    PLEXUS_CHECK(soff64 <= std::numeric_limits<int>::max() &&
+                     roff64 <= std::numeric_limits<int>::max(),
+                 "MPI transport: all_to_all_v payload exceeds MPI int counts");
+    int soff = 0, roff = 0;
+    for (int m = 0; m < G; ++m) {
+      scounts[static_cast<std::size_t>(m)] =
+          static_cast<int>(send_counts[static_cast<std::size_t>(m)]);
+      rcounts[static_cast<std::size_t>(m)] =
+          static_cast<int>(recv_counts[static_cast<std::size_t>(m)]);
+      sdispls[static_cast<std::size_t>(m)] = soff;
+      rdispls[static_cast<std::size_t>(m)] = roff;
+      soff += scounts[static_cast<std::size_t>(m)];
+      roff += rcounts[static_cast<std::size_t>(m)];
+    }
+    std::vector<unsigned char> send_flat(static_cast<std::size_t>(soff));
+    for (int m = 0; m < G; ++m) {
+      const auto& s = send[static_cast<std::size_t>(m)];
+      if (!s.empty()) {
+        std::copy(s.begin(), s.end(),
+                  send_flat.begin() + sdispls[static_cast<std::size_t>(m)]);
+      }
+    }
+    std::vector<unsigned char> recv_flat(static_cast<std::size_t>(roff));
+    MPI_Request req = MPI_REQUEST_NULL;
+    mpi_check(MPI_Ialltoallv(send_flat.data(), scounts.data(), sdispls.data(), MPI_BYTE,
+                             recv_flat.data(), rcounts.data(), rdispls.data(), MPI_BYTE,
+                             comm, &req),
+              "MPI_Ialltoallv");
+    mpi_check(MPI_Wait(&req, MPI_STATUS_IGNORE), "MPI_Wait");
+    recv.assign(static_cast<std::size_t>(G), {});
+    for (int m = 0; m < G; ++m) {
+      recv[static_cast<std::size_t>(m)].assign(
+          recv_flat.begin() + rdispls[static_cast<std::size_t>(m)],
+          recv_flat.begin() + rdispls[static_cast<std::size_t>(m)] +
+              rcounts[static_cast<std::size_t>(m)]);
+    }
+    // The straggler defines the exchange: cost the maximum per-member total.
+    std::int64_t max_total = my_total;
+    mpi_check(MPI_Allreduce(MPI_IN_PLACE, &max_total, 1, MPI_INT64_T, MPI_MAX, comm),
+              "MPI_Allreduce(max bytes)");
+    op.bytes = max_total;
+    finish(g, op);
+  }
+
+ private:
+  /// The whole mapping assumes plexus rank == MPI rank: `a.pos` places data
+  /// by plexus position while MPI places it by process rank. Reject the
+  /// mismatch instead of scattering chunks into the wrong slots.
+  static void check_rank_identity(const GroupShared& g, const CollArgs& a) {
+    int world_rank = -1;
+    MPI_Comm_rank(MPI_COMM_WORLD, &world_rank);
+    PLEXUS_CHECK(g.members[static_cast<std::size_t>(a.pos)] == world_rank,
+                 "MPI transport: plexus rank must equal the MPI rank");
+  }
+
+  /// Cost-model completion for the functional-only accounting path.
+  static void finish(const GroupShared& g, detail::CommOp& op) {
+    op.full_seconds =
+        collective_time(op.op, op.bytes, g.size(), g.link, g.a2a_distance_penalty);
+    op.done_clock = op.posted_clock + op.full_seconds;
+  }
+
+  MPI_Comm comm_for(GroupShared& g, GroupId gid) {
+    int initialized = 0;
+    MPI_Initialized(&initialized);
+    PLEXUS_CHECK(initialized != 0, "MPI backend: call MPI_Init first");
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      const auto it = comms_.find(gid);
+      if (it != comms_.end()) return it->second;
+    }
+    // Create outside the cache lock: MPI_Comm_create_group is collective over
+    // the member set, and members may be creating different groups
+    // concurrently on different channels.
+    int world_rank = -1, world_size = 0;
+    MPI_Comm_rank(MPI_COMM_WORLD, &world_rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &world_size);
+    PLEXUS_CHECK(world_size >= g.size(), "plexus group larger than MPI world");
+    PLEXUS_CHECK(g.position_of(world_rank) >= 0, "rank not in group");
+    MPI_Group world_group = MPI_GROUP_NULL;
+    MPI_Group sub_group = MPI_GROUP_NULL;
+    mpi_check(MPI_Comm_group(MPI_COMM_WORLD, &world_group), "MPI_Comm_group");
+    mpi_check(MPI_Group_incl(world_group, g.size(), g.members.data(), &sub_group),
+              "MPI_Group_incl");
+    MPI_Comm sub = MPI_COMM_NULL;
+    mpi_check(MPI_Comm_create_group(MPI_COMM_WORLD, sub_group, /*tag=*/gid, &sub),
+              "MPI_Comm_create_group");
+    MPI_Group_free(&sub_group);
+    MPI_Group_free(&world_group);
+    std::lock_guard<std::mutex> lock(m_);
+    const auto [it, inserted] = comms_.emplace(gid, sub);
+    if (!inserted) MPI_Comm_free(&sub);  // lost a (same-thread-impossible) race
+    return it->second;
+  }
+
+  std::mutex m_;
+  std::unordered_map<GroupId, MPI_Comm> comms_;
+  // Reused count/displacement scratch. One MpiTransport is shared by every
+  // channel thread, so these must be per-thread to stay race-free.
+  static thread_local std::vector<int> counts_;
+  static thread_local std::vector<int> displs_;
+};
+
+thread_local std::vector<int> MpiTransport::counts_;
+thread_local std::vector<int> MpiTransport::displs_;
+
+}  // namespace
+
+namespace detail {
+
+Transport& mpi_transport() {
+  static MpiTransport t;
+  return t;
+}
+
+}  // namespace detail
+
+}  // namespace plexus::comm

@@ -12,7 +12,7 @@ World::World(int size) : size_(size) {
 }
 
 GroupId World::create_group(std::vector<int> members, LinkParams link,
-                            double a2a_distance_penalty) {
+                            double a2a_distance_penalty, int channel_hint) {
   PLEXUS_CHECK(!members.empty(), "empty group");
   std::sort(members.begin(), members.end());
   for (std::size_t i = 0; i < members.size(); ++i) {
@@ -23,8 +23,10 @@ GroupId World::create_group(std::vector<int> members, LinkParams link,
   g->members = std::move(members);
   g->link = link;
   g->a2a_distance_penalty = a2a_distance_penalty;
+  g->channel_hint = channel_hint;
   g->barrier = std::make_unique<std::barrier<>>(static_cast<std::ptrdiff_t>(g->members.size()));
   g->slots.assign(g->members.size(), nullptr);
+  g->xfer_slots.assign(g->members.size(), nullptr);
   // First `size` entries publish member clocks; the next `size` entries carry
   // scalar exchange values (see Communicator::aux_value).
   g->clock_slots.assign(2 * g->members.size(), 0.0);

@@ -34,7 +34,17 @@ struct GroupShared {
   double a2a_distance_penalty = 1.0;
   std::unique_ptr<std::barrier<>> barrier;
   std::vector<const void*> slots;
+  /// Secondary per-member pointer slots for transports that must reach a
+  /// peer's *destination* or staging buffer mid-op (the Local transport's
+  /// ring schedules). Written and read only between the op's protocol
+  /// barriers, bracketed by the transport's own extra barrier rounds.
+  std::vector<const void*> xfer_slots;
   std::vector<double> clock_slots;
+  /// Comm-channel routing class. Line groups of the 3D grid are tagged with
+  /// their *family* (X = 0, Y = 1, Z = 2) so a rank's own three line groups
+  /// never share a channel (budget permitting); -1 = untagged, route by
+  /// GroupId as before. See channel_route().
+  int channel_hint = -1;
   /// Sim instant until which this group's ring links are occupied by the
   /// latest collective. Serialises overlapping (pipelined) collectives on the
   /// same group: a collective starts no earlier than this horizon. Written by
@@ -53,6 +63,17 @@ struct GroupShared {
   }
 };
 
+/// Comm-channel routing key of a group (topology-aware when tagged): the
+/// group's channel_hint — its X/Y/Z line family — when set, else the GroupId.
+/// Ops whose keys are congruent mod the channel budget share one channel per
+/// rank and serialise; family tagging guarantees a rank's own three line
+/// groups land on three distinct keys, so with a budget >= 3 they never
+/// collide (the old `GroupId mod budget` routing could map two of them onto
+/// one channel and forfeit their real-time overlap).
+inline int channel_route(const GroupShared& g, GroupId gid) {
+  return g.channel_hint >= 0 ? g.channel_hint : static_cast<int>(gid);
+}
+
 class World {
  public:
   explicit World(int size);
@@ -67,8 +88,11 @@ class World {
   int group_count() const { return static_cast<int>(groups_.size()); }
 
   /// Create a process group. NOT thread-safe: call before the SPMD region.
+  /// `channel_hint` >= 0 tags the group with a comm-channel routing class
+  /// (the 3D grid uses the line family, X = 0 / Y = 1 / Z = 2); -1 keeps the
+  /// GroupId-based routing. See channel_route().
   GroupId create_group(std::vector<int> members, LinkParams link = {},
-                       double a2a_distance_penalty = 1.0);
+                       double a2a_distance_penalty = 1.0, int channel_hint = -1);
 
   /// Zero every group's link-busy horizon. Required when reusing a World for
   /// a fresh simulation session whose SimClocks restart at 0 — otherwise the

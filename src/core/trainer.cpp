@@ -75,7 +75,8 @@ TrainResult train_plexus(const PlexusDataset& ds, const TrainOptions& opt) {
       result.rank0_timeline = std::move(ctx.comm.timeline());  // comm is end-of-life here
     }
   };
-  sim::run_cluster(world, *opt.machine, rank_fn, /*enable_clock=*/true, opt.intra_rank_threads);
+  sim::run_cluster(world, *opt.machine, rank_fn, /*enable_clock=*/true, opt.intra_rank_threads,
+                   &comm::transport_for(opt.backend));
   return result;
 }
 

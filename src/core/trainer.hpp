@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "comm/timeline.hpp"
+#include "comm/transport.hpp"
 #include "core/model.hpp"
 #include "core/preprocess.hpp"
 #include "graph/graph.hpp"
@@ -45,6 +46,14 @@ struct TrainOptions {
   /// spans) into TrainResult::rank0_timeline. Off by default (unbounded span
   /// storage); breakdown harnesses (fig9) turn it on.
   bool trace_timeline = false;
+  /// Byte-transport backend for the collectives (comm/transport.hpp):
+  /// Backend::Sim (shared-slot simulator movement) or Backend::Local (real
+  /// in-process ring/staged movement between the rank threads). Losses,
+  /// clocks and stats are bitwise-identical across the two — only the
+  /// mechanics of the byte movement differ. Defaults to the process default
+  /// (the PLEXUS_BACKEND environment variable, else Sim). Backend::Mpi is a
+  /// one-process-per-rank backend and cannot run under the threaded cluster.
+  comm::Backend backend = comm::default_backend();
 };
 
 struct TrainResult {

@@ -25,9 +25,14 @@ int resolve_intra_rank_threads(int requested, int num_ranks) {
 }
 
 void run_cluster(comm::World& world, const Machine& machine, const RankFn& fn,
-                 bool enable_clock, int intra_rank_threads) {
+                 bool enable_clock, int intra_rank_threads, comm::Transport* transport) {
   const int size = world.size();
   const int threads_per_rank = resolve_intra_rank_threads(intra_rank_threads, size);
+  comm::Transport& t =
+      transport != nullptr ? *transport : comm::transport_for(comm::default_backend());
+  PLEXUS_CHECK(t.uses_group_protocol(),
+               "run_cluster simulates ranks as in-process threads; distributed "
+               "transports need one process per rank");
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(size));
   std::atomic<bool> failed{false};
@@ -43,7 +48,7 @@ void run_cluster(comm::World& world, const Machine& machine, const RankFn& fn,
       // is rank-local; the communicator references the context's own clock so
       // callers can inspect it after fn returns (guaranteed elision places
       // the Communicator in the aggregate directly — it is immovable).
-      RankContext ctx{comm::Communicator(world, r, nullptr), comm::SimClock{}, &machine};
+      RankContext ctx{comm::Communicator(world, r, nullptr, &t), comm::SimClock{}, &machine};
       if (enable_clock) ctx.comm.set_clock(&ctx.clock);
       try {
         fn(ctx);

@@ -1,0 +1,233 @@
+// Transport conformance for the MPI backend (PLEXUS_WITH_MPI=ON), run as
+//
+//   mpirun -np 4 ./tests/mpi_conformance
+//
+// One process per rank. Every process derives the full schedule — group
+// shapes, payloads, expected results — deterministically from (group,
+// collective, member), so each collective's output is checked locally with
+// no reference process. Copies (all-gather / broadcast / all-to-all /
+// all_to_all_v) must match exactly; reductions are checked to a relative
+// tolerance because MPI reduction order is implementation-defined. The
+// CommHandle lifecycle (post / test / out-of-order wait / drop) and the
+// functional-only stats accounting are exercised too.
+//
+// Exit code 0 on success; nonzero (aborting the mpirun) on any failure.
+
+#include <mpi.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "comm/transport.hpp"
+#include "comm/world.hpp"
+#include "util/rng.hpp"
+
+namespace pc = plexus::comm;
+
+namespace {
+
+int g_failures = 0;
+int g_rank = -1;
+
+void expect(bool ok, const std::string& what) {
+  if (ok) return;
+  ++g_failures;
+  std::fprintf(stderr, "[mpi_conformance] rank %d FAILED: %s\n", g_rank, what.c_str());
+}
+
+void expect_near(float got, float want, const std::string& what) {
+  const float tol = 1e-4f * (1.0f + std::fabs(want));
+  expect(std::fabs(got - want) <= tol,
+         what + " got=" + std::to_string(got) + " want=" + std::to_string(want));
+}
+
+/// Deterministic payload element for (group, collective kind, member, index).
+float payload(int gid, int kind, int member_rank, std::size_t i) {
+  const plexus::util::CounterRng rng(
+      plexus::util::hash_combine(static_cast<std::uint64_t>(gid * 16 + kind),
+                                 static_cast<std::uint64_t>(member_rank)));
+  return rng.uniform_at(i, -2.0f, 2.0f);
+}
+
+void run_group(pc::Communicator& comm, pc::GroupId gid) {
+  auto& g = comm.world().group(gid);
+  const int G = g.size();
+  bool member = false;
+  for (const int m : g.members) member |= (m == g_rank);
+  if (!member) return;
+  const int pos = g.position_of(g_rank);
+  const std::size_t n = 64 + static_cast<std::size_t>(gid) * 3;
+
+  // all-gather: exact.
+  std::vector<float> ag_in(n), ag_out(n * static_cast<std::size_t>(G));
+  for (std::size_t i = 0; i < n; ++i) ag_in[i] = payload(gid, 0, g_rank, i);
+  comm.all_gather<float>(gid, ag_in, ag_out);
+  for (int m = 0; m < G; ++m) {
+    for (std::size_t i = 0; i < n; ++i) {
+      expect(ag_out[static_cast<std::size_t>(m) * n + i] == payload(gid, 0, g.members[m], i),
+             "all_gather gid=" + std::to_string(gid) + " member " + std::to_string(m));
+    }
+  }
+
+  // reduce-scatter: tolerance (MPI reduction order is implementation-defined).
+  std::vector<float> rs_in(n * static_cast<std::size_t>(G)), rs_out(n);
+  for (std::size_t i = 0; i < rs_in.size(); ++i) rs_in[i] = payload(gid, 1, g_rank, i);
+  comm.reduce_scatter_sum<float>(gid, rs_in, rs_out);
+  for (std::size_t i = 0; i < n; ++i) {
+    float want = 0.0f;
+    for (int m = 0; m < G; ++m) {
+      want += payload(gid, 1, g.members[m], static_cast<std::size_t>(pos) * n + i);
+    }
+    expect_near(rs_out[i], want, "reduce_scatter gid=" + std::to_string(gid));
+  }
+
+  // all-reduce: tolerance.
+  std::vector<float> ar(n);
+  for (std::size_t i = 0; i < n; ++i) ar[i] = payload(gid, 2, g_rank, i);
+  comm.all_reduce_sum<float>(gid, ar);
+  for (std::size_t i = 0; i < n; ++i) {
+    float want = 0.0f;
+    for (int m = 0; m < G; ++m) want += payload(gid, 2, g.members[m], i);
+    expect_near(ar[i], want, "all_reduce gid=" + std::to_string(gid));
+  }
+
+  // broadcast from every root: exact.
+  for (int root = 0; root < G; ++root) {
+    std::vector<float> bc(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      bc[i] = pos == root ? payload(gid, 3, g.members[root], i) : -1.0f;
+    }
+    comm.broadcast<float>(gid, bc, root);
+    for (std::size_t i = 0; i < n; ++i) {
+      expect(bc[i] == payload(gid, 3, g.members[root], i),
+             "broadcast gid=" + std::to_string(gid) + " root " + std::to_string(root));
+    }
+  }
+
+  // equal-chunk all-to-all: exact.
+  std::vector<float> aa_in(n * static_cast<std::size_t>(G)),
+      aa_out(n * static_cast<std::size_t>(G));
+  for (std::size_t i = 0; i < aa_in.size(); ++i) aa_in[i] = payload(gid, 4, g_rank, i);
+  comm.all_to_all<float>(gid, aa_in, aa_out);
+  for (int m = 0; m < G; ++m) {
+    for (std::size_t i = 0; i < n; ++i) {
+      expect(aa_out[static_cast<std::size_t>(m) * n + i] ==
+                 payload(gid, 4, g.members[m], static_cast<std::size_t>(pos) * n + i),
+             "all_to_all gid=" + std::to_string(gid));
+    }
+  }
+
+  // variable all-to-all: member p sends (p + 1) copies of a marker to each
+  // member; exact.
+  std::vector<std::vector<float>> send(static_cast<std::size_t>(G));
+  for (int m = 0; m < G; ++m) {
+    send[static_cast<std::size_t>(m)].assign(static_cast<std::size_t>(pos + 1),
+                                             payload(gid, 5, g_rank, static_cast<std::size_t>(m)));
+  }
+  std::vector<std::vector<float>> recv;
+  comm.all_to_all_v<float>(gid, send, recv);
+  expect(recv.size() == static_cast<std::size_t>(G), "all_to_all_v shape");
+  for (int m = 0; m < G; ++m) {
+    expect(recv[static_cast<std::size_t>(m)].size() == static_cast<std::size_t>(m + 1),
+           "all_to_all_v count from member " + std::to_string(m));
+    for (const float v : recv[static_cast<std::size_t>(m)]) {
+      expect(v == payload(gid, 5, g.members[m], static_cast<std::size_t>(pos)),
+             "all_to_all_v payload gid=" + std::to_string(gid));
+    }
+  }
+
+  // scalar reductions: max exact, sum to tolerance.
+  const double mx = comm.all_reduce_max_scalar(gid, static_cast<double>(g_rank));
+  expect(mx == static_cast<double>(g.members.back()), "scalar max gid=" + std::to_string(gid));
+  const double sum = comm.all_reduce_sum_scalar(gid, 1.5);
+  expect(std::fabs(sum - 1.5 * G) < 1e-9, "scalar sum gid=" + std::to_string(gid));
+
+  comm.barrier(gid);
+}
+
+void run_handle_lifecycle(pc::Communicator& comm) {
+  // Nonblocking post → test-poll → out-of-order wait, and drop-without-wait:
+  // the CommHandle states map onto real MPI_I* requests here.
+  const pc::GroupId wg = comm.world().world_group();
+  const int G = comm.world().size();
+  std::vector<float> a(32, 1.0f), b_in(8, static_cast<float>(g_rank)),
+      b_out(8 * static_cast<std::size_t>(G));
+  auto h1 = comm.iall_reduce_sum<float>(wg, a);
+  auto h2 = comm.iall_gather<float>(wg, b_in, b_out);
+  while (!h2.test()) {
+  }
+  h2.wait();  // out of post order
+  h1.wait();
+  for (const float v : a) expect_near(v, static_cast<float>(G), "lifecycle all_reduce");
+  for (int m = 0; m < G; ++m) {
+    expect(b_out[static_cast<std::size_t>(m) * 8] == static_cast<float>(m),
+           "lifecycle all_gather");
+  }
+
+  // Dropped handle: the collective still completes on every member (the
+  // matching posts stay matched), but no stats are charged.
+  const auto calls_before = comm.stats().entry(pc::Collective::AllGather).calls;
+  {
+    auto dropped = comm.iall_gather<float>(wg, b_in, b_out);
+    (void)dropped;  // destructor completes the op and discards the accounting
+  }
+  expect(comm.stats().entry(pc::Collective::AllGather).calls == calls_before,
+         "dropped handle must not charge stats");
+
+  // Functional-only accounting: cost-model time charged per waited op.
+  expect(comm.stats().entry(pc::Collective::AllReduce).sim_seconds > 0.0,
+         "functional-mode stats charge cost-model time");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int provided = MPI_THREAD_SINGLE;
+  MPI_Init_thread(&argc, &argv, MPI_THREAD_MULTIPLE, &provided);
+  int size = 0;
+  MPI_Comm_rank(MPI_COMM_WORLD, &g_rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &size);
+
+  // Comm channels make MPI calls from their own threads. Under
+  // MPI_THREAD_MULTIPLE any budget works; SERIALIZED tolerates exactly one
+  // channel; anything less forces inline mode (posting thread does MPI).
+  if (provided < MPI_THREAD_SERIALIZED) {
+    pc::set_comm_thread_budget(0);
+  } else if (provided < MPI_THREAD_MULTIPLE) {
+    pc::set_comm_thread_budget(1);
+  }
+
+  {
+    pc::World world(size);
+    std::vector<pc::GroupId> gids{world.world_group()};
+    if (size >= 2) {
+      std::vector<int> evens, odds, halves;
+      for (int r = 0; r < size; ++r) (r % 2 == 0 ? evens : odds).push_back(r);
+      for (int r = 0; r < size / 2; ++r) halves.push_back(r);
+      gids.push_back(world.create_group(evens));
+      if (!odds.empty()) gids.push_back(world.create_group(odds));
+      gids.push_back(world.create_group(halves));
+      gids.push_back(world.create_group({0, size - 1}));
+    }
+
+    pc::Communicator comm(world, g_rank, /*clock=*/nullptr,
+                          &pc::transport_for(pc::Backend::Mpi));
+    for (const auto gid : gids) run_group(comm, gid);
+    run_handle_lifecycle(comm);
+    comm.barrier(world.world_group());
+  }
+
+  int total_failures = g_failures;
+  MPI_Allreduce(MPI_IN_PLACE, &total_failures, 1, MPI_INT, MPI_SUM, MPI_COMM_WORLD);
+  if (g_rank == 0) {
+    std::printf("[mpi_conformance] %d ranks, %s (%d failure%s)\n", size,
+                total_failures == 0 ? "PASS" : "FAIL", total_failures,
+                total_failures == 1 ? "" : "s");
+  }
+  MPI_Finalize();
+  return total_failures == 0 ? EXIT_SUCCESS : EXIT_FAILURE;
+}
