@@ -1,14 +1,16 @@
 // Command-line training driver — the "plexus run" entry point a downstream
 // user would script:
 //
-//   ./build/examples/plexus_train [dataset] [nodes] [gx] [gy] [gz] [epochs] [backend]
-//   ./build/examples/plexus_train ogbn-products 8000 4 2 2 10 local
+//   ./build/examples/plexus_train [dataset] [nodes] [gx] [gy] [gz] [epochs] [backend] [agg]
+//   ./build/examples/plexus_train ogbn-products 8000 4 2 2 10 local sparse
 //
 // dataset: any Table 4 name (a scaled proxy is generated at `nodes` scale).
 // Pass gx=0 to let the performance model choose the grid for gx*gy*gz... i.e.
 // `plexus_train ogbn-products 8000 0 16` asks the model for the best 16-GPU
 // configuration. `backend` picks the byte transport (sim | local; default:
 // PLEXUS_BACKEND, else sim) — losses and sim timings are bitwise-identical.
+// `agg` picks the aggregation strategy (dense | sparse | auto; default:
+// PLEXUS_AGG, else dense) — losses are bitwise-identical, wire bytes differ.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -28,6 +30,11 @@ int main(int argc, char** argv) {
   auto backend = plexus::comm::default_backend();
   if (argc > 7 && !plexus::comm::backend_from_string(argv[7], backend)) {
     std::fprintf(stderr, "unknown backend '%s' (expected sim | local)\n", argv[7]);
+    return 1;
+  }
+  auto agg = plexus::core::default_aggregation();
+  if (argc > 8 && !plexus::core::aggregation_from_string(argv[8], agg)) {
+    std::fprintf(stderr, "unknown aggregation '%s' (expected dense | sparse | auto)\n", argv[8]);
     return 1;
   }
   if (backend == plexus::comm::Backend::Mpi) {
@@ -54,25 +61,30 @@ int main(int argc, char** argv) {
   }
 
   std::printf(
-      "training %s proxy (%lld nodes, %lld edges) on a %dx%dx%d grid, %d epochs, %s transport\n",
+      "training %s proxy (%lld nodes, %lld edges) on a %dx%dx%d grid, %d epochs, "
+      "%s transport, %s aggregation\n",
       dataset.c_str(), static_cast<long long>(g.num_nodes),
       static_cast<long long>(g.num_edges()), gx, gy, gz, epochs,
-      plexus::comm::backend_name(backend));
+      plexus::comm::backend_name(backend), plexus::core::aggregation_name(agg));
 
   plexus::core::TrainOptions opt;
   opt.grid = {gx, gy, gz};
   opt.machine = &machine;
   opt.model.hidden_dims = {128, 128};
+  opt.model.options.agg_row_blocks = 8;
   opt.epochs = epochs;
   opt.evaluate_validation = true;
   opt.backend = backend;
+  opt.aggregation = agg;
 
   const auto result = plexus::core::train_plexus(g, opt);
   for (std::size_t e = 0; e < result.epochs.size(); ++e) {
     const auto& s = result.epochs[e];
-    std::printf("epoch %2zu  loss %.4f  acc %.3f  sim %.2f ms (spmm %.2f, gemm %.2f, comm %.2f)\n",
-                e + 1, s.loss, s.train_accuracy, s.epoch_seconds * 1e3, s.spmm_seconds * 1e3,
-                s.gemm_seconds * 1e3, s.wait_seconds() * 1e3);
+    std::printf(
+        "epoch %2zu  loss %.4f  acc %.3f  sim %.2f ms (spmm %.2f, gemm %.2f, comm %.2f)  "
+        "wire %.2f MB\n",
+        e + 1, s.loss, s.train_accuracy, s.epoch_seconds * 1e3, s.spmm_seconds * 1e3,
+        s.gemm_seconds * 1e3, s.wait_seconds() * 1e3, s.comm_wire_bytes / 1e6);
   }
   std::printf("validation accuracy %.3f | avg epoch %.2f ms on %s\n", result.val_accuracy,
               result.avg_epoch_seconds(2) * 1e3, machine.name.c_str());

@@ -93,7 +93,8 @@ namespace plexus::comm {
 struct CommStats {
   struct Entry {
     std::int64_t calls = 0;
-    std::int64_t bytes = 0;
+    std::int64_t bytes = 0;       ///< logical buffer volume per call (cost-model M)
+    std::int64_t wire_bytes = 0;  ///< bytes the links actually carried (cost.hpp)
     double sim_seconds = 0.0;     ///< exposed time charged onto the rank clock
     double hidden_seconds = 0.0;  ///< transfer time overlapped by compute
   };
@@ -115,6 +116,11 @@ struct CommStats {
   std::int64_t total_bytes() const {
     std::int64_t b = 0;
     for (const auto& e : by_op) b += e.bytes;
+    return b;
+  }
+  std::int64_t total_wire_bytes() const {
+    std::int64_t b = 0;
+    for (const auto& e : by_op) b += e.wire_bytes;
     return b;
   }
   void reset() { by_op = {}; }
@@ -151,6 +157,7 @@ inline void finish_read_phase(GroupShared& g, int pos, double busy_floor, CommOp
   }
   op.full_seconds =
       collective_time(op.op, op.bytes, g.size(), g.link, g.a2a_distance_penalty);
+  op.wire_bytes = wire_bytes(op.op, op.bytes, g.size());
   op.done_clock = start + op.full_seconds;
   if (pos == 0) g.link_busy_until = op.done_clock;
 }
@@ -284,6 +291,66 @@ class Communicator {
     return post_collective(a, static_cast<std::int64_t>(in.size() * sizeof(T)));
   }
 
+  /// Flat variable all-to-all: `send` holds the payload packed by destination
+  /// member (`send_counts[m]` elements to member m, in member order); `recv`
+  /// receives chunks packed by source member (`recv_counts[m]` elements from
+  /// member m). The counts arrays — `group size` entries each, valid until the
+  /// handle is waited or dropped — must be globally consistent:
+  /// `recv_counts[m]` here equals member m's `send_counts[my pos]` (the
+  /// caller owns the count exchange; the sparse aggregation plan derives both
+  /// sides from the shared nnz structure). Cost is charged on the straggler's
+  /// total send volume, like `all_to_all_v`.
+  template <typename T>
+  CommHandle iall_to_all_v(GroupId gid, std::span<const T> send,
+                           const std::int64_t* send_counts, std::span<T> recv,
+                           const std::int64_t* recv_counts) {
+    auto& g = world_->group(gid);
+    CollArgs a;
+    a.kind = Collective::AllToAll;
+    a.gid = gid;
+    a.pos = g.position_of(rank_);
+    a.send = send.data();
+    a.recv = recv.data();
+    a.elem = sizeof(T);
+    a.dtype = dtype_of<T>();
+    a.send_counts = send_counts;
+    a.recv_counts = recv_counts;
+    std::int64_t my_elems = 0;
+    std::int64_t recv_elems = 0;
+    for (int m = 0; m < g.size(); ++m) {
+      my_elems += send_counts[m];
+      recv_elems += recv_counts[m];
+    }
+    PLEXUS_CHECK(send.size() == static_cast<std::size_t>(my_elems),
+                 "iall_to_all_v: send buffer does not match send_counts");
+    PLEXUS_CHECK(recv.size() == static_cast<std::size_t>(recv_elems),
+                 "iall_to_all_v: recv buffer does not match recv_counts");
+    const std::int64_t my_bytes = my_elems * static_cast<std::int64_t>(sizeof(T));
+    Transport* t = transport_;
+    if (!t->uses_group_protocol()) {
+      return post_op(Collective::AllToAll, gid, my_bytes,
+                     [&g, a, t](detail::CommOp& op) { t->execute(g, a, op); });
+    }
+    // Same protocol shape as all_to_all_v: exchange the straggler's send
+    // volume through the aux slots so op.bytes (and thus the cost model) is
+    // group-uniform, then let the transport move the packed chunks.
+    return post_op(Collective::AllToAll, gid, /*bytes=*/0,
+                   [&g, a, t, my_bytes](detail::CommOp& op) {
+                     detail::aux_value(g, a.pos) = static_cast<double>(my_bytes);
+                     const double floor = detail::publish(g, a.pos, a.send, op.posted_clock);
+                     g.barrier->arrive_and_wait();
+                     double max_bytes = 0.0;
+                     for (int m = 0; m < g.size(); ++m) {
+                       max_bytes = std::max(max_bytes, detail::aux_value(g, m));
+                     }
+                     op.bytes = static_cast<std::int64_t>(max_bytes);
+                     t->move(g, a);
+                     detail::finish_read_phase(g, a.pos, floor, op);
+                     g.barrier->arrive_and_wait();
+                     t->finalize(g, a);
+                   });
+  }
+
   /// Run `fn` on the world group's channel, ordered with this rank's
   /// world-group collectives. No sim time or stats are charged; exceptions
   /// propagate at wait(). Useful for asynchronous host-side staging and for
@@ -390,7 +457,9 @@ class Communicator {
       for (std::size_t m = 0; m < recv_bytes.size(); ++m) {
         PLEXUS_CHECK(recv_bytes[m].size() % sizeof(T) == 0, "all_to_all_v: ragged payload");
         recv[m].resize(recv_bytes[m].size() / sizeof(T));
-        std::memcpy(recv[m].data(), recv_bytes[m].data(), recv_bytes[m].size());
+        if (!recv_bytes[m].empty()) {
+          std::memcpy(recv[m].data(), recv_bytes[m].data(), recv_bytes[m].size());
+        }
       }
       return;
     }
@@ -572,6 +641,7 @@ class Communicator {
     auto& e = stats_.entry(op.op);
     e.calls += 1;
     e.bytes += op.bytes;
+    e.wire_bytes += op.wire_bytes;
     if (clock_ == nullptr) {
       // Functional-only mode: no overlap semantics; charge the cost-model
       // time per op (done_clock carries the meaningless busy horizon here).

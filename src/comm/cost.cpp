@@ -52,6 +52,45 @@ const char* collective_name(Collective op) {
   return "?";
 }
 
+std::int64_t wire_bytes(Collective op, std::int64_t bytes, int group_size) {
+  if (group_size <= 1) return 0;
+  const double m = static_cast<double>(bytes);
+  const double g = static_cast<double>(group_size);
+  const double ring_frac = (g - 1.0) / g;
+  switch (op) {
+    case Collective::Barrier:
+      return 0;
+    case Collective::Broadcast:
+    case Collective::AllReduce:
+      return static_cast<std::int64_t>(2.0 * ring_frac * m);
+    case Collective::AllGather:
+    case Collective::ReduceScatter:
+    case Collective::AllToAll:
+      return static_cast<std::int64_t>(ring_frac * m);
+    case Collective::Send:
+      return bytes;
+  }
+  return 0;
+}
+
+double dense_aggregation_time(std::int64_t block_bytes, bool scatter, int group_size,
+                              const LinkParams& link, double a2a_distance_penalty) {
+  return collective_time(scatter ? Collective::ReduceScatter : Collective::AllReduce,
+                         block_bytes, group_size, link, a2a_distance_penalty);
+}
+
+double sparse_aggregation_time(std::int64_t block_bytes, std::int64_t max_support_bytes,
+                               bool scatter, int group_size, const LinkParams& link,
+                               double a2a_distance_penalty) {
+  double t = collective_time(Collective::AllToAll, max_support_bytes, group_size, link,
+                             a2a_distance_penalty);
+  if (!scatter) {
+    t += collective_time(Collective::AllGather, block_bytes, group_size, link,
+                         a2a_distance_penalty);
+  }
+  return t;
+}
+
 int choose_pipeline_depth(double block_compute_seconds, double block_ring_seconds,
                           int num_blocks, int max_depth) {
   if (num_blocks <= 1 || block_ring_seconds <= 0.0) return 1;

@@ -68,6 +68,7 @@ struct CommOp {
   // Filled by execute (read phase):
   double full_seconds = 0.0;   ///< cost-model duration of the collective
   double done_clock = 0.0;     ///< sim instant the collective completes
+  std::int64_t wire_bytes = 0; ///< bytes the links actually carried (cost.hpp)
   double scalar = 0.0;         ///< result of scalar reductions
   std::exception_ptr error;    ///< first exception thrown by execute
 

@@ -54,6 +54,13 @@ void mpi_check(int err, const char* what) {
   PLEXUS_CHECK(false, std::string(what) + ": " + msg);
 }
 
+/// MPI implementations may reject null buffer pointers even with zero counts
+/// (the standard leaves it undefined); empty send lists and 0-row slabs are
+/// legal plexus payloads, so substitute a dummy non-null pointer.
+unsigned char g_zero_payload_dummy = 0;
+const void* nn(const void* p) { return p != nullptr ? p : &g_zero_payload_dummy; }
+void* nn(void* p) { return p != nullptr ? p : static_cast<void*>(&g_zero_payload_dummy); }
+
 MPI_Datatype mpi_dtype(DType t) {
   switch (t) {
     case DType::F32: return MPI_FLOAT;
@@ -100,15 +107,15 @@ class MpiTransport final : public Transport {
         counts_.assign(static_cast<std::size_t>(G), nb);
         displs_.resize(static_cast<std::size_t>(G));
         for (int m = 0; m < G; ++m) displs_[static_cast<std::size_t>(m)] = m * nb;
-        mpi_check(MPI_Iallgatherv(a.send, nb, MPI_BYTE, a.recv, counts_.data(),
+        mpi_check(MPI_Iallgatherv(nn(a.send), nb, MPI_BYTE, nn(a.recv), counts_.data(),
                                   displs_.data(), MPI_BYTE, comm, &req),
                   "MPI_Iallgatherv");
         break;
       }
       case Collective::ReduceScatter: {
         counts_.assign(static_cast<std::size_t>(G), n);
-        mpi_check(MPI_Ireduce_scatter(a.send, a.recv, counts_.data(), mpi_dtype(a.dtype),
-                                      MPI_SUM, comm, &req),
+        mpi_check(MPI_Ireduce_scatter(nn(a.send), nn(a.recv), counts_.data(),
+                                      mpi_dtype(a.dtype), MPI_SUM, comm, &req),
                   "MPI_Ireduce_scatter");
         break;
       }
@@ -120,20 +127,57 @@ class MpiTransport final : public Transport {
                     "MPI_Iallreduce(scalar)");
           break;
         }
-        mpi_check(MPI_Iallreduce(MPI_IN_PLACE, a.recv, n, mpi_dtype(a.dtype), MPI_SUM,
+        mpi_check(MPI_Iallreduce(MPI_IN_PLACE, nn(a.recv), n, mpi_dtype(a.dtype), MPI_SUM,
                                  comm, &req),
                   "MPI_Iallreduce");
         break;
       }
       case Collective::Broadcast:
-        mpi_check(MPI_Ibcast(a.recv, nb, MPI_BYTE, a.root, comm, &req), "MPI_Ibcast");
+        mpi_check(MPI_Ibcast(nn(a.recv), nb, MPI_BYTE, a.root, comm, &req), "MPI_Ibcast");
         break;
       case Collective::AllToAll: {
+        if (a.send_counts != nullptr) {
+          // Flat variable all-to-all: the caller owns the count exchange, so
+          // both sides are known here — just size-check and post.
+          std::vector<int> scounts(static_cast<std::size_t>(G)),
+              sdispls(static_cast<std::size_t>(G));
+          std::vector<int> rcounts(static_cast<std::size_t>(G)),
+              rdispls(static_cast<std::size_t>(G));
+          std::int64_t soff = 0, roff = 0, my_send = 0;
+          for (int m = 0; m < G; ++m) {
+            const std::int64_t sb = a.send_counts[m] * static_cast<std::int64_t>(a.elem);
+            const std::int64_t rb = a.recv_counts[m] * static_cast<std::int64_t>(a.elem);
+            scounts[static_cast<std::size_t>(m)] = static_cast<int>(sb);
+            rcounts[static_cast<std::size_t>(m)] = static_cast<int>(rb);
+            sdispls[static_cast<std::size_t>(m)] = static_cast<int>(soff);
+            rdispls[static_cast<std::size_t>(m)] = static_cast<int>(roff);
+            soff += sb;
+            roff += rb;
+            my_send += sb;
+          }
+          PLEXUS_CHECK(soff <= std::numeric_limits<int>::max() &&
+                           roff <= std::numeric_limits<int>::max(),
+                       "MPI transport: iall_to_all_v payload exceeds MPI int counts");
+          mpi_check(MPI_Ialltoallv(nn(a.send), scounts.data(), sdispls.data(), MPI_BYTE,
+                                   nn(a.recv), rcounts.data(), rdispls.data(), MPI_BYTE,
+                                   comm, &req),
+                    "MPI_Ialltoallv");
+          mpi_check(MPI_Wait(&req, MPI_STATUS_IGNORE), "MPI_Wait");
+          // The straggler defines the exchange: cost the maximum per-member
+          // total send volume, like the in-process protocol's aux exchange.
+          std::int64_t max_total = my_send;
+          mpi_check(MPI_Allreduce(MPI_IN_PLACE, &max_total, 1, MPI_INT64_T, MPI_MAX, comm),
+                    "MPI_Allreduce(max bytes)");
+          op.bytes = max_total;
+          finish(g, op);
+          return;
+        }
         counts_.assign(static_cast<std::size_t>(G), nb);
         displs_.resize(static_cast<std::size_t>(G));
         for (int m = 0; m < G; ++m) displs_[static_cast<std::size_t>(m)] = m * nb;
-        mpi_check(MPI_Ialltoallv(a.send, counts_.data(), displs_.data(), MPI_BYTE, a.recv,
-                                 counts_.data(), displs_.data(), MPI_BYTE, comm, &req),
+        mpi_check(MPI_Ialltoallv(nn(a.send), counts_.data(), displs_.data(), MPI_BYTE,
+                                 nn(a.recv), counts_.data(), displs_.data(), MPI_BYTE,
+                                 comm, &req),
                   "MPI_Ialltoallv");
         break;
       }
@@ -194,8 +238,8 @@ class MpiTransport final : public Transport {
     }
     std::vector<unsigned char> recv_flat(static_cast<std::size_t>(roff));
     MPI_Request req = MPI_REQUEST_NULL;
-    mpi_check(MPI_Ialltoallv(send_flat.data(), scounts.data(), sdispls.data(), MPI_BYTE,
-                             recv_flat.data(), rcounts.data(), rdispls.data(), MPI_BYTE,
+    mpi_check(MPI_Ialltoallv(nn(send_flat.data()), scounts.data(), sdispls.data(), MPI_BYTE,
+                             nn(recv_flat.data()), rcounts.data(), rdispls.data(), MPI_BYTE,
                              comm, &req),
               "MPI_Ialltoallv");
     mpi_check(MPI_Wait(&req, MPI_STATUS_IGNORE), "MPI_Wait");
@@ -229,6 +273,7 @@ class MpiTransport final : public Transport {
   static void finish(const GroupShared& g, detail::CommOp& op) {
     op.full_seconds =
         collective_time(op.op, op.bytes, g.size(), g.link, g.a2a_distance_penalty);
+    op.wire_bytes = wire_bytes(op.op, op.bytes, g.size());
     op.done_clock = op.posted_clock + op.full_seconds;
   }
 

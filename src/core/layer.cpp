@@ -1,8 +1,13 @@
 #include "core/layer.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
 #include <deque>
 #include <span>
+#include <string>
+#include <utility>
 
 #include "dense/gemm.hpp"
 #include "dense/ops.hpp"
@@ -34,6 +39,38 @@ void drain_pipeline(std::deque<comm::CommHandle>& inflight) {
 }
 
 }  // namespace
+
+const char* aggregation_name(Aggregation a) {
+  switch (a) {
+    case Aggregation::Dense: return "dense";
+    case Aggregation::Sparse: return "sparse";
+    case Aggregation::Auto: return "auto";
+  }
+  return "?";
+}
+
+bool aggregation_from_string(std::string_view s, Aggregation& out) {
+  std::string lower(s);
+  for (auto& c : lower) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (lower == "dense") {
+    out = Aggregation::Dense;
+  } else if (lower == "sparse") {
+    out = Aggregation::Sparse;
+  } else if (lower == "auto") {
+    out = Aggregation::Auto;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Aggregation default_aggregation() {
+  const char* s = std::getenv("PLEXUS_AGG");
+  if (s == nullptr || *s == '\0') return Aggregation::Dense;
+  Aggregation a = Aggregation::Dense;
+  if (!aggregation_from_string(s, a)) return Aggregation::Dense;  // malformed: default
+  return a;
+}
 
 DistGcnLayer::DistGcnLayer(const PlexusDataset& ds, const Grid3D& grid, int rank, int layer_index,
                            int num_layers, std::int64_t in_dim_padded, std::int64_t out_dim_padded,
@@ -124,6 +161,140 @@ int DistGcnLayer::resolve_depth(sim::RankContext& ctx, const sparse::Csr& a,
   return *cache;
 }
 
+void DistGcnLayer::build_sparse_plan(sim::RankContext& ctx, SparsePlan& plan,
+                                     const sparse::Csr& a, std::int64_t rows,
+                                     std::int64_t dense_rows, int G, comm::GroupId gid,
+                                     bool scatter) {
+  plan.built = true;
+  plan.sparse = false;
+  plan.scatter = scatter;
+  plan.blocks.clear();
+  if (G <= 1) return;  // nothing to exchange: dense fallback
+  const int nb = std::max(1, opts_.agg_row_blocks);
+  PLEXUS_CHECK(rows % G == 0, "sparse aggregation: rows not padded to the group");
+  plan.bounds = sparse::block_bounds_aligned(rows, nb, G);
+  const int nblk = static_cast<int>(plan.bounds.size()) - 1;
+
+  // Support scan: which rows of each block my CSR shard actually touches.
+  std::vector<std::vector<std::int32_t>> support(static_cast<std::size_t>(nblk));
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(nblk), 0);
+  for (int k = 0; k < nblk; ++k) {
+    const std::int64_t b0 = plan.bounds[static_cast<std::size_t>(k)];
+    const std::int64_t b1 = plan.bounds[static_cast<std::size_t>(k) + 1];
+    auto& s = support[static_cast<std::size_t>(k)];
+    for (std::int64_t r = b0; r < b1; ++r) {
+      if (a.row_nnz(r) > 0) s.push_back(static_cast<std::int32_t>(r - b0));
+    }
+    counts[static_cast<std::size_t>(k)] = static_cast<std::int64_t>(s.size());
+  }
+
+  // Gather every member's per-block support counts: the shared input for the
+  // dense-vs-sparse decision (and the straggler term of the cost model), so
+  // every member decides identically.
+  std::vector<std::int64_t> all_counts(static_cast<std::size_t>(nblk) * static_cast<std::size_t>(G));
+  ctx.comm.all_gather<std::int64_t>(gid, counts, all_counts);
+
+  const auto& g = ctx.comm.world().group(gid);
+  double t_dense = 0.0, t_sparse = 0.0;
+  std::int64_t max_support = 0, max_blk_rows = 0;
+  int nonempty = 0;
+  for (int k = 0; k < nblk; ++k) {
+    const std::int64_t blk_rows =
+        plan.bounds[static_cast<std::size_t>(k) + 1] - plan.bounds[static_cast<std::size_t>(k)];
+    if (blk_rows == 0) continue;
+    ++nonempty;
+    std::int64_t s_max = 0;
+    for (int m = 0; m < G; ++m) {
+      s_max = std::max(s_max, all_counts[static_cast<std::size_t>(m) *
+                                             static_cast<std::size_t>(nblk) +
+                                         static_cast<std::size_t>(k)]);
+    }
+    const std::int64_t dense_bytes = blk_rows * din_q_ * 4;
+    const std::int64_t support_bytes = s_max * din_q_ * 4;
+    t_dense += comm::dense_aggregation_time(dense_bytes, scatter, G, g.link,
+                                            g.a2a_distance_penalty);
+    t_sparse += comm::sparse_aggregation_time(dense_bytes, support_bytes, scatter, G, g.link,
+                                              g.a2a_distance_penalty);
+    max_support = std::max(max_support, s_max);
+    max_blk_rows = std::max(max_blk_rows, blk_rows);
+  }
+  if (nonempty == 0) return;
+  if (opts_.aggregation == Aggregation::Auto && t_sparse >= t_dense) return;
+  plan.sparse = true;
+
+  // Group-uniform pipeline depth: the sparse loop interleaves two collective
+  // stages on one group, so unlike the dense path every member must post the
+  // same op sequence — resolve the adaptive choice to the group max.
+  int depth = opts_.pipeline_depth;
+  if (depth <= 0) {
+    double t_spmm_min = 0.0;
+    bool any = false;
+    for (int k = 0; k < nblk; ++k) {
+      const std::int64_t b0 = plan.bounds[static_cast<std::size_t>(k)];
+      const std::int64_t b1 = plan.bounds[static_cast<std::size_t>(k) + 1];
+      if (b0 == b1) continue;
+      const sim::SpmmShape shape{a.range_nnz(b0, b1), b1 - b0, dense_rows, din_q_};
+      const double t = sim::spmm_time(*ctx.machine, shape);
+      t_spmm_min = any ? std::min(t_spmm_min, t) : t;
+      any = true;
+    }
+    const double t_ring = comm::sparse_aggregation_time(
+        max_blk_rows * din_q_ * 4, max_support * din_q_ * 4, scatter, G, g.link,
+        g.a2a_distance_penalty);
+    const int local = comm::choose_pipeline_depth(t_spmm_min, t_ring, nonempty);
+    depth = static_cast<int>(ctx.comm.all_reduce_max_scalar(gid, static_cast<double>(local)));
+  }
+  plan.depth = std::max(1, depth);
+
+  // Per-block row-list exchange + persistent staging. Each block's rows are
+  // split into G equal chunks, chunk c owned by member c; the ascending
+  // support list is naturally packed by destination chunk.
+  plan.blocks.resize(static_cast<std::size_t>(nblk));
+  for (int k = 0; k < nblk; ++k) {
+    auto& blk = plan.blocks[static_cast<std::size_t>(k)];
+    blk.b0 = plan.bounds[static_cast<std::size_t>(k)];
+    blk.b1 = plan.bounds[static_cast<std::size_t>(k) + 1];
+    if (blk.b0 == blk.b1) continue;
+    const std::int64_t cr = (blk.b1 - blk.b0) / G;  // chunk rows
+    blk.send_rows = std::move(support[static_cast<std::size_t>(k)]);
+    std::vector<std::vector<std::int32_t>> to_owner(static_cast<std::size_t>(G));
+    for (const auto r : blk.send_rows) {
+      const auto c = static_cast<std::size_t>(r / cr);
+      to_owner[c].push_back(static_cast<std::int32_t>(r - static_cast<std::int64_t>(c) * cr));
+    }
+    ctx.comm.all_to_all_v<std::int32_t>(gid, to_owner, blk.src_rows);
+    blk.send_counts.resize(static_cast<std::size_t>(G));
+    blk.recv_counts.resize(static_cast<std::size_t>(G));
+    std::int64_t recv_total = 0;
+    for (int m = 0; m < G; ++m) {
+      blk.send_counts[static_cast<std::size_t>(m)] =
+          static_cast<std::int64_t>(to_owner[static_cast<std::size_t>(m)].size()) * din_q_;
+      blk.recv_counts[static_cast<std::size_t>(m)] =
+          static_cast<std::int64_t>(blk.src_rows[static_cast<std::size_t>(m)].size()) * din_q_;
+      recv_total += blk.recv_counts[static_cast<std::size_t>(m)];
+    }
+    blk.send_buf.resize(blk.send_rows.size() * static_cast<std::size_t>(din_q_));
+    blk.recv_buf.resize(static_cast<std::size_t>(recv_total));
+    if (!scatter) blk.chunk_buf.resize(static_cast<std::size_t>(cr * din_q_));
+  }
+}
+
+void DistGcnLayer::fold_sparse_chunk(const SparseBlockPlan& blk, std::span<float> out) const {
+  // Zero-prefill, then accumulate every contribution in canonical member
+  // order — per element the same left-fold over (mostly +0.0) partials the
+  // dense transports apply, so the reduced values match the dense collectives
+  // bitwise.
+  std::fill(out.begin(), out.end(), 0.0f);
+  const float* src = blk.recv_buf.data();
+  for (const auto& rows : blk.src_rows) {
+    for (const auto r : rows) {
+      float* dst = out.data() + static_cast<std::size_t>(r) * static_cast<std::size_t>(din_q_);
+      for (std::int64_t d = 0; d < din_q_; ++d) dst[d] += src[d];
+      src += din_q_;
+    }
+  }
+}
+
 dense::Matrix DistGcnLayer::forward(sim::RankContext& ctx, const dense::Matrix& f_in, bool last,
                                     std::uint64_t epoch_seed, KernelTimers& timers) {
   PLEXUS_CHECK(f_in.rows() == rows_p_ && f_in.cols() == din_q_, "forward input block shape");
@@ -141,19 +312,20 @@ dense::Matrix DistGcnLayer::forward(sim::RankContext& ctx, const dense::Matrix& 
   // timeline it hides behind the SpMM blocks instead of charging full latency.
   h_ = dense::Matrix(rows_r_, din_q_);
   const int nb = std::max(1, opts_.agg_row_blocks);
-  const auto bounds = sparse::block_bounds(rows_r_, nb);
-  const int depth = resolve_depth(ctx, adj_->a, bounds, rows_p_, p_group_,
-                                  comm::Collective::AllReduce, &fwd_depth_);
 
   dense::Matrix w_block;
   comm::CommHandle w_gather = igathered_weights(ctx, w_block);
 
-  std::deque<comm::CommHandle> inflight;
-  for (int k = 0; k < nb; ++k) {
-    const std::int64_t b0 = bounds[static_cast<std::size_t>(k)];
-    const std::int64_t b1 = bounds[static_cast<std::size_t>(k) + 1];
-    if (b0 == b1) continue;  // bounds are grid-derived, identical on all members
-    sparse::spmm_rows(adj_->a, f_in, h_, b0, b1);
+  // Sparse selective aggregation (lazily planned; Auto may fall back to
+  // dense). The plan build runs its own collectives, so it happens here — in
+  // SPMD lockstep at every member's first forward.
+  if (opts_.aggregation != Aggregation::Dense && !fwd_sparse_.built) {
+    build_sparse_plan(ctx, fwd_sparse_, adj_->a, rows_r_, rows_p_, ext_p_, p_group_,
+                      /*scatter=*/false);
+  }
+  const bool sparse_agg = opts_.aggregation != Aggregation::Dense && fwd_sparse_.sparse;
+
+  auto charge_spmm_block = [&](std::int64_t b0, std::int64_t b1, int k) {
     const sim::SpmmShape shape{adj_->a.range_nnz(b0, b1), b1 - b0, rows_p_, din_q_};
     const std::uint64_t noise_seed = util::hash_combine(
         epoch_seed, util::hash_combine(static_cast<std::uint64_t>(layer_),
@@ -162,11 +334,65 @@ dense::Matrix DistGcnLayer::forward(sim::RankContext& ctx, const dense::Matrix& 
     const double t_block = sim::spmm_time(m, shape) * sim::spmm_noise_factor(m, shape, noise_seed);
     ctx.comm.charge_compute(t_block);
     timers.spmm += t_block;
-    std::span<float> rows{h_.row(b0), static_cast<std::size_t>((b1 - b0) * din_q_)};
-    inflight.push_back(ctx.comm.iall_reduce_sum<float>(p_group_, rows));
-    trim_pipeline(inflight, depth);
+  };
+
+  if (sparse_agg) {
+    // Per block: SpMM, pack the support rows, sparse all-to-all to the chunk
+    // owners; on retire, fold the received contributions into the reduced
+    // chunk and re-gather the equal chunks with a dense all-gather. Two
+    // pipelined stages, both trimmed to the plan's group-uniform depth.
+    const auto& bounds = fwd_sparse_.bounds;
+    const int nblk = static_cast<int>(bounds.size()) - 1;
+    std::deque<std::pair<comm::CommHandle, int>> exchange;
+    std::deque<comm::CommHandle> gathers;
+    auto advance_exchange = [&]() {
+      exchange.front().first.wait();
+      auto& blk = fwd_sparse_.blocks[static_cast<std::size_t>(exchange.front().second)];
+      fold_sparse_chunk(blk, blk.chunk_buf);
+      std::span<float> rows{h_.row(blk.b0), static_cast<std::size_t>((blk.b1 - blk.b0) * din_q_)};
+      gathers.push_back(ctx.comm.iall_gather<float>(
+          p_group_, std::span<const float>(blk.chunk_buf), rows));
+      exchange.pop_front();
+    };
+    for (int k = 0; k < nblk; ++k) {
+      const std::int64_t b0 = bounds[static_cast<std::size_t>(k)];
+      const std::int64_t b1 = bounds[static_cast<std::size_t>(k) + 1];
+      if (b0 == b1) continue;  // bounds are grid-derived, identical on all members
+      sparse::spmm_rows(adj_->a, f_in, h_, b0, b1);
+      charge_spmm_block(b0, b1, k);
+      auto& blk = fwd_sparse_.blocks[static_cast<std::size_t>(k)];
+      float* sp = blk.send_buf.data();
+      for (const auto r : blk.send_rows) {
+        std::memcpy(sp, h_.row(b0 + r), static_cast<std::size_t>(din_q_) * sizeof(float));
+        sp += din_q_;
+      }
+      exchange.emplace_back(
+          ctx.comm.iall_to_all_v<float>(p_group_, std::span<const float>(blk.send_buf),
+                                        blk.send_counts.data(), std::span<float>(blk.recv_buf),
+                                        blk.recv_counts.data()),
+          k);
+      while (static_cast<int>(exchange.size()) >= fwd_sparse_.depth) advance_exchange();
+      trim_pipeline(gathers, fwd_sparse_.depth);
+    }
+    while (!exchange.empty()) advance_exchange();
+    drain_pipeline(gathers);
+  } else {
+    const auto bounds = sparse::block_bounds(rows_r_, nb);
+    const int depth = resolve_depth(ctx, adj_->a, bounds, rows_p_, p_group_,
+                                    comm::Collective::AllReduce, &fwd_depth_);
+    std::deque<comm::CommHandle> inflight;
+    for (int k = 0; k < nb; ++k) {
+      const std::int64_t b0 = bounds[static_cast<std::size_t>(k)];
+      const std::int64_t b1 = bounds[static_cast<std::size_t>(k) + 1];
+      if (b0 == b1) continue;  // bounds are grid-derived, identical on all members
+      sparse::spmm_rows(adj_->a, f_in, h_, b0, b1);
+      charge_spmm_block(b0, b1, k);
+      std::span<float> rows{h_.row(b0), static_cast<std::size_t>((b1 - b0) * din_q_)};
+      inflight.push_back(ctx.comm.iall_reduce_sum<float>(p_group_, rows));
+      trim_pipeline(inflight, depth);
+    }
+    drain_pipeline(inflight);
   }
-  drain_pipeline(inflight);
 
   // ---- Step 2: combination Q = SGEMM(H, W), all-reduced over the Q group.
   w_gather.wait();
@@ -246,6 +472,83 @@ dense::Matrix DistGcnLayer::backward(sim::RankContext& ctx, const dense::Matrix&
   dense::Matrix df_in(rows_p_, din_q_);
   const int nb = std::max(1, opts_.agg_row_blocks);
   const bool scatter = final_reduce == FinalReduce::ReduceScatter;
+  if (scatter) {
+    PLEXUS_CHECK(grad_slice.size() ==
+                     static_cast<std::size_t>(rows_p_ / ext_r_ * din_q_),
+                 "backward: grad_slice does not match the resharded feature slice");
+  }
+
+  // Sparse selective aggregation for the reducing directions (None has no
+  // collective to sparsify). Lazily planned like the forward direction;
+  // rebuilt if the caller switches the final-reduce shape.
+  bool sparse_agg = false;
+  if (final_reduce != FinalReduce::None && opts_.aggregation != Aggregation::Dense) {
+    if (!bwd_sparse_.built || bwd_sparse_.scatter != scatter) {
+      build_sparse_plan(ctx, bwd_sparse_, adj_->a_t, rows_p_, rows_r_, ext_r_, r_group_,
+                        scatter);
+    }
+    sparse_agg = bwd_sparse_.sparse;
+  }
+
+  auto charge_spmm_block = [&](std::int64_t b0, std::int64_t b1) {
+    const sim::SpmmShape shape{adj_->a_t.range_nnz(b0, b1), b1 - b0, rows_r_, din_q_};
+    const double t = sim::spmm_time(m, shape);
+    ctx.comm.charge_compute(t);
+    timers.spmm += t;
+  };
+
+  if (sparse_agg) {
+    // Mirror of the forward sparse pipeline over the R group: SpMM, pack,
+    // sparse all-to-all; on retire, fold into the reduced chunk. Hidden
+    // layers re-gather the chunks into df_in; layer 0 folds directly onto
+    // the caller's grad-slice chunk (the reduce-scatter's destination).
+    const auto& bounds = bwd_sparse_.bounds;
+    const int nblk = static_cast<int>(bounds.size()) - 1;
+    std::deque<std::pair<comm::CommHandle, int>> exchange;
+    std::deque<comm::CommHandle> gathers;
+    auto advance_exchange = [&]() {
+      exchange.front().first.wait();
+      auto& blk = bwd_sparse_.blocks[static_cast<std::size_t>(exchange.front().second)];
+      if (scatter) {
+        const std::int64_t cr = (blk.b1 - blk.b0) / ext_r_;
+        fold_sparse_chunk(blk,
+                          grad_slice.subspan(static_cast<std::size_t>(blk.b0 / ext_r_ * din_q_),
+                                             static_cast<std::size_t>(cr * din_q_)));
+      } else {
+        fold_sparse_chunk(blk, blk.chunk_buf);
+        std::span<float> rows{df_in.row(blk.b0),
+                              static_cast<std::size_t>((blk.b1 - blk.b0) * din_q_)};
+        gathers.push_back(ctx.comm.iall_gather<float>(
+            r_group_, std::span<const float>(blk.chunk_buf), rows));
+      }
+      exchange.pop_front();
+    };
+    for (int k = 0; k < nblk; ++k) {
+      const std::int64_t b0 = bounds[static_cast<std::size_t>(k)];
+      const std::int64_t b1 = bounds[static_cast<std::size_t>(k) + 1];
+      if (b0 == b1) continue;
+      sparse::spmm_rows(adj_->a_t, dh, df_in, b0, b1);
+      charge_spmm_block(b0, b1);
+      auto& blk = bwd_sparse_.blocks[static_cast<std::size_t>(k)];
+      float* sp = blk.send_buf.data();
+      for (const auto r : blk.send_rows) {
+        std::memcpy(sp, df_in.row(b0 + r), static_cast<std::size_t>(din_q_) * sizeof(float));
+        sp += din_q_;
+      }
+      exchange.emplace_back(
+          ctx.comm.iall_to_all_v<float>(r_group_, std::span<const float>(blk.send_buf),
+                                        blk.send_counts.data(), std::span<float>(blk.recv_buf),
+                                        blk.recv_counts.data()),
+          k);
+      while (static_cast<int>(exchange.size()) >= bwd_sparse_.depth) advance_exchange();
+      trim_pipeline(gathers, bwd_sparse_.depth);
+    }
+    while (!exchange.empty()) advance_exchange();
+    drain_pipeline(gathers);
+    if (scatter) return {};
+    return df_in;
+  }
+
   const auto bounds = scatter ? sparse::block_bounds_aligned(rows_p_, nb, ext_r_)
                               : sparse::block_bounds(rows_p_, nb);
   const int depth =
@@ -255,21 +558,13 @@ dense::Matrix DistGcnLayer::backward(sim::RankContext& ctx, const dense::Matrix&
                           scatter ? comm::Collective::ReduceScatter
                                   : comm::Collective::AllReduce,
                           &bwd_depth_);
-  if (scatter) {
-    PLEXUS_CHECK(grad_slice.size() ==
-                     static_cast<std::size_t>(rows_p_ / ext_r_ * din_q_),
-                 "backward: grad_slice does not match the resharded feature slice");
-  }
   std::deque<comm::CommHandle> inflight;
   for (int k = 0; k < nb; ++k) {
     const std::int64_t b0 = bounds[static_cast<std::size_t>(k)];
     const std::int64_t b1 = bounds[static_cast<std::size_t>(k) + 1];
     if (b0 == b1) continue;
     sparse::spmm_rows(adj_->a_t, dh, df_in, b0, b1);
-    const sim::SpmmShape shape{adj_->a_t.range_nnz(b0, b1), b1 - b0, rows_r_, din_q_};
-    const double t = sim::spmm_time(m, shape);
-    ctx.comm.charge_compute(t);
-    timers.spmm += t;
+    charge_spmm_block(b0, b1);
     std::span<const float> rows{df_in.row(b0), static_cast<std::size_t>((b1 - b0) * din_q_)};
     if (final_reduce == FinalReduce::AllReduce) {
       std::span<float> inout{df_in.row(b0), rows.size()};

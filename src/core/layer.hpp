@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "core/adjacency_store.hpp"
@@ -26,6 +27,35 @@
 
 namespace plexus::core {
 
+/// Strategy for the blocked aggregation collectives (forward H all-reduce
+/// over P, backward dF all-reduce / reduce-scatter over R).
+enum class Aggregation {
+  /// Ring collectives over the full dense row block — the paper's scheme.
+  Dense,
+  /// Selective exchange: per block, only the rows the local CSR shard's
+  /// nonzeros touch travel (packed sparse all-to-all to the chunk owners +
+  /// canonical-order fold; hidden-layer aggregation re-gathers the reduced
+  /// chunks with a dense all-gather). Losses stay bitwise-identical to Dense;
+  /// only bytes-on-the-wire and the cost-model time change. Falls back to
+  /// Dense on single-member groups.
+  Sparse,
+  /// Per layer and direction, pick Dense or Sparse from the measured nnz
+  /// support density per block (cost model comparison; identical decision on
+  /// every group member).
+  Auto,
+};
+
+/// Strategy name ("dense", "sparse", "auto") for logs and CLI flags.
+const char* aggregation_name(Aggregation a);
+
+/// Parse a strategy name (case-insensitive). Returns false on unknown names.
+bool aggregation_from_string(std::string_view s, Aggregation& out);
+
+/// The PLEXUS_AGG environment variable (`dense` | `sparse` | `auto`), else
+/// Dense. Resolved by TrainOptions; PlexusOptions itself defaults to Dense so
+/// directly-constructed layers are unaffected by the environment.
+Aggregation default_aggregation();
+
 /// Tunables of the parallel algorithm (paper section 5).
 struct PlexusOptions {
   int agg_row_blocks = 1;       ///< >1 enables blocked aggregation (section 5.2)
@@ -33,13 +63,15 @@ struct PlexusOptions {
   /// Software-pipeline depth of blocked aggregation: while a block's SpMM
   /// runs, up to `pipeline_depth - 1` per-block collectives may be in flight
   /// on the comm channels. 1 = fully blocking (wait immediately after post);
-  /// 2 = the classic one-block lookahead of section 5.2. 0 = adaptive: each
-  /// layer picks its own depth from the perf model (per-block SpMM time vs
-  /// per-block ring time — comm::choose_pipeline_depth), separately for the
-  /// forward and backward aggregations. Losses are bitwise-identical for any
-  /// depth — only the exposed comm time changes, and the adaptive choice
-  /// exposes no more than any fixed depth.
-  int pipeline_depth = 2;
+  /// 2 = the classic one-block lookahead of section 5.2. 0 (the default) =
+  /// adaptive: each layer picks its own depth from the perf model (per-block
+  /// SpMM time vs per-block ring time — comm::choose_pipeline_depth),
+  /// separately for the forward and backward aggregations. Losses are
+  /// bitwise-identical for any depth — only the exposed comm time changes,
+  /// and the adaptive choice exposes no more than any fixed depth.
+  int pipeline_depth = 0;
+  /// Aggregation strategy (dense ring vs sparsity-aware selective exchange).
+  Aggregation aggregation = Aggregation::Dense;
   dense::AdamConfig adam;
 };
 
@@ -115,6 +147,53 @@ class DistGcnLayer {
                     const std::vector<std::int64_t>& bounds, std::int64_t dense_rows,
                     comm::GroupId gid, comm::Collective op, int* cache);
 
+  /// One aggregation block of the sparse selective-exchange plan. The block's
+  /// rows are split into `group size` equal chunks, chunk c owned by member c;
+  /// at steady state only the packed float payloads move.
+  struct SparseBlockPlan {
+    std::int64_t b0 = 0, b1 = 0;  ///< row bounds (b1 - b0 divisible by G)
+    /// My support rows in [b0, b1) (block-local, ascending): rows with nnz in
+    /// my CSR shard. Ascending order means the packed send buffer is packed
+    /// by destination chunk automatically.
+    std::vector<std::int32_t> send_rows;
+    std::vector<std::int64_t> send_counts;  ///< elements to each member (rows x Din/Q)
+    std::vector<std::int64_t> recv_counts;  ///< elements from each member
+    /// Per source member: the chunk-local rows of *my* chunk that member
+    /// contributes, aligned with its packed payload (exchanged at plan build).
+    std::vector<std::vector<std::int32_t>> src_rows;
+    // Persistent per-block staging (handles of different blocks are in
+    // flight concurrently, so the buffers cannot be shared).
+    std::vector<float> send_buf;   ///< my packed support rows
+    std::vector<float> recv_buf;   ///< peers' contributions to my chunk
+    std::vector<float> chunk_buf;  ///< my reduced chunk (all-gather input)
+  };
+
+  /// Lazily-built per-direction plan. Building runs collectives on the
+  /// group (support-count all-gather, depth max-reduce, per-block row-list
+  /// exchange), so it happens in SPMD lockstep at the first forward/backward.
+  struct SparsePlan {
+    bool built = false;
+    bool sparse = false;   ///< decision: false = dense fallback
+    bool scatter = false;  ///< built for the reduce-scatter direction
+    int depth = 1;         ///< group-uniform pipeline depth for this plan
+    std::vector<std::int64_t> bounds;  ///< G-aligned row-block bounds
+    std::vector<SparseBlockPlan> blocks;
+  };
+
+  /// Build `plan` for aggregating `rows` output rows of `a` over group `gid`
+  /// (`G` members): scan per-block support, gather support counts (the Auto
+  /// decision input), and — when sparse wins — exchange per-block row lists
+  /// and size the staging buffers.
+  void build_sparse_plan(sim::RankContext& ctx, SparsePlan& plan, const sparse::Csr& a,
+                        std::int64_t rows, std::int64_t dense_rows, int G,
+                        comm::GroupId gid, bool scatter);
+
+  /// Fold the received contributions of `blk` into its reduced chunk in
+  /// canonical member order. `out` — `chunk_buf` for the all-reduce
+  /// direction, the caller's grad-slice chunk for scatter — is zero-prefilled
+  /// here first.
+  void fold_sparse_chunk(const SparseBlockPlan& blk, std::span<float> out) const;
+
   const PlexusDataset* ds_;
   const Grid3D* grid_;
   const AdjacencyShard* adj_;
@@ -152,6 +231,11 @@ class DistGcnLayer {
   // shards and links are fixed for the layer's lifetime.
   int fwd_depth_ = 0;
   int bwd_depth_ = 0;
+
+  // Sparse selective-aggregation plans, one per direction (the nnz structure
+  // and groups are fixed for the layer's lifetime).
+  SparsePlan fwd_sparse_;
+  SparsePlan bwd_sparse_;
 };
 
 }  // namespace plexus::core

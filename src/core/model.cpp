@@ -111,6 +111,7 @@ EpochStats DistGcn::train_epoch(sim::RankContext& ctx, int epoch) {
   const double t0 = ctx.clock.time();
   const double comm0 = ctx.comm.stats().total_seconds();
   const double hidden0 = ctx.comm.stats().total_hidden_seconds();
+  const std::int64_t wire0 = ctx.comm.stats().total_wire_bytes();
   KernelTimers timers;
   const std::uint64_t epoch_seed = util::hash_combine(spec_.seed, 0xe90c000 + epoch);
   const int L = spec_.num_layers();
@@ -155,6 +156,7 @@ EpochStats DistGcn::train_epoch(sim::RankContext& ctx, int epoch) {
   s.elementwise_seconds = timers.elementwise;
   s.comm_seconds = ctx.comm.stats().total_seconds() - comm0;
   s.hidden_comm_seconds = ctx.comm.stats().total_hidden_seconds() - hidden0;
+  s.comm_wire_bytes = static_cast<double>(ctx.comm.stats().total_wire_bytes() - wire0);
   return s;
 }
 

@@ -47,6 +47,10 @@ struct EpochStats {
   /// Transfer time hidden behind compute by the pipelined aggregation /
   /// asynchronous gathers (see comm/communicator.hpp).
   double hidden_comm_seconds = 0.0;
+  /// Bytes the simulated links actually carried for this rank's collectives
+  /// (comm::wire_bytes per op, summed) — the counter the sparse aggregation
+  /// strategy shrinks. The trainer max-reduces it like the timings.
+  double comm_wire_bytes = 0.0;
   double compute_seconds() const { return spmm_seconds + gemm_seconds + elementwise_seconds; }
   /// Everything the rank spent not computing (= epoch - local compute). The
   /// clock only advances through compute charges and exposed collective

@@ -50,6 +50,7 @@ TrainResult train_plexus(const PlexusDataset& ds, const TrainOptions& opt) {
 
   GcnSpec spec = opt.model;
   if (opt.pipeline_depth >= 0) spec.options.pipeline_depth = opt.pipeline_depth;
+  spec.options.aggregation = opt.aggregation;
 
   const auto rank_fn = [&](sim::RankContext& ctx) {
     if (opt.trace_timeline && ctx.rank() == 0) ctx.comm.timeline().set_enabled(true);
@@ -65,6 +66,7 @@ TrainResult train_plexus(const PlexusDataset& ds, const TrainOptions& opt) {
       s.elementwise_seconds = ctx.comm.all_reduce_max_scalar(wg, s.elementwise_seconds);
       s.comm_seconds = ctx.comm.all_reduce_max_scalar(wg, s.comm_seconds);
       s.hidden_comm_seconds = ctx.comm.all_reduce_max_scalar(wg, s.hidden_comm_seconds);
+      s.comm_wire_bytes = ctx.comm.all_reduce_max_scalar(wg, s.comm_wire_bytes);
       if (ctx.rank() == 0) result.epochs[static_cast<std::size_t>(e)] = s;
     }
     if (opt.evaluate_validation) {

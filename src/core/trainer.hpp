@@ -37,11 +37,19 @@ struct TrainOptions {
   int intra_rank_threads = 0;
   /// Software-pipeline depth of blocked aggregation (see
   /// PlexusOptions::pipeline_depth). < 0 = keep model.options.pipeline_depth
-  /// (the default); 0 = adaptive per-layer depth from the perf model;
+  /// (whose default, 0, is adaptive per-layer depth from the perf model);
   /// > 0 overrides with a fixed depth (1 is fully blocking). Losses are
   /// bitwise-identical for any depth; only the exposed communication time
   /// changes, and the adaptive choice exposes no more than any fixed depth.
   int pipeline_depth = -1;
+  /// Aggregation strategy for the blocked collectives (see
+  /// core::Aggregation): Dense ring collectives, Sparse selective row
+  /// exchange, or Auto (per layer/direction cost-model choice). Defaults to
+  /// the PLEXUS_AGG environment variable, else Dense. Copied into
+  /// model.options unconditionally — set model.options.aggregation through
+  /// this knob, not GcnSpec. Losses are bitwise-identical across strategies;
+  /// only bytes-on-the-wire and the simulated comm time change.
+  Aggregation aggregation = default_aggregation();
   /// Record rank 0's simulated timeline (compute / in-flight / exposed comm
   /// spans) into TrainResult::rank0_timeline. Off by default (unbounded span
   /// storage); breakdown harnesses (fig9) turn it on.

@@ -135,6 +135,47 @@ TEST(Halo, PlansAreConsistent) {
   EXPECT_EQ(nnz_total, a_norm.nnz());  // row partition preserves all entries
 }
 
+TEST(Halo, SendRecvListsAreElementAligned) {
+  // The invariant every halo exchange relies on: plans[i].send_rows[j][k] and
+  // plans[j].recv_halo[i][k] name the *same node* for every k — part i packs
+  // owned[send_rows[j][k]] and part j unpacks it at halo[recv_halo[i][k]].
+  // Size equality alone (Halo.PlansAreConsistent) would pass with permuted
+  // lists, which silently scrambles features across nodes; this pins the
+  // element-level pairing on randomized partitions, including ones with
+  // empty and singleton parts.
+  const auto g = community_test_graph();
+  const auto a_norm = ps::normalize_adjacency(g.adjacency(), g.num_nodes);
+  for (const std::uint64_t seed : {3u, 17u, 91u}) {
+    for (const int parts : {2, 3, 5, 8}) {
+      auto partn = pp::random_partition(g.num_nodes, parts, seed);
+      if (seed == 91u && parts >= 3) {
+        // Force an empty part (all its nodes reassigned to part 0) — empty
+        // send/recv lists must stay aligned too.
+        for (auto& a : partn.assignment) {
+          if (a == parts - 1) a = 0;
+        }
+      }
+      const auto plans = pp::build_halo_plans(a_norm, partn);
+      ASSERT_EQ(plans.size(), static_cast<std::size_t>(parts));
+      for (int i = 0; i < parts; ++i) {
+        const auto& sender = plans[static_cast<std::size_t>(i)];
+        for (int j = 0; j < parts; ++j) {
+          const auto& receiver = plans[static_cast<std::size_t>(j)];
+          const auto& send = sender.send_rows[static_cast<std::size_t>(j)];
+          const auto& recv = receiver.recv_halo[static_cast<std::size_t>(i)];
+          ASSERT_EQ(send.size(), recv.size()) << "i=" << i << " j=" << j;
+          for (std::size_t k = 0; k < send.size(); ++k) {
+            EXPECT_EQ(sender.owned[static_cast<std::size_t>(send[k])],
+                      receiver.halo[static_cast<std::size_t>(recv[k])])
+                << "seed " << seed << " parts " << parts << " i=" << i << " j=" << j
+                << " k=" << k;
+          }
+        }
+      }
+    }
+  }
+}
+
 TEST(Halo, LocalAdjacencyReindexingIsCorrect) {
   // Verify a few entries: local_adj[r, c] must equal a_norm[owned[r], global(c)].
   const auto g = pg::make_test_graph(60, 5.0, 4, 3, 21);

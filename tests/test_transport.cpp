@@ -100,6 +100,29 @@ std::vector<std::vector<float>> run_schedule(pc::Backend backend) {
       }
       ctx.comm.all_to_all<float>(gid, a2a_in, a2a_out);
       sink.insert(sink.end(), a2a_out.begin(), a2a_out.end());
+
+      // Flat variable all-to-all (the sparse-aggregation exchange): counts
+      // come from a src/dst formula both sides can evaluate, including zeros.
+      const int pos = g.position_of(ctx.rank());
+      const auto pair_count = [gid](int src, int dst) {
+        return static_cast<std::int64_t>((src * 31 + dst * 17 + gid) % 4) * 2;
+      };
+      std::vector<std::int64_t> scnt(static_cast<std::size_t>(G)),
+          rcnt(static_cast<std::size_t>(G));
+      std::int64_t stot = 0, rtot = 0;
+      for (int m = 0; m < G; ++m) {
+        scnt[static_cast<std::size_t>(m)] = pair_count(pos, m);
+        rcnt[static_cast<std::size_t>(m)] = pair_count(m, pos);
+        stot += scnt[static_cast<std::size_t>(m)];
+        rtot += rcnt[static_cast<std::size_t>(m)];
+      }
+      std::vector<float> v_in(static_cast<std::size_t>(stot)),
+          v_out(static_cast<std::size_t>(rtot));
+      for (std::size_t i = 0; i < v_in.size(); ++i) {
+        v_in[i] = payload_value(gid, 5, ctx.rank(), i);
+      }
+      ctx.comm.iall_to_all_v<float>(gid, v_in, scnt.data(), v_out, rcnt.data()).wait();
+      sink.insert(sink.end(), v_out.begin(), v_out.end());
     }
   });
   return out;
@@ -171,6 +194,73 @@ TEST(TransportConformance, RandomizedTrainingPayloadsAcrossGridShapes) {
       EXPECT_EQ(sim[r], local[r]) << "grid " << shape.x << "x" << shape.y << "x" << shape.z
                                   << " rank " << r;
     }
+  }
+}
+
+TEST(TransportConformance, ZeroSizedPayloadsAreSafeOnEveryBackend) {
+  // Regression: zero-length collectives and all-zero-count flat exchanges
+  // must not touch any buffer pointer (they may be null) on any backend or
+  // ring stage. Runs the degenerate ops between real payloads so a corrupted
+  // slot/barrier sequence would desynchronise the group and fail loudly.
+  for (const auto backend : {pc::Backend::Sim, pc::Backend::Local}) {
+    pc::ScopedBackend scoped(backend);
+    pc::World world(4);
+    const auto gid = world.create_group({0, 1, 2, 3});
+    std::vector<std::vector<float>> out(4);
+    psim::run_cluster(world, psim::Machine::test_machine(), [&](psim::RankContext& ctx) {
+      ctx.comm.all_gather<float>(gid, {}, {});
+      ctx.comm.all_reduce_sum<float>(gid, {});
+      ctx.comm.reduce_scatter_sum<float>(gid, {}, {});
+      ctx.comm.broadcast<float>(gid, {}, /*root=*/2);
+      ctx.comm.all_to_all<float>(gid, {}, {});
+      const std::int64_t zeros[4] = {0, 0, 0, 0};
+      ctx.comm.iall_to_all_v<float>(gid, {}, zeros, {}, zeros).wait();
+      // A live round after the degenerate ones proves the group survived.
+      std::vector<float> buf{static_cast<float>(ctx.rank() + 1)};
+      ctx.comm.all_reduce_sum<float>(gid, buf);
+      out[static_cast<std::size_t>(ctx.rank())] = buf;
+    });
+    for (int r = 0; r < 4; ++r) {
+      ASSERT_EQ(out[static_cast<std::size_t>(r)].size(), 1u) << "rank " << r;
+      EXPECT_EQ(out[static_cast<std::size_t>(r)][0], 10.0f)
+          << pc::backend_name(backend) << " rank " << r;
+    }
+  }
+}
+
+TEST(TransportConformance, FlatAllToAllVOneSidedEmptiness) {
+  // Mixed case: some member pairs exchange nothing while others move real
+  // rows — the exact shape the sparse aggregation produces on skewed shards.
+  for (const auto backend : {pc::Backend::Sim, pc::Backend::Local}) {
+    pc::ScopedBackend scoped(backend);
+    pc::World world(3);
+    const auto gid = world.create_group({0, 1, 2});
+    std::vector<std::vector<float>> out(3);
+    psim::run_cluster(world, psim::Machine::test_machine(), [&](psim::RankContext& ctx) {
+      // Member 0 sends 2 floats to member 2 only; member 1 sends 1 float to
+      // member 0; member 2 sends nothing at all (null send span).
+      const int pos = ctx.rank();
+      std::vector<std::int64_t> scnt(3, 0), rcnt(3, 0);
+      std::vector<float> send;
+      if (pos == 0) {
+        scnt = {0, 0, 2};
+        send = {10.0f, 11.0f};
+        rcnt = {0, 1, 0};
+      } else if (pos == 1) {
+        scnt = {1, 0, 0};
+        send = {20.0f};
+      } else {
+        rcnt = {2, 0, 0};
+      }
+      std::int64_t rtot = 0;
+      for (const auto c : rcnt) rtot += c;
+      std::vector<float> recv(static_cast<std::size_t>(rtot));
+      ctx.comm.iall_to_all_v<float>(gid, send, scnt.data(), recv, rcnt.data()).wait();
+      out[static_cast<std::size_t>(ctx.rank())] = recv;
+    });
+    EXPECT_EQ(out[0], (std::vector<float>{20.0f})) << pc::backend_name(backend);
+    EXPECT_TRUE(out[1].empty()) << pc::backend_name(backend);
+    EXPECT_EQ(out[2], (std::vector<float>{10.0f, 11.0f})) << pc::backend_name(backend);
   }
 }
 

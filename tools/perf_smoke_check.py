@@ -107,6 +107,34 @@ def check_adaptive_vs_best_fixed(counters, thresholds, failures):
             )
 
 
+def fmt_mb(b):
+    return f"{b:.2f}MB"
+
+
+def check_sparse_bytes(counters, thresholds, failures):
+    max_ratio = thresholds.get("sparse_bytes_max_ratio")
+    names = thresholds.get("sparse_bytes", [])
+    if max_ratio is None or not names:
+        return
+    for name in names:
+        ratio = get_counter(counters, name, "sparse_bytes_ratio", failures)
+        dense_mb = get_counter(counters, name, "dense_wire_mb", failures)
+        sparse_mb = get_counter(counters, name, "sparse_wire_mb", failures)
+        if ratio is None or dense_mb is None or sparse_mb is None:
+            continue
+        ok = dense_mb > 0 and ratio <= max_ratio
+        print(
+            f"[{'OK' if ok else 'FAIL'}] {name}: sparse {fmt_mb(sparse_mb)} vs dense "
+            f"{fmt_mb(dense_mb)} wire bytes (ratio {ratio:.3f}, limit {max_ratio})"
+        )
+        if not ok:
+            failures.append(
+                f"{name}: sparse aggregation wire bytes {fmt_mb(sparse_mb)} not below dense "
+                f"{fmt_mb(dense_mb)} by the required margin (ratio {ratio:.3f} > "
+                f"limit {max_ratio})"
+            )
+
+
 def main():
     if len(sys.argv) < 2:
         print(__doc__.strip(), file=sys.stderr)
@@ -124,6 +152,7 @@ def main():
     failures = []
     check_pipelined_vs_blocking(counters, thresholds, failures)
     check_adaptive_vs_best_fixed(counters, thresholds, failures)
+    check_sparse_bytes(counters, thresholds, failures)
 
     if failures:
         print(f"\nperf-smoke FAILED ({len(failures)} threshold(s) violated):", file=sys.stderr)
@@ -131,8 +160,8 @@ def main():
             print(f"  - {f_}", file=sys.stderr)
         return 1
     print(
-        "\nperf-smoke passed: pipelining hides communication and the adaptive depth "
-        "matches or beats every fixed depth."
+        "\nperf-smoke passed: pipelining hides communication, the adaptive depth "
+        "matches or beats every fixed depth, and sparse aggregation moves fewer bytes."
     )
     return 0
 
