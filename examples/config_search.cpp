@@ -11,6 +11,7 @@
 #include "graph/datasets.hpp"
 #include "perfmodel/perfmodel.hpp"
 #include "sim/machine.hpp"
+#include "util/parse.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -18,7 +19,12 @@ int main(int argc, char** argv) {
   namespace pp = plexus::perf;
 
   const std::string dataset = argc > 1 ? argv[1] : "ogbn-products";
-  const int gpus = argc > 2 ? std::atoi(argv[2]) : 64;
+  int gpus = 64;
+  if (argc > 2 && (!plexus::util::parse_int(argv[2], gpus) || gpus < 1)) {
+    std::fprintf(stderr, "config_search: bad GPU count '%s'\nusage: %s [dataset] [gpus>=1]\n",
+                 argv[2], argv[0]);
+    return 1;
+  }
 
   const auto& info = plexus::graph::dataset_info(dataset);
   const auto& machine = plexus::sim::Machine::perlmutter_a100();

@@ -7,29 +7,67 @@
 // dataset: any Table 4 name (a scaled proxy is generated at `nodes` scale).
 // Pass gx=0 to let the performance model choose the grid for gx*gy*gz... i.e.
 // `plexus_train ogbn-products 8000 0 16` asks the model for the best 16-GPU
-// configuration. `backend` picks the byte transport (sim | local; default:
-// PLEXUS_BACKEND, else sim) — losses and sim timings are bitwise-identical.
+// configuration. `backend` picks the byte transport (sim | local, plus mpi in
+// PLEXUS_WITH_MPI builds; default: PLEXUS_BACKEND, else sim) — losses are
+// bitwise-identical across all of them. The mpi backend runs one process per
+// rank: launch under `mpirun -np <gx*gy*gz>`; rank 0 preprocesses and writes
+// a sharded dataset directory (PLEXUS_SHARD_DIR, default under /tmp), every
+// rank then streams only its own shard's block files (see docs/COMM.md).
 // `agg` picks the aggregation strategy (dense | sparse | auto; default:
 // PLEXUS_AGG, else dense) — losses are bitwise-identical, wire bytes differ.
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 
+#include "core/dataset_view.hpp"
 #include "core/trainer.hpp"
 #include "graph/datasets.hpp"
 #include "perfmodel/perfmodel.hpp"
 #include "sim/machine.hpp"
+#include "util/parse.hpp"
+
+namespace {
+
+int usage(const char* argv0, const char* what, const char* got) {
+  std::fprintf(stderr, "plexus_train: %s '%s'\n", what, got);
+  std::fprintf(stderr,
+               "usage: %s [dataset] [nodes>=1] [gx>=0] [gy>=1] [gz>=1] [epochs>=1] "
+               "[backend] [agg]\n       gx=0 asks the performance model for the best "
+               "gy-GPU grid\n",
+               argv0);
+  return 1;
+}
+
+/// The backends this binary can actually run, for error messages.
+const char* backend_choices() {
+  return plexus::comm::mpi_transport_available() ? "sim | local | mpi" : "sim | local";
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const std::string dataset = argc > 1 ? argv[1] : "ogbn-products";
-  const std::int64_t nodes = argc > 2 ? std::atoll(argv[2]) : 4000;
-  int gx = argc > 3 ? std::atoi(argv[3]) : 2;
-  int gy = argc > 4 ? std::atoi(argv[4]) : 2;
-  int gz = argc > 5 ? std::atoi(argv[5]) : 2;
-  const int epochs = argc > 6 ? std::atoi(argv[6]) : 10;
+  std::int64_t nodes = 4000;
+  int gx = 2, gy = 2, gz = 2, epochs = 10;
+  if (argc > 2 && (!plexus::util::parse_int64(argv[2], nodes) || nodes < 1)) {
+    return usage(argv[0], "bad node count", argv[2]);
+  }
+  if (argc > 3 && (!plexus::util::parse_int(argv[3], gx) || gx < 0)) {
+    return usage(argv[0], "bad grid dimension gx", argv[3]);
+  }
+  if (argc > 4 && (!plexus::util::parse_int(argv[4], gy) || gy < 1)) {
+    return usage(argv[0], "bad grid dimension gy", argv[4]);
+  }
+  if (argc > 5 && (!plexus::util::parse_int(argv[5], gz) || gz < 1)) {
+    return usage(argv[0], "bad grid dimension gz", argv[5]);
+  }
+  if (argc > 6 && (!plexus::util::parse_int(argv[6], epochs) || epochs < 1)) {
+    return usage(argv[0], "bad epoch count", argv[6]);
+  }
   auto backend = plexus::comm::default_backend();
   if (argc > 7 && !plexus::comm::backend_from_string(argv[7], backend)) {
-    std::fprintf(stderr, "unknown backend '%s' (expected sim | local)\n", argv[7]);
+    std::fprintf(stderr, "unknown backend '%s' (expected %s)\n", argv[7], backend_choices());
     return 1;
   }
   auto agg = plexus::core::default_aggregation();
@@ -37,35 +75,45 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown aggregation '%s' (expected dense | sparse | auto)\n", argv[8]);
     return 1;
   }
-  if (backend == plexus::comm::Backend::Mpi) {
-    // One process per rank; this driver runs the threaded in-process cluster.
-    std::fprintf(stderr,
-                 "the mpi backend needs a one-process-per-rank launcher "
-                 "(see docs/COMM.md); use sim or local here\n");
+  const bool distributed = backend == plexus::comm::Backend::Mpi;
+  if (distributed && !plexus::comm::mpi_transport_available()) {
+    std::fprintf(stderr, "this build has no mpi backend (expected %s); rebuild with "
+                         "-DPLEXUS_WITH_MPI=ON\n",
+                 backend_choices());
     return 1;
   }
 
+  plexus::comm::MpiRuntime rt;  // rank 0 / size 1 unless the mpi backend is up
+  if (distributed) rt = plexus::comm::mpi_runtime_init(&argc, &argv);
+
   const auto& info = plexus::graph::dataset_info(dataset);
-  const auto g = plexus::graph::make_proxy(info, nodes, /*seed=*/1);
   const auto& machine = plexus::sim::Machine::perlmutter_a100();
 
   if (gx == 0) {
-    // Model-selected configuration for a `gy`-GPU budget (section 4.3).
+    // Model-selected configuration for a `gy`-GPU budget (section 4.3). The
+    // choice is deterministic, so under mpirun every rank selects the same
+    // grid without communicating.
     const auto w = plexus::perf::WorkloadStats::from_dataset(info);
     const auto best = plexus::perf::best_configuration(machine, w, gy);
     gx = best.x;
     gz = best.z;
     gy = best.y;
-    std::printf("performance model selected %s\n",
-                plexus::perf::grid_to_string(best).c_str());
+    if (rt.rank == 0) {
+      std::printf("performance model selected %s\n",
+                  plexus::perf::grid_to_string(best).c_str());
+    }
   }
-
-  std::printf(
-      "training %s proxy (%lld nodes, %lld edges) on a %dx%dx%d grid, %d epochs, "
-      "%s transport, %s aggregation\n",
-      dataset.c_str(), static_cast<long long>(g.num_nodes),
-      static_cast<long long>(g.num_edges()), gx, gy, gz, epochs,
-      plexus::comm::backend_name(backend), plexus::core::aggregation_name(agg));
+  const int volume = gx * gy * gz;
+  if (distributed && rt.size != volume) {
+    if (rt.rank == 0) {
+      std::fprintf(stderr,
+                   "mpi backend needs one process per rank: launched %d processes for a "
+                   "%dx%dx%d grid (%d ranks)\n",
+                   rt.size, gx, gy, gz, volume);
+    }
+    plexus::comm::mpi_runtime_finalize();
+    return 1;
+  }
 
   plexus::core::TrainOptions opt;
   opt.grid = {gx, gy, gz};
@@ -77,16 +125,68 @@ int main(int argc, char** argv) {
   opt.backend = backend;
   opt.aggregation = agg;
 
-  const auto result = plexus::core::train_plexus(g, opt);
-  for (std::size_t e = 0; e < result.epochs.size(); ++e) {
-    const auto& s = result.epochs[e];
+  plexus::core::TrainResult result;
+  long long num_edges = -1;
+  if (!distributed) {
+    const auto g = plexus::graph::make_proxy(info, nodes, /*seed=*/1);
+    num_edges = static_cast<long long>(g.num_edges());
     std::printf(
-        "epoch %2zu  loss %.4f  acc %.3f  sim %.2f ms (spmm %.2f, gemm %.2f, comm %.2f)  "
-        "wire %.2f MB\n",
-        e + 1, s.loss, s.train_accuracy, s.epoch_seconds * 1e3, s.spmm_seconds * 1e3,
-        s.gemm_seconds * 1e3, s.wait_seconds() * 1e3, s.comm_wire_bytes / 1e6);
+        "training %s proxy (%lld nodes, %lld edges) on a %dx%dx%d grid, %d epochs, "
+        "%s transport, %s aggregation\n",
+        dataset.c_str(), static_cast<long long>(g.num_nodes), num_edges, gx, gy, gz, epochs,
+        plexus::comm::backend_name(backend), plexus::core::aggregation_name(agg));
+    result = plexus::core::train_plexus(g, opt);
+  } else {
+    // Rank 0 preprocesses once and writes the sharded block-file layout; the
+    // barrier publishes it, then every rank (rank 0 included) streams only
+    // the block files its own shard windows intersect.
+    const char* env_dir = std::getenv("PLEXUS_SHARD_DIR");
+    const std::string dir =
+        env_dir != nullptr && *env_dir != '\0'
+            ? std::string(env_dir)
+            : (std::filesystem::temp_directory_path() /
+               ("plexus_shards_" + dataset + "_" + std::to_string(nodes) + "_" +
+                std::to_string(gx) + "x" + std::to_string(gy) + "x" + std::to_string(gz)))
+                  .string();
+    if (rt.rank == 0) {
+      const auto g = plexus::graph::make_proxy(info, nodes, /*seed=*/1);
+      num_edges = static_cast<long long>(g.num_edges());
+      std::printf(
+          "training %s proxy (%lld nodes, %lld edges) on a %dx%dx%d grid, %d epochs, "
+          "%s transport, %s aggregation\n",
+          dataset.c_str(), static_cast<long long>(g.num_nodes), num_edges, gx, gy, gz, epochs,
+          plexus::comm::backend_name(backend), plexus::core::aggregation_name(agg));
+      const auto ds = plexus::core::preprocess_graph(g, opt.scheme, opt.model.num_layers(),
+                                                     /*pad_multiple=*/volume,
+                                                     opt.preprocess_seed);
+      plexus::core::write_sharded_plexus_dataset(dir, ds, volume);
+      std::printf("rank 0 wrote sharded dataset to %s\n", dir.c_str());
+    }
+    plexus::comm::mpi_runtime_barrier();
+    plexus::core::ShardedDatasetView view(dir);
+    result = plexus::core::train_plexus_rank(view, opt, rt.rank);
+    if (rt.rank == 0) {
+      const auto& st = view.load_stats();
+      std::printf("rank 0 streamed %lld bytes from %lld block files (shard-local IO)\n",
+                  static_cast<long long>(st.bytes_read), static_cast<long long>(st.files_opened));
+    }
   }
-  std::printf("validation accuracy %.3f | avg epoch %.2f ms on %s\n", result.val_accuracy,
-              result.avg_epoch_seconds(2) * 1e3, machine.name.c_str());
+
+  if (rt.rank == 0) {
+    for (std::size_t e = 0; e < result.epochs.size(); ++e) {
+      const auto& s = result.epochs[e];
+      std::printf(
+          "epoch %2zu  loss %.4f  acc %.3f  sim %.2f ms (spmm %.2f, gemm %.2f, comm %.2f)  "
+          "wire %.2f MB\n",
+          e + 1, s.loss, s.train_accuracy, s.epoch_seconds * 1e3, s.spmm_seconds * 1e3,
+          s.gemm_seconds * 1e3, s.wait_seconds() * 1e3, s.comm_wire_bytes / 1e6);
+    }
+    std::printf("validation accuracy %.3f | avg epoch %.2f ms on %s\n", result.val_accuracy,
+                result.avg_epoch_seconds(2) * 1e3, machine.name.c_str());
+  }
+  if (distributed) {
+    plexus::comm::mpi_runtime_barrier();  // keep rank 0's output ahead of teardown
+    plexus::comm::mpi_runtime_finalize();
+  }
   return 0;
 }

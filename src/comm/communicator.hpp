@@ -179,17 +179,18 @@ class Communicator {
   /// `clock` may be null (functional-only mode, no time simulation).
   /// `transport` selects the byte-movement backend; null resolves
   /// `transport_for(default_backend())` (the PLEXUS_BACKEND environment
-  /// variable, else Sim). Distributed (non-protocol) transports are
-  /// functional-only: they synchronise no clock slots, so `clock` must stay
-  /// null and stats charge the cost-model time per op.
+  /// variable, else Sim). A distributed (non-protocol) transport may carry a
+  /// clock only when it opts in via `Transport::supports_clock()` (the MPI
+  /// backend piggybacks the post-clock exchange on each collective); without
+  /// a clock, stats charge the cost-model time per op.
   Communicator(World& world, int rank, SimClock* clock = nullptr,
                Transport* transport = nullptr)
       : world_(&world), rank_(rank), clock_(clock),
         transport_(transport != nullptr ? transport : &transport_for(default_backend())),
         channel_budget_(comm_thread_budget()) {
     PLEXUS_CHECK(rank >= 0 && rank < world.size(), "rank out of range");
-    PLEXUS_CHECK(clock == nullptr || transport_->uses_group_protocol(),
-                 "distributed transports are functional-only (no SimClock)");
+    PLEXUS_CHECK(clock == nullptr || transport_->supports_clock(),
+                 "this transport cannot carry a SimClock");
   }
 
   /// Immovable: outstanding CommHandles point back at this object, so a move
@@ -202,8 +203,8 @@ class Communicator {
   /// (accounting starts from a clean slate).
   void set_clock(SimClock* clock) {
     PLEXUS_CHECK(!posted_any_, "set_clock: must precede the first collective");
-    PLEXUS_CHECK(clock == nullptr || transport_->uses_group_protocol(),
-                 "distributed transports are functional-only (no SimClock)");
+    PLEXUS_CHECK(clock == nullptr || transport_->supports_clock(),
+                 "this transport cannot carry a SimClock");
     clock_ = clock;
   }
 
@@ -568,6 +569,7 @@ class Communicator {
     op->op = kind;
     op->bytes = bytes;
     op->channel = channel_route(world_->group(gid), gid);
+    op->clocked = clock_ != nullptr;
     op->posted_clock = clock_ != nullptr ? clock_->time() : 0.0;
     op->execute = std::move(body);
     if (clock_ != nullptr) outstanding_posts_.insert(op->posted_clock);

@@ -63,6 +63,7 @@ struct CommOp {
   std::int64_t bytes = 0;
   int channel = 0;             ///< routing key (group's line family, else GroupId)
   bool accounted = true;       ///< false for user ops (icall): no stats/clock
+  bool clocked = false;        ///< posting Communicator carries a SimClock
   double posted_clock = 0.0;   ///< poster's sim clock at post time
 
   // Filled by execute (read phase):

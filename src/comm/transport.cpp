@@ -237,4 +237,21 @@ bool mpi_transport_available() {
 #endif
 }
 
+#ifndef PLEXUS_WITH_MPI
+// One-process-per-rank runtime hooks (implemented in transport_mpi.cpp when
+// the backend is compiled in). Erroring stubs keep the examples linkable.
+MpiRuntime mpi_runtime_init(int*, char***) {
+  PLEXUS_CHECK(false, "mpi_runtime_init: built without PLEXUS_WITH_MPI");
+  return {};
+}
+
+void mpi_runtime_barrier() {
+  PLEXUS_CHECK(false, "mpi_runtime_barrier: built without PLEXUS_WITH_MPI");
+}
+
+void mpi_runtime_finalize() {
+  PLEXUS_CHECK(false, "mpi_runtime_finalize: built without PLEXUS_WITH_MPI");
+}
+#endif
+
 }  // namespace plexus::comm

@@ -30,12 +30,14 @@
 ///    reason a true ring *reduction* (whose partial sums nest in ring order)
 ///    is deliberately not used.
 ///  * `Backend::Mpi` — optional, compiled behind the `PLEXUS_WITH_MPI` CMake
-///    option: maps each CommHandle onto an `MPI_Iallgatherv` /
-///    `MPI_Ireduce_scatter` / `MPI_Iallreduce` / `MPI_Ibcast` /
-///    `MPI_Ialltoallv` request on a per-group sub-communicator
-///    (`MPI_Comm_create_group` over the group's member list). One process per
-///    rank; functional-only (no SimClock — stats charge the cost-model time
-///    per op). See docs/COMM.md.
+///    option: maps each CommHandle onto MPI collectives on a per-group
+///    sub-communicator (`MPI_Comm_create_group` over the group's member
+///    list). One process per rank. Reductions gather every contribution and
+///    fold locally in canonical member order (never `MPI_SUM`, whose order
+///    is implementation-defined), so float results are bitwise-identical to
+///    the in-process backends. Supports the SimClock: each op piggybacks one
+///    fused max-allreduce of {posted clock, payload bytes} on the collective,
+///    which is all the completion math needs (see docs/COMM.md).
 ///
 /// In-process transports implement `move()` (+ optional `finalize()`), which
 /// the Communicator runs inside the group's barrier protocol. Distributed
@@ -139,6 +141,13 @@ class Transport {
   /// via execute() and never touch group barriers or clock slots.
   virtual bool uses_group_protocol() const { return true; }
 
+  /// True when Communicators over this transport may carry a SimClock.
+  /// In-process transports exchange post clocks through the group's clock
+  /// slots; a distributed transport must override this (and piggyback the
+  /// clock exchange on its own wire, see MpiTransport) to opt in. The
+  /// Communicator rejects a clock when this is false.
+  virtual bool supports_clock() const { return uses_group_protocol(); }
+
   /// In-process data movement. Runs on the op's executing thread between the
   /// group's protocol barriers; `g.slots[m]` holds member m's published
   /// buffer (CollArgs::send if set, else recv). Implementations may run
@@ -190,6 +199,25 @@ Transport& transport_for(Backend b);
 
 /// True when this build carries the MPI transport (PLEXUS_WITH_MPI=ON).
 bool mpi_transport_available();
+
+/// The MPI process identity established by `mpi_runtime_init`.
+struct MpiRuntime {
+  int rank = 0;  ///< this process's rank in MPI_COMM_WORLD
+  int size = 1;  ///< number of launched processes
+};
+
+/// Initialise MPI for a one-process-per-rank driver (examples, tests) without
+/// exposing mpi.h to the caller: `MPI_Init_thread(MPI_THREAD_MULTIPLE)`, then
+/// downgrade the per-process comm-thread budget to match the granted thread
+/// level (SERIALIZED → one channel, less → inline). Idempotent per process.
+/// Aborts in builds without PLEXUS_WITH_MPI.
+MpiRuntime mpi_runtime_init(int* argc, char*** argv);
+
+/// `MPI_Barrier(MPI_COMM_WORLD)` — e.g. "rank 0 finished writing shards".
+void mpi_runtime_barrier();
+
+/// `MPI_Finalize` (no-op if never initialised or already finalised).
+void mpi_runtime_finalize();
 
 /// RAII default-backend override for tests and benches.
 class ScopedBackend {

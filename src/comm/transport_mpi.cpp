@@ -5,39 +5,57 @@
 /// MPI sub-communicator via `MPI_Comm_create_group` over the group's member
 /// list (collective only over the members, so creation order follows the SPMD
 /// posting order without involving non-members); the plexus World size must
-/// equal `MPI_COMM_WORLD`'s size and plexus ranks are MPI ranks.
+/// equal `MPI_COMM_WORLD`'s size and plexus ranks are MPI ranks. The members
+/// list is passed to `MPI_Group_incl` in group-position order, so a member's
+/// sub-communicator rank equals its plexus group position — the property the
+/// gathers below rely on.
 ///
-/// Each CommHandle maps onto one nonblocking MPI request:
+/// Collective mapping:
 ///
-///   iall_gather        -> MPI_Iallgatherv   (equal counts)
-///   ireduce_scatter    -> MPI_Ireduce_scatter (equal recvcounts, MPI_SUM)
-///   iall_reduce_sum    -> MPI_Iallreduce    (MPI_IN_PLACE)
+///   iall_gather        -> MPI_Iallgatherv  (equal counts, exact copies)
 ///   broadcast          -> MPI_Ibcast
-///   all_to_all         -> MPI_Ialltoallv    (equal counts)
+///   all_to_all         -> MPI_Ialltoallv   (equal counts)
 ///   all_to_all_v       -> MPI_Alltoall of counts + MPI_Ialltoallv payload
 ///   barrier            -> MPI_Ibarrier
-///   scalar reductions  -> MPI_Iallreduce    (1 double, MPI_SUM / MPI_MAX)
+///   ireduce_scatter    -> MPI_Allgather of the full inputs + canonical fold
+///   iall_reduce_sum    -> MPI_Allgather of the contributions + canonical fold
+///   scalar reductions  -> MPI_Allgather of one double + canonical fold
+///
+/// Reductions deliberately avoid `MPI_SUM`: MPI leaves the reduction order
+/// implementation-defined, while the transport conformance contract requires
+/// contributions folded with `CollArgs::accumulate` in canonical member order
+/// (member 0, 1, …, G−1 — exactly what SimTransport::move does). Gathering
+/// every contribution and folding locally costs extra wire volume but makes
+/// float results bitwise-identical to the in-process backends, which is what
+/// lets `mpirun`ed training gate its losses against the `local` backend.
 ///
 /// The request is posted and completed on the op's executing thread (a comm
 /// channel, or the posting thread in inline mode), so CommHandle
 /// post/wait/test/drop keep their exact semantics: `test()` polls the
 /// channel-side completion flag, `wait()` retires the op, dropping completes
 /// but skips the accounting. With channel budgets > 0 multiple threads enter
-/// MPI concurrently — initialise with MPI_THREAD_MULTIPLE, or run
-/// `PLEXUS_COMM_THREADS=0` (inline) under MPI_THREAD_FUNNELED/SINGLE.
+/// MPI concurrently — initialise with MPI_THREAD_MULTIPLE (mpi_runtime_init
+/// does, and downgrades the budget when the library grants less).
 ///
-/// This backend is functional-only: there are no cross-process clock slots,
-/// so Communicators must run without a SimClock and CommStats charge the
-/// cost-model time per op (the `clock == nullptr` accounting path). Note
-/// MPI reduction order is implementation-defined, so floating-point results
-/// are *not* guaranteed bitwise-equal to the Sim/Local backends — the
-/// conformance suite checks reductions to a tolerance and copies exactly.
+/// Sim clocks work cross-process by piggybacking one fused
+/// `MPI_Allreduce(MPI_MAX, {posted clock, payload bytes})` on every clocked
+/// op. That is all the completion math needs: `done = max(link busy horizon,
+/// max member post clock) + T_ring(bytes)`. Each process keeps its own copy
+/// of the group's `link_busy_until`, but the written value is group-uniform
+/// (max of group-uniform inputs) and ops on one group execute in SPMD posting
+/// order, so the copies stay equal by induction — the same argument the
+/// in-process protocol makes for member 0's single copy. Unclocked
+/// Communicators skip the fused allreduce entirely and charge cost-model
+/// time per op, as before.
 
 #include <mpi.h>
 
+#include <algorithm>
+#include <cstring>
 #include <limits>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "comm/transport.hpp"
 #include "util/error.hpp"
@@ -61,17 +79,6 @@ unsigned char g_zero_payload_dummy = 0;
 const void* nn(const void* p) { return p != nullptr ? p : &g_zero_payload_dummy; }
 void* nn(void* p) { return p != nullptr ? p : static_cast<void*>(&g_zero_payload_dummy); }
 
-MPI_Datatype mpi_dtype(DType t) {
-  switch (t) {
-    case DType::F32: return MPI_FLOAT;
-    case DType::F64: return MPI_DOUBLE;
-    case DType::I32: return MPI_INT32_T;
-    case DType::I64: return MPI_INT64_T;
-    case DType::Bytes: return MPI_BYTE;
-  }
-  return MPI_BYTE;
-}
-
 class MpiTransport final : public Transport {
  public:
   ~MpiTransport() override {
@@ -82,6 +89,7 @@ class MpiTransport final : public Transport {
   Backend backend() const override { return Backend::Mpi; }
   const char* name() const override { return "mpi"; }
   bool uses_group_protocol() const override { return false; }
+  bool supports_clock() const override { return true; }
 
   void execute(GroupShared& g, const CollArgs& a, detail::CommOp& op) override {
     MPI_Comm comm = comm_for(g, a.gid);
@@ -97,44 +105,91 @@ class MpiTransport final : public Transport {
     PLEXUS_CHECK(chunk_bytes * static_cast<std::uint64_t>(G) <=
                      static_cast<std::uint64_t>(std::numeric_limits<int>::max()),
                  "MPI transport: payload exceeds MPI int counts/displacements");
-    const auto n = static_cast<int>(a.count);
     const auto nb = static_cast<int>(chunk_bytes);
     switch (a.kind) {
-      case Collective::Barrier:
+      case Collective::Barrier: {
+        const double max_posted = clock_sync(comm, op, op.bytes);
         mpi_check(MPI_Ibarrier(comm, &req), "MPI_Ibarrier");
-        break;
+        mpi_check(MPI_Wait(&req, MPI_STATUS_IGNORE), "MPI_Wait");
+        finish(g, op, max_posted);
+        return;
+      }
       case Collective::AllGather: {
+        const double max_posted = clock_sync(comm, op, op.bytes);
         counts_.assign(static_cast<std::size_t>(G), nb);
         displs_.resize(static_cast<std::size_t>(G));
         for (int m = 0; m < G; ++m) displs_[static_cast<std::size_t>(m)] = m * nb;
         mpi_check(MPI_Iallgatherv(nn(a.send), nb, MPI_BYTE, nn(a.recv), counts_.data(),
                                   displs_.data(), MPI_BYTE, comm, &req),
                   "MPI_Iallgatherv");
-        break;
+        mpi_check(MPI_Wait(&req, MPI_STATUS_IGNORE), "MPI_Wait");
+        finish(g, op, max_posted);
+        return;
       }
       case Collective::ReduceScatter: {
-        counts_.assign(static_cast<std::size_t>(G), n);
-        mpi_check(MPI_Ireduce_scatter(nn(a.send), nn(a.recv), counts_.data(),
-                                      mpi_dtype(a.dtype), MPI_SUM, comm, &req),
-                  "MPI_Ireduce_scatter");
-        break;
+        // Gather every member's full input, then fold this member's chunk in
+        // canonical order — bitwise-identical to SimTransport's read phase.
+        const double max_posted = clock_sync(comm, op, op.bytes);
+        const std::uint64_t full = chunk_bytes * static_cast<std::uint64_t>(G);
+        PLEXUS_CHECK(full * static_cast<std::uint64_t>(G) <=
+                         static_cast<std::uint64_t>(std::numeric_limits<int>::max()),
+                     "MPI transport: reduce_scatter gather exceeds MPI int counts");
+        auto& buf = gather_buf_;
+        buf.resize(full * static_cast<std::uint64_t>(G));
+        mpi_check(MPI_Allgather(nn(a.send), static_cast<int>(full), MPI_BYTE, nn(buf.data()),
+                                static_cast<int>(full), MPI_BYTE, comm),
+                  "MPI_Allgather(reduce_scatter)");
+        if (chunk_bytes > 0) {
+          const std::uint64_t off = static_cast<std::uint64_t>(a.pos) * chunk_bytes;
+          std::memcpy(a.recv, buf.data() + off, chunk_bytes);
+          for (int m = 1; m < G; ++m) {
+            a.accumulate(a.recv, buf.data() + static_cast<std::uint64_t>(m) * full + off,
+                         a.count);
+          }
+        }
+        finish(g, op, max_posted);
+        return;
       }
       case Collective::AllReduce: {
+        const double max_posted = clock_sync(comm, op, op.bytes);
         if (a.scalar_op) {
-          op.scalar = a.scalar_value;
-          mpi_check(MPI_Iallreduce(MPI_IN_PLACE, &op.scalar, 1, MPI_DOUBLE,
-                                   a.scalar_is_max ? MPI_MAX : MPI_SUM, comm, &req),
-                    "MPI_Iallreduce(scalar)");
-          break;
+          // Same left-fold as the in-process aux-slot exchange.
+          scalars_.resize(static_cast<std::size_t>(G));
+          mpi_check(MPI_Allgather(&a.scalar_value, 1, MPI_DOUBLE, scalars_.data(), 1,
+                                  MPI_DOUBLE, comm),
+                    "MPI_Allgather(scalar)");
+          double acc = a.scalar_is_max ? a.scalar_value : 0.0;
+          for (int m = 0; m < G; ++m) {
+            const double v = scalars_[static_cast<std::size_t>(m)];
+            acc = a.scalar_is_max ? std::max(acc, v) : acc + v;
+          }
+          op.scalar = acc;
+          finish(g, op, max_posted);
+          return;
         }
-        mpi_check(MPI_Iallreduce(MPI_IN_PLACE, nn(a.recv), n, mpi_dtype(a.dtype), MPI_SUM,
-                                 comm, &req),
-                  "MPI_Iallreduce");
-        break;
+        // In-place buffer: gather every member's contribution, fold member 0
+        // first then 1..G-1 — SimTransport's scratch fold, verbatim.
+        auto& buf = gather_buf_;
+        buf.resize(chunk_bytes * static_cast<std::uint64_t>(G));
+        mpi_check(MPI_Allgather(nn(a.recv), nb, MPI_BYTE, nn(buf.data()), nb, MPI_BYTE, comm),
+                  "MPI_Allgather(all_reduce)");
+        if (chunk_bytes > 0) {
+          std::memcpy(a.recv, buf.data(), chunk_bytes);
+          for (int m = 1; m < G; ++m) {
+            a.accumulate(a.recv, buf.data() + static_cast<std::uint64_t>(m) * chunk_bytes,
+                         a.count);
+          }
+        }
+        finish(g, op, max_posted);
+        return;
       }
-      case Collective::Broadcast:
+      case Collective::Broadcast: {
+        const double max_posted = clock_sync(comm, op, op.bytes);
         mpi_check(MPI_Ibcast(nn(a.recv), nb, MPI_BYTE, a.root, comm, &req), "MPI_Ibcast");
-        break;
+        mpi_check(MPI_Wait(&req, MPI_STATUS_IGNORE), "MPI_Wait");
+        finish(g, op, max_posted);
+        return;
+      }
       case Collective::AllToAll: {
         if (a.send_counts != nullptr) {
           // Flat variable all-to-all: the caller owns the count exchange, so
@@ -158,6 +213,7 @@ class MpiTransport final : public Transport {
           PLEXUS_CHECK(soff <= std::numeric_limits<int>::max() &&
                            roff <= std::numeric_limits<int>::max(),
                        "MPI transport: iall_to_all_v payload exceeds MPI int counts");
+          const double max_posted = clock_sync(comm, op, my_send);
           mpi_check(MPI_Ialltoallv(nn(a.send), scounts.data(), sdispls.data(), MPI_BYTE,
                                    nn(a.recv), rcounts.data(), rdispls.data(), MPI_BYTE,
                                    comm, &req),
@@ -165,13 +221,18 @@ class MpiTransport final : public Transport {
           mpi_check(MPI_Wait(&req, MPI_STATUS_IGNORE), "MPI_Wait");
           // The straggler defines the exchange: cost the maximum per-member
           // total send volume, like the in-process protocol's aux exchange.
-          std::int64_t max_total = my_send;
-          mpi_check(MPI_Allreduce(MPI_IN_PLACE, &max_total, 1, MPI_INT64_T, MPI_MAX, comm),
-                    "MPI_Allreduce(max bytes)");
-          op.bytes = max_total;
-          finish(g, op);
+          // Clocked ops already exchanged it through the fused allreduce.
+          if (!op.clocked) {
+            std::int64_t max_total = my_send;
+            mpi_check(
+                MPI_Allreduce(MPI_IN_PLACE, &max_total, 1, MPI_INT64_T, MPI_MAX, comm),
+                "MPI_Allreduce(max bytes)");
+            op.bytes = max_total;
+          }
+          finish(g, op, max_posted);
           return;
         }
+        const double max_posted = clock_sync(comm, op, op.bytes);
         counts_.assign(static_cast<std::size_t>(G), nb);
         displs_.resize(static_cast<std::size_t>(G));
         for (int m = 0; m < G; ++m) displs_[static_cast<std::size_t>(m)] = m * nb;
@@ -179,13 +240,14 @@ class MpiTransport final : public Transport {
                                  nn(a.recv), counts_.data(), displs_.data(), MPI_BYTE,
                                  comm, &req),
                   "MPI_Ialltoallv");
-        break;
+        mpi_check(MPI_Wait(&req, MPI_STATUS_IGNORE), "MPI_Wait");
+        finish(g, op, max_posted);
+        return;
       }
       case Collective::Send:
         PLEXUS_CHECK(false, "point-to-point is accounting-only");
     }
-    mpi_check(MPI_Wait(&req, MPI_STATUS_IGNORE), "MPI_Wait");
-    finish(g, op);
+    PLEXUS_CHECK(false, "unknown collective");
   }
 
   void alltoallv(GroupShared& g, const CollArgs& a,
@@ -204,6 +266,7 @@ class MpiTransport final : public Transport {
           static_cast<std::int64_t>(send[static_cast<std::size_t>(m)].size());
       my_total += send_counts[static_cast<std::size_t>(m)];
     }
+    const double max_posted = clock_sync(comm, op, my_total);
     mpi_check(MPI_Alltoall(send_counts.data(), 1, MPI_INT64_T, recv_counts.data(), 1,
                            MPI_INT64_T, comm),
               "MPI_Alltoall(counts)");
@@ -251,11 +314,14 @@ class MpiTransport final : public Transport {
               rcounts[static_cast<std::size_t>(m)]);
     }
     // The straggler defines the exchange: cost the maximum per-member total.
-    std::int64_t max_total = my_total;
-    mpi_check(MPI_Allreduce(MPI_IN_PLACE, &max_total, 1, MPI_INT64_T, MPI_MAX, comm),
-              "MPI_Allreduce(max bytes)");
-    op.bytes = max_total;
-    finish(g, op);
+    // Clocked ops already exchanged it through the fused allreduce.
+    if (!op.clocked) {
+      std::int64_t max_total = my_total;
+      mpi_check(MPI_Allreduce(MPI_IN_PLACE, &max_total, 1, MPI_INT64_T, MPI_MAX, comm),
+                "MPI_Allreduce(max bytes)");
+      op.bytes = max_total;
+    }
+    finish(g, op, max_posted);
   }
 
  private:
@@ -269,12 +335,37 @@ class MpiTransport final : public Transport {
                  "MPI transport: plexus rank must equal the MPI rank");
   }
 
-  /// Cost-model completion for the functional-only accounting path.
-  static void finish(const GroupShared& g, detail::CommOp& op) {
+  /// Clocked ops piggyback one fused max-allreduce of {posted clock, payload
+  /// bytes} on the collective. Both results are group-uniform: the clock max
+  /// feeds the completion instant, the byte max prices variable exchanges by
+  /// their straggler (for fixed-size collectives `my_bytes` is already
+  /// uniform, so the second lane is a no-op). Unclocked ops skip the wire
+  /// round-trip and keep the post-clock-only accounting.
+  static double clock_sync(MPI_Comm comm, detail::CommOp& op, std::int64_t my_bytes) {
+    if (!op.clocked) return op.posted_clock;
+    double v[2] = {op.posted_clock, static_cast<double>(my_bytes)};
+    mpi_check(MPI_Allreduce(MPI_IN_PLACE, v, 2, MPI_DOUBLE, MPI_MAX, comm),
+              "MPI_Allreduce(clock sync)");
+    op.bytes = static_cast<std::int64_t>(v[1]);
+    return v[0];
+  }
+
+  /// Completion math. Clocked: the in-process `finish_read_phase` formula —
+  /// start at max(group link-busy horizon, latest member post clock), add the
+  /// ring cost, advance this process's copy of the horizon (group-uniform by
+  /// induction, see file comment). Unclocked: cost-model time from the
+  /// poster's (zero) clock, as before.
+  static void finish(GroupShared& g, detail::CommOp& op, double max_posted) {
     op.full_seconds =
         collective_time(op.op, op.bytes, g.size(), g.link, g.a2a_distance_penalty);
     op.wire_bytes = wire_bytes(op.op, op.bytes, g.size());
-    op.done_clock = op.posted_clock + op.full_seconds;
+    if (op.clocked) {
+      const double start = std::max(g.link_busy_until, max_posted);
+      op.done_clock = start + op.full_seconds;
+      g.link_busy_until = op.done_clock;
+    } else {
+      op.done_clock = op.posted_clock + op.full_seconds;
+    }
   }
 
   MPI_Comm comm_for(GroupShared& g, GroupId gid) {
@@ -312,14 +403,18 @@ class MpiTransport final : public Transport {
 
   std::mutex m_;
   std::unordered_map<GroupId, MPI_Comm> comms_;
-  // Reused count/displacement scratch. One MpiTransport is shared by every
-  // channel thread, so these must be per-thread to stay race-free.
+  // Reused count/displacement/gather scratch. One MpiTransport is shared by
+  // every channel thread, so these must be per-thread to stay race-free.
   static thread_local std::vector<int> counts_;
   static thread_local std::vector<int> displs_;
+  static thread_local std::vector<unsigned char> gather_buf_;
+  static thread_local std::vector<double> scalars_;
 };
 
 thread_local std::vector<int> MpiTransport::counts_;
 thread_local std::vector<int> MpiTransport::displs_;
+thread_local std::vector<unsigned char> MpiTransport::gather_buf_;
+thread_local std::vector<double> MpiTransport::scalars_;
 
 }  // namespace
 
@@ -331,5 +426,40 @@ Transport& mpi_transport() {
 }
 
 }  // namespace detail
+
+MpiRuntime mpi_runtime_init(int* argc, char*** argv) {
+  int initialized = 0;
+  MPI_Initialized(&initialized);
+  int provided = MPI_THREAD_SINGLE;
+  if (initialized == 0) {
+    mpi_check(MPI_Init_thread(argc, argv, MPI_THREAD_MULTIPLE, &provided),
+              "MPI_Init_thread");
+  } else {
+    mpi_check(MPI_Query_thread(&provided), "MPI_Query_thread");
+  }
+  // Comm channels make MPI calls from their own threads. Under
+  // MPI_THREAD_MULTIPLE any budget works; SERIALIZED tolerates exactly one
+  // channel; anything less forces inline mode (posting thread does MPI).
+  if (provided < MPI_THREAD_SERIALIZED) {
+    set_comm_thread_budget(0);
+  } else if (provided < MPI_THREAD_MULTIPLE && comm_thread_budget() > 1) {
+    set_comm_thread_budget(1);
+  }
+  MpiRuntime rt;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rt.rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &rt.size);
+  return rt;
+}
+
+void mpi_runtime_barrier() {
+  mpi_check(MPI_Barrier(MPI_COMM_WORLD), "MPI_Barrier");
+}
+
+void mpi_runtime_finalize() {
+  int initialized = 0, finalized = 0;
+  MPI_Initialized(&initialized);
+  MPI_Finalized(&finalized);
+  if (initialized != 0 && finalized == 0) MPI_Finalize();
+}
 
 }  // namespace plexus::comm

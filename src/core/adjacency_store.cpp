@@ -5,28 +5,32 @@
 
 namespace plexus::core {
 
-AdjacencyStore::AdjacencyStore(const PlexusDataset& dataset, const Grid3D& grid, int rank,
+AdjacencyStore::AdjacencyStore(const DatasetView& view, const Grid3D& grid, int rank,
                                int num_layers) {
   const Coords c = grid.coords_of(rank);
   by_layer_.resize(static_cast<std::size_t>(num_layers));
   for (int l = 0; l < num_layers; ++l) {
-    const int version = dataset.scheme == PermutationScheme::Double ? l % 2 : 0;
+    const int version = view.scheme() == PermutationScheme::Double ? l % 2 : 0;
     const int plane = l % 3;
     const auto key = std::make_pair(version, plane);
     auto it = shards_.find(key);
     if (it == shards_.end()) {
       const LayerRoles roles = roles_for_layer(l);
-      const auto blk = matrix_shard(dataset.padded_nodes, dataset.padded_nodes, grid, c,
+      const auto blk = matrix_shard(view.padded_nodes(), view.padded_nodes(), grid, c,
                                     /*row_axis=*/roles.r, /*col_axis=*/roles.p);
       auto shard = std::make_shared<AdjacencyShard>();
-      shard->a = dataset.adjacency_for_layer(l).block(blk.rows.begin, blk.rows.end,
-                                                      blk.cols.begin, blk.cols.end);
+      shard->a = view.adjacency_block(version, blk.rows.begin, blk.rows.end, blk.cols.begin,
+                                      blk.cols.end);
       shard->a_t = shard->a.transposed();
       it = shards_.emplace(key, std::move(shard)).first;
     }
     by_layer_[static_cast<std::size_t>(l)] = it->second;
   }
 }
+
+AdjacencyStore::AdjacencyStore(const PlexusDataset& dataset, const Grid3D& grid, int rank,
+                               int num_layers)
+    : AdjacencyStore(InMemoryDatasetView(dataset), grid, rank, num_layers) {}
 
 const AdjacencyShard& AdjacencyStore::layer(int l) const {
   PLEXUS_CHECK(l >= 0 && static_cast<std::size_t>(l) < by_layer_.size(), "bad layer");

@@ -13,6 +13,7 @@
 #include <map>
 #include <memory>
 
+#include "core/dataset_view.hpp"
 #include "core/grid.hpp"
 #include "core/preprocess.hpp"
 #include "core/roles.hpp"
@@ -27,8 +28,12 @@ struct AdjacencyShard {
 
 class AdjacencyStore {
  public:
-  /// Extracts this rank's shards for layers [0, num_layers). Pure reads of the
-  /// shared dataset: safe to run concurrently on all ranks.
+  /// Extracts this rank's shards for layers [0, num_layers). Pure reads of
+  /// the view: safe to run concurrently on all ranks when the view is (the
+  /// shared in-memory dataset is; per-rank sharded views trivially are).
+  AdjacencyStore(const DatasetView& view, const Grid3D& grid, int rank, int num_layers);
+
+  /// Convenience for in-process callers holding a raw PlexusDataset.
   AdjacencyStore(const PlexusDataset& dataset, const Grid3D& grid, int rank, int num_layers);
 
   const AdjacencyShard& layer(int l) const;

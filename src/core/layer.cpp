@@ -72,13 +72,12 @@ Aggregation default_aggregation() {
   return a;
 }
 
-DistGcnLayer::DistGcnLayer(const PlexusDataset& ds, const Grid3D& grid, int rank, int layer_index,
-                           int num_layers, std::int64_t in_dim_padded, std::int64_t out_dim_padded,
-                           std::int64_t in_dim_valid, std::int64_t out_dim_valid,
-                           const AdjacencyShard* adj, const PlexusOptions& opts,
-                           std::uint64_t seed)
-    : ds_(&ds),
-      grid_(&grid),
+DistGcnLayer::DistGcnLayer(std::int64_t padded_nodes, const Grid3D& grid, int rank,
+                           int layer_index, int num_layers, std::int64_t in_dim_padded,
+                           std::int64_t out_dim_padded, std::int64_t in_dim_valid,
+                           std::int64_t out_dim_valid, const AdjacencyShard* adj,
+                           const PlexusOptions& opts, std::uint64_t seed)
+    : grid_(&grid),
       adj_(adj),
       opts_(opts),
       layer_(layer_index),
@@ -95,8 +94,8 @@ DistGcnLayer::DistGcnLayer(const PlexusDataset& ds, const Grid3D& grid, int rank
   q_group_ = grid.group_along(roles_.q, rank);
   r_group_ = grid.group_along(roles_.r, rank);
 
-  rows_r_ = ds.padded_nodes / ext_r_;
-  rows_p_ = ds.padded_nodes / ext_p_;
+  rows_r_ = padded_nodes / ext_r_;
+  rows_p_ = padded_nodes / ext_p_;
   din_q_ = in_dim_padded / ext_q_;
   dout_p_ = out_dim_padded / ext_p_;
   PLEXUS_CHECK(in_dim_padded % ext_q_ == 0 && out_dim_padded % ext_p_ == 0,

@@ -92,7 +92,9 @@ struct KernelTimers {
 
 class DistGcnLayer {
  public:
-  DistGcnLayer(const PlexusDataset& ds, const Grid3D& grid, int rank, int layer_index,
+  /// `padded_nodes` is the dataset's padded node count (the only dataset
+  /// fact a layer needs — rows shard as padded_nodes / extent).
+  DistGcnLayer(std::int64_t padded_nodes, const Grid3D& grid, int rank, int layer_index,
                int num_layers, std::int64_t in_dim_padded, std::int64_t out_dim_padded,
                std::int64_t in_dim_valid, std::int64_t out_dim_valid, const AdjacencyShard* adj,
                const PlexusOptions& opts, std::uint64_t seed);
@@ -194,7 +196,6 @@ class DistGcnLayer {
   /// here first.
   void fold_sparse_chunk(const SparseBlockPlan& blk, std::span<float> out) const;
 
-  const PlexusDataset* ds_;
   const Grid3D* grid_;
   const AdjacencyShard* adj_;
   PlexusOptions opts_;

@@ -9,7 +9,7 @@
 namespace plexus::core {
 
 LossResult distributed_softmax_ce(sim::RankContext& ctx, const Grid3D& grid, int last_layer,
-                                  const PlexusDataset& ds, const dense::Matrix& logits_block,
+                                  const DatasetView& view, const dense::Matrix& logits_block,
                                   const std::vector<std::uint8_t>& mask, double norm,
                                   bool want_grad) {
   const LayerRoles roles = roles_for_layer(last_layer);
@@ -24,18 +24,18 @@ LossResult distributed_softmax_ce(sim::RankContext& ctx, const Grid3D& grid, int
   const std::int64_t rows = logits_block.rows();
   const std::int64_t cols_block = logits_block.cols();
   const std::int64_t padded_classes = cols_block * ext_p;
-  const Slice row_slice = uniform_slice(ds.padded_nodes, ext_r, coord_r);
+  const Slice row_slice = uniform_slice(view.padded_nodes(), ext_r, coord_r);
   PLEXUS_CHECK(rows == row_slice.size(), "logits block rows mismatch");
 
   // Gather the class dimension across the P-group and reassemble column blocks.
   std::vector<float> gathered(static_cast<std::size_t>(rows * padded_classes));
   ctx.comm.all_gather<float>(p_group, logits_block.flat(), gathered);
-  dense::Matrix full(rows, ds.num_classes);
+  dense::Matrix full(rows, view.num_classes());
   for (int p = 0; p < ext_p; ++p) {
     const float* src = gathered.data() + static_cast<std::size_t>(p) * rows * cols_block;
     const std::int64_t col0 = p * cols_block;
-    if (col0 >= ds.num_classes) break;
-    const std::int64_t ncols = std::min(cols_block, ds.num_classes - col0);
+    if (col0 >= view.num_classes()) break;
+    const std::int64_t ncols = std::min(cols_block, view.num_classes() - col0);
     for (std::int64_t i = 0; i < rows; ++i) {
       std::copy(src + i * cols_block, src + i * cols_block + ncols, full.row(i) + col0);
     }
@@ -45,11 +45,11 @@ LossResult distributed_softmax_ce(sim::RankContext& ctx, const Grid3D& grid, int
   std::vector<std::int32_t> labels(static_cast<std::size_t>(rows));
   std::vector<std::uint8_t> row_mask(static_cast<std::size_t>(rows));
   for (std::int64_t i = 0; i < rows; ++i) {
-    labels[static_cast<std::size_t>(i)] = ds.labels[static_cast<std::size_t>(row_slice.begin + i)];
+    labels[static_cast<std::size_t>(i)] = view.labels()[static_cast<std::size_t>(row_slice.begin + i)];
     row_mask[static_cast<std::size_t>(i)] = mask[static_cast<std::size_t>(row_slice.begin + i)];
   }
 
-  dense::Matrix grad_full(rows, ds.num_classes);
+  dense::Matrix grad_full(rows, view.num_classes());
   const auto ce = dense::softmax_cross_entropy(full, labels, row_mask, norm,
                                                want_grad ? &grad_full : nullptr);
   const double t = sim::elementwise_time(*ctx.machine, rows * padded_classes, 4.0);
@@ -71,7 +71,7 @@ LossResult distributed_softmax_ce(sim::RankContext& ctx, const Grid3D& grid, int
     out.dlogits = dense::Matrix(rows, cols_block);
     const std::int64_t col0 = static_cast<std::int64_t>(coord_p) * cols_block;
     const std::int64_t ncols = std::max<std::int64_t>(
-        0, std::min(cols_block, ds.num_classes - col0));
+        0, std::min(cols_block, view.num_classes() - col0));
     for (std::int64_t i = 0; i < rows; ++i) {
       if (ncols > 0) {
         std::copy(grad_full.row(i) + col0, grad_full.row(i) + col0 + ncols, out.dlogits.row(i));
@@ -79,6 +79,14 @@ LossResult distributed_softmax_ce(sim::RankContext& ctx, const Grid3D& grid, int
     }
   }
   return out;
+}
+
+LossResult distributed_softmax_ce(sim::RankContext& ctx, const Grid3D& grid, int last_layer,
+                                  const PlexusDataset& ds, const dense::Matrix& logits_block,
+                                  const std::vector<std::uint8_t>& mask, double norm,
+                                  bool want_grad) {
+  return distributed_softmax_ce(ctx, grid, last_layer, InMemoryDatasetView(ds), logits_block,
+                                mask, norm, want_grad);
 }
 
 }  // namespace plexus::core

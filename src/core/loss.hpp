@@ -11,6 +11,7 @@
 
 #include <cstdint>
 
+#include "core/dataset_view.hpp"
 #include "core/grid.hpp"
 #include "core/preprocess.hpp"
 #include "dense/matrix.hpp"
@@ -29,6 +30,12 @@ struct LossResult {
 /// dataset's split masks (output permutation). `norm` divides the gradient
 /// (pass the *training* count even when evaluating other splits so gradients
 /// stay consistent; evaluation ignores dlogits).
+LossResult distributed_softmax_ce(sim::RankContext& ctx, const Grid3D& grid, int last_layer,
+                                  const DatasetView& view, const dense::Matrix& logits_block,
+                                  const std::vector<std::uint8_t>& mask, double norm,
+                                  bool want_grad = true);
+
+/// Convenience for in-process callers holding a raw PlexusDataset.
 LossResult distributed_softmax_ce(sim::RankContext& ctx, const Grid3D& grid, int last_layer,
                                   const PlexusDataset& ds, const dense::Matrix& logits_block,
                                   const std::vector<std::uint8_t>& mask, double norm,

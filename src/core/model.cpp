@@ -19,25 +19,25 @@ std::int64_t round_up(std::int64_t v, std::int64_t multiple) {
 
 }  // namespace
 
-DistGcn::DistGcn(sim::RankContext& ctx, const PlexusDataset& ds, const Grid3D& grid, GcnSpec spec)
-    : ds_(&ds), grid_(&grid), spec_(std::move(spec)) {
+DistGcn::DistGcn(sim::RankContext& ctx, const DatasetView& view, const Grid3D& grid, GcnSpec spec)
+    : view_(&view), grid_(&grid), spec_(std::move(spec)) {
   const int L = spec_.num_layers();
   const std::int64_t volume = grid.size();
 
   // Valid layer dims: [D, hidden..., C]; padded to the grid volume.
   std::vector<std::int64_t> valid_dims;
-  valid_dims.push_back(ds.feature_dim);
+  valid_dims.push_back(view.feature_dim());
   for (const auto h : spec_.hidden_dims) valid_dims.push_back(h);
-  valid_dims.push_back(ds.num_classes);
+  valid_dims.push_back(view.num_classes());
   padded_dims_.clear();
   for (const auto d : valid_dims) padded_dims_.push_back(round_up(d, volume));
-  PLEXUS_CHECK(padded_dims_[0] == ds.padded_feature_dim,
+  PLEXUS_CHECK(padded_dims_[0] == view.padded_feature_dim(),
                "dataset must be preprocessed with the same pad multiple as the grid volume");
 
-  adj_store_ = std::make_unique<AdjacencyStore>(ds, grid, ctx.rank(), L);
+  adj_store_ = std::make_unique<AdjacencyStore>(view, grid, ctx.rank(), L);
   for (int l = 0; l < L; ++l) {
     layers_.push_back(std::make_unique<DistGcnLayer>(
-        ds, grid, ctx.rank(), l, L, padded_dims_[static_cast<std::size_t>(l)],
+        view.padded_nodes(), grid, ctx.rank(), l, L, padded_dims_[static_cast<std::size_t>(l)],
         padded_dims_[static_cast<std::size_t>(l) + 1], valid_dims[static_cast<std::size_t>(l)],
         valid_dims[static_cast<std::size_t>(l) + 1], &adj_store_->layer(l), spec_.options,
         spec_.seed));
@@ -50,10 +50,11 @@ DistGcn::DistGcn(sim::RankContext& ctx, const PlexusDataset& ds, const Grid3D& g
   // input gather both run per block and join the software pipeline.
   const LayerRoles r0 = roles_for_layer(0);
   const Coords c = grid.coords_of(ctx.rank());
-  const auto blk = matrix_shard(ds.padded_nodes, padded_dims_[0], grid, c, r0.p, r0.q);
+  const auto blk = matrix_shard(view.padded_nodes(), padded_dims_[0], grid, c, r0.p, r0.q);
   f_block_rows_ = blk.rows.size();
   f_block_cols_ = blk.cols.size();
-  const dense::Matrix f_block = extract_block(ds.features, blk.rows, blk.cols);
+  const dense::Matrix f_block =
+      view.feature_block(blk.rows.begin, blk.rows.end, blk.cols.begin, blk.cols.end);
   f_r_ext_ = grid.extent(r0.r);
   f_r_coord_ = Grid3D::coord(c, r0.r);
   const int nb = std::max(1, spec_.options.agg_row_blocks);
@@ -69,6 +70,15 @@ DistGcn::DistGcn(sim::RankContext& ctx, const PlexusDataset& ds, const Grid3D& g
   df_slice_.assign(f_slice_.size(), 0.0f);
   f_adam_ = dense::Adam(f_slice_.size(), spec_.options.adam);
 }
+
+DistGcn::DistGcn(sim::RankContext& ctx, std::unique_ptr<DatasetView> view, const Grid3D& grid,
+                 GcnSpec spec)
+    : DistGcn(ctx, *view, grid, std::move(spec)) {
+  owned_view_ = std::move(view);
+}
+
+DistGcn::DistGcn(sim::RankContext& ctx, const PlexusDataset& ds, const Grid3D& grid, GcnSpec spec)
+    : DistGcn(ctx, std::make_unique<InMemoryDatasetView>(ds), grid, std::move(spec)) {}
 
 dense::Matrix DistGcn::gather_input_features(sim::RankContext& ctx) {
   // One all-gather per aggregation row block: member m's sub-slice of block k
@@ -118,8 +128,9 @@ EpochStats DistGcn::train_epoch(sim::RankContext& ctx, int epoch) {
 
   const dense::Matrix logits = forward_all(ctx, epoch_seed, timers);
 
-  LossResult loss = distributed_softmax_ce(ctx, *grid_, L - 1, *ds_, logits, ds_->train_mask,
-                                           static_cast<double>(ds_->train_total));
+  LossResult loss = distributed_softmax_ce(ctx, *grid_, L - 1, *view_, logits,
+                                           view_->mask(Split::Train),
+                                           static_cast<double>(view_->train_total()));
 
   // Backward sweep (Alg. 2 per layer). Between layers the partial dF_in is
   // all-reduced over that layer's R group — fused into the layer's blocked
@@ -168,8 +179,8 @@ dense::Matrix DistGcn::forward_logits(sim::RankContext& ctx) {
 double DistGcn::evaluate(sim::RankContext& ctx, const std::vector<std::uint8_t>& mask) {
   KernelTimers timers;
   const dense::Matrix logits = forward_all(ctx, /*epoch_seed=*/0, timers);
-  const LossResult r = distributed_softmax_ce(ctx, *grid_, spec_.num_layers() - 1, *ds_, logits,
-                                              mask, static_cast<double>(ds_->train_total),
+  const LossResult r = distributed_softmax_ce(ctx, *grid_, spec_.num_layers() - 1, *view_, logits,
+                                              mask, static_cast<double>(view_->train_total()),
                                               /*want_grad=*/false);
   return r.accuracy;
 }

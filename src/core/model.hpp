@@ -61,6 +61,14 @@ struct EpochStats {
 
 class DistGcn {
  public:
+  /// Build the per-rank model from any DatasetView — the shared in-memory
+  /// dataset (threaded clusters) or a rank-private ShardedDatasetView (one
+  /// process per rank; only this rank's block files are ever opened). The
+  /// view must outlive the model.
+  DistGcn(sim::RankContext& ctx, const DatasetView& view, const Grid3D& grid, GcnSpec spec);
+
+  /// Convenience for in-process callers holding a raw PlexusDataset (wraps it
+  /// in an owned InMemoryDatasetView).
   DistGcn(sim::RankContext& ctx, const PlexusDataset& ds, const Grid3D& grid, GcnSpec spec);
 
   EpochStats train_epoch(sim::RankContext& ctx, int epoch);
@@ -75,11 +83,17 @@ class DistGcn {
   const std::vector<std::int64_t>& padded_dims() const { return padded_dims_; }
 
  private:
+  /// Delegation target of the PlexusDataset ctor: builds against *view, then
+  /// takes ownership of it.
+  DistGcn(sim::RankContext& ctx, std::unique_ptr<DatasetView> view, const Grid3D& grid,
+          GcnSpec spec);
+
   dense::Matrix gather_input_features(sim::RankContext& ctx);
   dense::Matrix forward_all(sim::RankContext& ctx, std::uint64_t epoch_seed,
                             KernelTimers& timers);
 
-  const PlexusDataset* ds_;
+  std::unique_ptr<DatasetView> owned_view_;  ///< set by the PlexusDataset ctor
+  const DatasetView* view_;
   const Grid3D* grid_;
   GcnSpec spec_;
   std::vector<std::int64_t> padded_dims_;  ///< per-layer in/out dims, size L+1

@@ -39,46 +39,95 @@ std::vector<double> TrainResult::losses() const {
   return out;
 }
 
-TrainResult train_plexus(const PlexusDataset& ds, const TrainOptions& opt) {
-  PLEXUS_CHECK(ds.padded_nodes % opt.grid.size() == 0,
+namespace {
+
+/// Resolve the effective model spec from the options (depth / aggregation
+/// overrides), shared by the threaded and one-process-per-rank drivers.
+GcnSpec resolve_spec(const TrainOptions& opt) {
+  GcnSpec spec = opt.model;
+  if (opt.pipeline_depth >= 0) spec.options.pipeline_depth = opt.pipeline_depth;
+  spec.options.aggregation = opt.aggregation;
+  return spec;
+}
+
+/// The per-rank training body shared by train_plexus (threaded cluster;
+/// `result` non-null on rank 0 only) and train_plexus_rank (one process per
+/// rank; `result` non-null everywhere — the reduced stats agree on all
+/// ranks, so every process records identical epoch lines).
+void train_rank_body(sim::RankContext& ctx, const DatasetView& view, const Grid3D& grid,
+                     const GcnSpec& spec, const TrainOptions& opt, TrainResult* result) {
+  const bool trace = opt.trace_timeline && result != nullptr && ctx.rank() == 0;
+  if (trace) ctx.comm.timeline().set_enabled(true);
+  DistGcn model(ctx, view, grid, spec);
+  const auto wg = grid.world_group();
+  for (int e = 0; e < opt.epochs; ++e) {
+    const EpochStats s = reduce_epoch_stats(ctx.comm, wg, model.train_epoch(ctx, e));
+    if (result != nullptr) result->epochs[static_cast<std::size_t>(e)] = s;
+  }
+  if (opt.evaluate_validation) {
+    const double acc = model.evaluate(ctx, view.mask(Split::Val));
+    if (result != nullptr) result->val_accuracy = acc;
+  }
+  if (trace) {
+    result->rank0_timeline = std::move(ctx.comm.timeline());  // comm is end-of-life here
+  }
+}
+
+}  // namespace
+
+EpochStats reduce_epoch_stats(comm::Communicator& comm, comm::GroupId wg, EpochStats s) {
+  // Straggler-defining maxima. Loss/accuracy are identical on every rank
+  // already (max of equals is the identity) — reducing them anyway makes the
+  // agreement explicit and gives the distributed driver one code path.
+  s.loss = comm.all_reduce_max_scalar(wg, s.loss);
+  s.train_accuracy = comm.all_reduce_max_scalar(wg, s.train_accuracy);
+  s.epoch_seconds = comm.all_reduce_max_scalar(wg, s.epoch_seconds);
+  s.spmm_seconds = comm.all_reduce_max_scalar(wg, s.spmm_seconds);
+  s.gemm_seconds = comm.all_reduce_max_scalar(wg, s.gemm_seconds);
+  s.elementwise_seconds = comm.all_reduce_max_scalar(wg, s.elementwise_seconds);
+  s.comm_seconds = comm.all_reduce_max_scalar(wg, s.comm_seconds);
+  s.hidden_comm_seconds = comm.all_reduce_max_scalar(wg, s.hidden_comm_seconds);
+  s.comm_wire_bytes = comm.all_reduce_max_scalar(wg, s.comm_wire_bytes);
+  return s;
+}
+
+TrainResult train_plexus(const DatasetView& view, const TrainOptions& opt) {
+  PLEXUS_CHECK(view.padded_nodes() % opt.grid.size() == 0,
                "dataset not padded for this grid volume");
   comm::World world(opt.grid.size());
   Grid3D grid(world, opt.grid, *opt.machine);
 
   TrainResult result;
   result.epochs.resize(static_cast<std::size_t>(opt.epochs));
-
-  GcnSpec spec = opt.model;
-  if (opt.pipeline_depth >= 0) spec.options.pipeline_depth = opt.pipeline_depth;
-  spec.options.aggregation = opt.aggregation;
+  const GcnSpec spec = resolve_spec(opt);
 
   const auto rank_fn = [&](sim::RankContext& ctx) {
-    if (opt.trace_timeline && ctx.rank() == 0) ctx.comm.timeline().set_enabled(true);
-    DistGcn model(ctx, ds, grid, spec);
-    for (int e = 0; e < opt.epochs; ++e) {
-      EpochStats s = model.train_epoch(ctx, e);
-      // Aggregate straggler-defining maxima; every rank computes the same
-      // values so rank 0 can record them.
-      const auto wg = grid.world_group();
-      s.epoch_seconds = ctx.comm.all_reduce_max_scalar(wg, s.epoch_seconds);
-      s.spmm_seconds = ctx.comm.all_reduce_max_scalar(wg, s.spmm_seconds);
-      s.gemm_seconds = ctx.comm.all_reduce_max_scalar(wg, s.gemm_seconds);
-      s.elementwise_seconds = ctx.comm.all_reduce_max_scalar(wg, s.elementwise_seconds);
-      s.comm_seconds = ctx.comm.all_reduce_max_scalar(wg, s.comm_seconds);
-      s.hidden_comm_seconds = ctx.comm.all_reduce_max_scalar(wg, s.hidden_comm_seconds);
-      s.comm_wire_bytes = ctx.comm.all_reduce_max_scalar(wg, s.comm_wire_bytes);
-      if (ctx.rank() == 0) result.epochs[static_cast<std::size_t>(e)] = s;
-    }
-    if (opt.evaluate_validation) {
-      const double acc = model.evaluate(ctx, ds.val_mask);
-      if (ctx.rank() == 0) result.val_accuracy = acc;
-    }
-    if (opt.trace_timeline && ctx.rank() == 0) {
-      result.rank0_timeline = std::move(ctx.comm.timeline());  // comm is end-of-life here
-    }
+    train_rank_body(ctx, view, grid, spec, opt, ctx.rank() == 0 ? &result : nullptr);
   };
   sim::run_cluster(world, *opt.machine, rank_fn, /*enable_clock=*/true, opt.intra_rank_threads,
                    &comm::transport_for(opt.backend));
+  return result;
+}
+
+TrainResult train_plexus(const PlexusDataset& ds, const TrainOptions& opt) {
+  return train_plexus(InMemoryDatasetView(ds), opt);
+}
+
+TrainResult train_plexus_rank(const DatasetView& view, const TrainOptions& opt, int my_rank) {
+  PLEXUS_CHECK(view.padded_nodes() % opt.grid.size() == 0,
+               "dataset not padded for this grid volume");
+  comm::Transport& transport = comm::transport_for(opt.backend);
+  comm::World world(opt.grid.size());
+  Grid3D grid(world, opt.grid, *opt.machine);
+
+  TrainResult result;
+  result.epochs.resize(static_cast<std::size_t>(opt.epochs));
+  const GcnSpec spec = resolve_spec(opt);
+
+  sim::run_distributed_rank(
+      world, *opt.machine, my_rank,
+      [&](sim::RankContext& ctx) { train_rank_body(ctx, view, grid, spec, opt, &result); },
+      transport, /*enable_clock=*/true, opt.intra_rank_threads);
   return result;
 }
 

@@ -60,7 +60,8 @@ struct TrainOptions {
   /// clocks and stats are bitwise-identical across the two — only the
   /// mechanics of the byte movement differ. Defaults to the process default
   /// (the PLEXUS_BACKEND environment variable, else Sim). Backend::Mpi is a
-  /// one-process-per-rank backend and cannot run under the threaded cluster.
+  /// one-process-per-rank backend and cannot run under the threaded cluster —
+  /// it is driven through train_plexus_rank instead.
   comm::Backend backend = comm::default_backend();
 };
 
@@ -79,6 +80,21 @@ struct TrainResult {
   std::vector<double> losses() const;
 };
 
+/// Fold one rank's EpochStats into the cluster-wide epoch line: every field
+/// is max-reduced over `wg` in deterministic canonical member order, so all
+/// ranks return identical values. Loss and accuracy are already identical on
+/// every rank by construction (distributed_softmax_ce reduces them); the
+/// timing fields are genuinely rank-local maxima — the straggler defines the
+/// epoch. Used by the threaded cluster and the one-process-per-rank MPI
+/// driver alike, which is what makes their epoch lines comparable.
+EpochStats reduce_epoch_stats(comm::Communicator& comm, comm::GroupId wg, EpochStats s);
+
+/// Train against any DatasetView on the threaded in-process cluster. The one
+/// view is shared by every rank thread, so it must be thread-safe for reads
+/// (InMemoryDatasetView is; ShardedDatasetView is per-rank and is not — use
+/// train_plexus_rank for sharded views).
+TrainResult train_plexus(const DatasetView& view, const TrainOptions& opt);
+
 /// Train on an already-preprocessed dataset (shared across configurations to
 /// amortise preprocessing in sweeps). `ds` must have been padded to a multiple
 /// of opt.grid volume.
@@ -86,5 +102,16 @@ TrainResult train_plexus(const PlexusDataset& ds, const TrainOptions& opt);
 
 /// Convenience: preprocess `g` (padding to the grid volume) and train.
 TrainResult train_plexus(const graph::Graph& g, const TrainOptions& opt);
+
+/// One-process-per-rank driver: runs rank `my_rank`'s share of the training
+/// over the distributed transport selected by opt.backend (Backend::Mpi —
+/// in-process backends belong in train_plexus). The caller launches one
+/// process per rank (mpirun), initialises the runtime
+/// (comm::mpi_runtime_init), and passes each process its own view — typically
+/// a ShardedDatasetView so no process touches block files outside its shard.
+/// Every process returns the same reduced TrainResult (epoch stats are
+/// reduced across ranks exactly as in train_plexus), so rank 0 can print the
+/// same epoch lines the threaded cluster would.
+TrainResult train_plexus_rank(const DatasetView& view, const TrainOptions& opt, int my_rank);
 
 }  // namespace plexus::core

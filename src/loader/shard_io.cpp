@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
-#include <memory>
+#include <utility>
 
 #include "sparse/coo.hpp"
 #include "sparse/partition2d.hpp"
@@ -16,16 +16,39 @@ namespace {
 
 constexpr std::uint64_t kMagic = 0x504c585553'0002ULL;  // "PLXUS" v2
 
-struct FileCloser {
-  void operator()(std::FILE* f) const {
-    if (f != nullptr) std::fclose(f);
+/// RAII stdio handle. `fclose` is where buffered write errors surface (a
+/// short flush on a full disk fails the close, not the fwrite), so write
+/// scopes must end with the checked close(); the destructor is the
+/// best-effort fallback for read files and for unwinding past an earlier
+/// error, where a throw would terminate.
+class File {
+ public:
+  File(std::FILE* f, std::string path) : f_(f), path_(std::move(path)) {}
+  File(File&& o) noexcept : f_(std::exchange(o.f_, nullptr)), path_(std::move(o.path_)) {}
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+  File& operator=(File&&) = delete;
+  ~File() {
+    if (f_ != nullptr) std::fclose(f_);
   }
+
+  std::FILE* get() const { return f_; }
+
+  /// Flush + close, surfacing deferred write errors via PLEXUS_CHECK.
+  void close() {
+    if (f_ == nullptr) return;
+    std::FILE* f = std::exchange(f_, nullptr);
+    PLEXUS_CHECK(std::fclose(f) == 0, "close failed (buffered write error?) for " + path_);
+  }
+
+ private:
+  std::FILE* f_ = nullptr;
+  std::string path_;
 };
-using File = std::unique_ptr<std::FILE, FileCloser>;
 
 File open_file(const std::string& path, const char* mode) {
-  File f(std::fopen(path.c_str(), mode));
-  PLEXUS_CHECK(f != nullptr, "cannot open " + path);
+  File f(std::fopen(path.c_str(), mode), path);
+  PLEXUS_CHECK(f.get() != nullptr, "cannot open " + path);
   return f;
 }
 
@@ -62,8 +85,8 @@ std::vector<T> read_array(std::FILE* f, std::size_t count, LoadStats* stats) {
   return v;
 }
 
-std::string adj_path(const std::string& dir, int r, int c) {
-  return dir + "/adj_" + std::to_string(r) + "_" + std::to_string(c) + ".plx";
+std::string adj_path(const std::string& dir, const std::string& prefix, int r, int c) {
+  return dir + "/" + prefix + "_" + std::to_string(r) + "_" + std::to_string(c) + ".plx";
 }
 std::string feat_path(const std::string& dir, int r) {
   return dir + "/feat_" + std::to_string(r) + ".plx";
@@ -98,6 +121,31 @@ AdjBlock read_adj_block(const std::string& path, LoadStats* stats) {
 
 }  // namespace
 
+void write_adjacency_blocks(const std::string& dir, const std::string& prefix,
+                            const sparse::Csr& adj, std::int32_t grid_rows,
+                            std::int32_t grid_cols) {
+  std::filesystem::create_directories(dir);
+  const auto rb = sparse::block_bounds(adj.rows(), grid_rows);
+  const auto cb = sparse::block_bounds(adj.cols(), grid_cols);
+  for (int r = 0; r < grid_rows; ++r) {
+    for (int c = 0; c < grid_cols; ++c) {
+      const auto blk = adj.block(rb[static_cast<std::size_t>(r)], rb[static_cast<std::size_t>(r) + 1],
+                                 cb[static_cast<std::size_t>(c)], cb[static_cast<std::size_t>(c) + 1]);
+      auto f = open_file(adj_path(dir, prefix, r, c), "wb");
+      write_pod(f.get(), kMagic);
+      write_pod(f.get(), rb[static_cast<std::size_t>(r)]);
+      write_pod(f.get(), cb[static_cast<std::size_t>(c)]);
+      write_pod(f.get(), blk.rows());
+      write_pod(f.get(), blk.cols());
+      write_pod(f.get(), blk.nnz());
+      write_array(f.get(), blk.row_ptr().data(), blk.row_ptr().size());
+      write_array(f.get(), blk.col_idx().data(), blk.col_idx().size());
+      write_array(f.get(), blk.vals().data(), blk.vals().size());
+      f.close();
+    }
+  }
+}
+
 void write_sharded_dataset(const std::string& dir, const sparse::Csr& adj,
                            const dense::Matrix& features,
                            const std::vector<std::int32_t>& labels, std::int64_t num_classes,
@@ -114,32 +162,19 @@ void write_sharded_dataset(const std::string& dir, const sparse::Csr& adj,
     write_pod(f.get(), grid_rows);
     write_pod(f.get(), grid_cols);
     write_pod(f.get(), adj.nnz());
+    f.close();
   }
   {
     auto f = open_file(dir + "/labels.plx", "wb");
     write_pod(f.get(), kMagic);
     write_pod(f.get(), static_cast<std::int64_t>(labels.size()));
     write_array(f.get(), labels.data(), labels.size());
+    f.close();
   }
 
+  write_adjacency_blocks(dir, "adj", adj, grid_rows, grid_cols);
+
   const auto rb = sparse::block_bounds(adj.rows(), grid_rows);
-  const auto cb = sparse::block_bounds(adj.cols(), grid_cols);
-  for (int r = 0; r < grid_rows; ++r) {
-    for (int c = 0; c < grid_cols; ++c) {
-      const auto blk = adj.block(rb[static_cast<std::size_t>(r)], rb[static_cast<std::size_t>(r) + 1],
-                                 cb[static_cast<std::size_t>(c)], cb[static_cast<std::size_t>(c) + 1]);
-      auto f = open_file(adj_path(dir, r, c), "wb");
-      write_pod(f.get(), kMagic);
-      write_pod(f.get(), rb[static_cast<std::size_t>(r)]);
-      write_pod(f.get(), cb[static_cast<std::size_t>(c)]);
-      write_pod(f.get(), blk.rows());
-      write_pod(f.get(), blk.cols());
-      write_pod(f.get(), blk.nnz());
-      write_array(f.get(), blk.row_ptr().data(), blk.row_ptr().size());
-      write_array(f.get(), blk.col_idx().data(), blk.col_idx().size());
-      write_array(f.get(), blk.vals().data(), blk.vals().size());
-    }
-  }
   for (int r = 0; r < grid_rows; ++r) {
     const auto r0 = rb[static_cast<std::size_t>(r)];
     const auto r1 = rb[static_cast<std::size_t>(r) + 1];
@@ -149,7 +184,33 @@ void write_sharded_dataset(const std::string& dir, const sparse::Csr& adj,
     write_pod(f.get(), r1 - r0);
     write_pod(f.get(), features.cols());
     write_array(f.get(), features.row(r0), static_cast<std::size_t>((r1 - r0) * features.cols()));
+    f.close();
   }
+}
+
+void write_plexus_meta(const std::string& dir, const PlexusShardMeta& m) {
+  std::filesystem::create_directories(dir);
+  auto f = open_file(dir + "/pmeta.plx", "wb");
+  write_pod(f.get(), kMagic);
+  write_pod(f.get(), m.valid_nodes);
+  write_pod(f.get(), m.valid_feature_dim);
+  write_pod(f.get(), m.train_total);
+  write_pod(f.get(), m.scheme);
+  write_pod(f.get(), m.adjacency_versions);
+  f.close();
+}
+
+void write_masks(const std::string& dir, const ShardedMasks& masks) {
+  PLEXUS_CHECK(masks.train.size() == masks.val.size() && masks.val.size() == masks.test.size(),
+               "mask length mismatch");
+  std::filesystem::create_directories(dir);
+  auto f = open_file(dir + "/masks.plx", "wb");
+  write_pod(f.get(), kMagic);
+  write_pod(f.get(), static_cast<std::int64_t>(masks.train.size()));
+  write_array(f.get(), masks.train.data(), masks.train.size());
+  write_array(f.get(), masks.val.data(), masks.val.size());
+  write_array(f.get(), masks.test.data(), masks.test.size());
+  f.close();
 }
 
 ShardedMeta read_meta(const std::string& dir) {
@@ -165,8 +226,32 @@ ShardedMeta read_meta(const std::string& dir) {
   return m;
 }
 
+PlexusShardMeta read_plexus_meta(const std::string& dir) {
+  auto f = open_file(dir + "/pmeta.plx", "rb");
+  PLEXUS_CHECK(read_pod<std::uint64_t>(f.get(), nullptr) == kMagic, "bad magic in pmeta");
+  PlexusShardMeta m;
+  m.valid_nodes = read_pod<std::int64_t>(f.get(), nullptr);
+  m.valid_feature_dim = read_pod<std::int64_t>(f.get(), nullptr);
+  m.train_total = read_pod<std::int64_t>(f.get(), nullptr);
+  m.scheme = read_pod<std::int32_t>(f.get(), nullptr);
+  m.adjacency_versions = read_pod<std::int32_t>(f.get(), nullptr);
+  return m;
+}
+
+ShardedMasks load_masks(const std::string& dir) {
+  auto f = open_file(dir + "/masks.plx", "rb");
+  PLEXUS_CHECK(read_pod<std::uint64_t>(f.get(), nullptr) == kMagic, "bad magic in masks");
+  const auto n = read_pod<std::int64_t>(f.get(), nullptr);
+  ShardedMasks m;
+  m.train = read_array<std::uint8_t>(f.get(), static_cast<std::size_t>(n), nullptr);
+  m.val = read_array<std::uint8_t>(f.get(), static_cast<std::size_t>(n), nullptr);
+  m.test = read_array<std::uint8_t>(f.get(), static_cast<std::size_t>(n), nullptr);
+  return m;
+}
+
 sparse::Csr load_adjacency_block(const std::string& dir, std::int64_t r0, std::int64_t r1,
-                                 std::int64_t c0, std::int64_t c1, LoadStats* stats) {
+                                 std::int64_t c0, std::int64_t c1, LoadStats* stats,
+                                 const std::string& prefix) {
   util::WallTimer timer;
   const auto meta = read_meta(dir);
   const auto rb = sparse::block_bounds(meta.num_nodes, meta.grid_rows);
@@ -182,7 +267,7 @@ sparse::Csr load_adjacency_block(const std::string& dir, std::int64_t r0, std::i
       if (cb[static_cast<std::size_t>(c) + 1] <= c0 || cb[static_cast<std::size_t>(c)] >= c1) {
         continue;
       }
-      const auto blk = read_adj_block(adj_path(dir, r, c), stats);
+      const auto blk = read_adj_block(adj_path(dir, prefix, r, c), stats);
       buffered += static_cast<std::int64_t>(blk.col_idx.size() * 8 + blk.row_ptr.size() * 8);
       // Extract the intersection with the requested window.
       for (std::int64_t lr = 0; lr < blk.rows; ++lr) {
@@ -234,7 +319,8 @@ dense::Matrix load_feature_block(const std::string& dir, std::int64_t r0, std::i
 }
 
 sparse::Csr load_adjacency_block_naive(const std::string& dir, std::int64_t r0, std::int64_t r1,
-                                       std::int64_t c0, std::int64_t c1, LoadStats* stats) {
+                                       std::int64_t c0, std::int64_t c1, LoadStats* stats,
+                                       const std::string& prefix) {
   util::WallTimer timer;
   const auto meta = read_meta(dir);
   // Read every block, reassemble the full matrix, then slice — the "load the
@@ -244,7 +330,7 @@ sparse::Csr load_adjacency_block_naive(const std::string& dir, std::int64_t r0, 
   coo.num_cols = meta.num_nodes;
   for (int r = 0; r < meta.grid_rows; ++r) {
     for (int c = 0; c < meta.grid_cols; ++c) {
-      const auto blk = read_adj_block(adj_path(dir, r, c), stats);
+      const auto blk = read_adj_block(adj_path(dir, prefix, r, c), stats);
       for (std::int64_t lr = 0; lr < blk.rows; ++lr) {
         for (std::int64_t k = blk.row_ptr[static_cast<std::size_t>(lr)];
              k < blk.row_ptr[static_cast<std::size_t>(lr) + 1]; ++k) {

@@ -37,6 +37,25 @@ struct LoadStats {
   double seconds = 0.0;
 };
 
+/// Trainer-level dataset scalars (written by the distributed driver's
+/// preprocess step, `core::write_sharded_plexus_dataset`) that ride alongside
+/// ShardedMeta: the ShardedMeta shapes describe the *padded* matrices the
+/// block files carry, these record what is real inside the padding.
+struct PlexusShardMeta {
+  std::int64_t valid_nodes = 0;        ///< un-padded node count
+  std::int64_t valid_feature_dim = 0;  ///< un-padded feature width
+  std::int64_t train_total = 0;        ///< number of training nodes
+  std::int32_t scheme = 0;             ///< core::PermutationScheme as int
+  std::int32_t adjacency_versions = 1; ///< 1, or 2 under Double permutation
+};
+
+/// Per-split node masks (one byte per padded node).
+struct ShardedMasks {
+  std::vector<std::uint8_t> train;
+  std::vector<std::uint8_t> val;
+  std::vector<std::uint8_t> test;
+};
+
 /// Write `adj` (N x N) and `features` (N x D) into `dir` as grid_rows x
 /// grid_cols adjacency blocks + grid_rows feature row blocks + labels.
 void write_sharded_dataset(const std::string& dir, const sparse::Csr& adj,
@@ -44,11 +63,29 @@ void write_sharded_dataset(const std::string& dir, const sparse::Csr& adj,
                            const std::vector<std::int32_t>& labels, std::int64_t num_classes,
                            std::int32_t grid_rows, std::int32_t grid_cols);
 
+/// Write one CSR matrix as a grid of `<prefix>_<r>_<c>.plx` block files (the
+/// layout write_sharded_dataset uses with prefix "adj"). Extra adjacency
+/// versions (the Double permutation's odd-layer matrix) go under their own
+/// prefix in the same directory.
+void write_adjacency_blocks(const std::string& dir, const std::string& prefix,
+                            const sparse::Csr& adj, std::int32_t grid_rows,
+                            std::int32_t grid_cols);
+
+void write_plexus_meta(const std::string& dir, const PlexusShardMeta& m);
+
+void write_masks(const std::string& dir, const ShardedMasks& masks);
+
 ShardedMeta read_meta(const std::string& dir);
 
+PlexusShardMeta read_plexus_meta(const std::string& dir);
+
+ShardedMasks load_masks(const std::string& dir);
+
 /// Parallel loader: merge only the blocks intersecting [r0, r1) x [c0, c1).
+/// `prefix` selects the adjacency version ("adj" = the primary matrix).
 sparse::Csr load_adjacency_block(const std::string& dir, std::int64_t r0, std::int64_t r1,
-                                 std::int64_t c0, std::int64_t c1, LoadStats* stats = nullptr);
+                                 std::int64_t c0, std::int64_t c1, LoadStats* stats = nullptr,
+                                 const std::string& prefix = "adj");
 
 /// Parallel loader for a feature row/column window.
 dense::Matrix load_feature_block(const std::string& dir, std::int64_t r0, std::int64_t r1,
@@ -58,7 +95,8 @@ dense::Matrix load_feature_block(const std::string& dir, std::int64_t r0, std::i
 /// (the baseline of section 5.4's comparison).
 sparse::Csr load_adjacency_block_naive(const std::string& dir, std::int64_t r0, std::int64_t r1,
                                        std::int64_t c0, std::int64_t c1,
-                                       LoadStats* stats = nullptr);
+                                       LoadStats* stats = nullptr,
+                                       const std::string& prefix = "adj");
 
 std::vector<std::int32_t> load_labels(const std::string& dir);
 

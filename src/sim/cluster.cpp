@@ -72,4 +72,19 @@ void run_cluster(comm::World& world, const Machine& machine, const RankFn& fn,
   if (first_error) std::rethrow_exception(first_error);
 }
 
+void run_distributed_rank(comm::World& world, const Machine& machine, int my_rank,
+                          const RankFn& fn, comm::Transport& transport, bool enable_clock,
+                          int intra_rank_threads) {
+  PLEXUS_CHECK(!transport.uses_group_protocol(),
+               "run_distributed_rank drives one process per rank; in-process "
+               "transports belong in run_cluster");
+  PLEXUS_CHECK(!enable_clock || transport.supports_clock(),
+               "this transport cannot carry a SimClock");
+  util::set_intra_rank_threads(resolve_intra_rank_threads(intra_rank_threads, world.size()));
+  RankContext ctx{comm::Communicator(world, my_rank, nullptr, &transport), comm::SimClock{},
+                  &machine};
+  if (enable_clock) ctx.comm.set_clock(&ctx.clock);
+  fn(ctx);
+}
+
 }  // namespace plexus::sim

@@ -51,4 +51,19 @@ void run_cluster(comm::World& world, const Machine& machine, const RankFn& fn,
                  bool enable_clock = true, int intra_rank_threads = 0,
                  comm::Transport* transport = nullptr);
 
+/// Run `fn` as *this process's* single rank of a multi-process cluster: the
+/// one-process-per-rank counterpart of run_cluster for distributed
+/// (non-protocol) transports such as MPI. Every launched process must call
+/// this with an identically-shaped `world` and its own `my_rank` (= MPI
+/// rank). `enable_clock` requires `transport.supports_clock()` (the MPI
+/// backend piggybacks the clock exchange on its collectives). The kernel
+/// engine still divides the host budget by `world.size()` — mpirun places all
+/// ranks on one host in the CI/dev setups this targets; pass an explicit
+/// `intra_rank_threads` for true multi-node launches. Rank exceptions
+/// propagate to the caller (an unmatched collective aborts the MPI job, as a
+/// real MPI error would).
+void run_distributed_rank(comm::World& world, const Machine& machine, int my_rank,
+                          const RankFn& fn, comm::Transport& transport,
+                          bool enable_clock = true, int intra_rank_threads = 0);
+
 }  // namespace plexus::sim

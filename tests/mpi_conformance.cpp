@@ -6,10 +6,14 @@
 // shapes, payloads, expected results — deterministically from (group,
 // collective, member), so each collective's output is checked locally with
 // no reference process. Copies (all-gather / broadcast / all-to-all /
-// all_to_all_v) must match exactly; reductions are checked to a relative
-// tolerance because MPI reduction order is implementation-defined. The
-// CommHandle lifecycle (post / test / out-of-order wait / drop) and the
-// functional-only stats accounting are exercised too.
+// all_to_all_v) must match exactly; reductions must too, because the MPI
+// transport never uses MPI_SUM (implementation-defined order) — it gathers
+// every contribution and folds in canonical member order 0..G-1, exactly
+// like the in-process backends. The CommHandle lifecycle (post / test /
+// out-of-order wait / drop) and the stats accounting are exercised too,
+// and an end-to-end block trains the full model over the MPI backend from a
+// sharded dataset directory, gating its losses bitwise against the
+// in-process Local backend.
 //
 // Exit code 0 on success; nonzero (aborting the mpirun) on any failure.
 
@@ -18,12 +22,18 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
 #include "comm/communicator.hpp"
 #include "comm/transport.hpp"
 #include "comm/world.hpp"
+#include "core/dataset_view.hpp"
+#include "core/trainer.hpp"
+#include "graph/datasets.hpp"
+#include "sim/machine.hpp"
 #include "util/rng.hpp"
 
 namespace pc = plexus::comm;
@@ -73,26 +83,28 @@ void run_group(pc::Communicator& comm, pc::GroupId gid) {
     }
   }
 
-  // reduce-scatter: tolerance (MPI reduction order is implementation-defined).
+  // reduce-scatter: exact — the transport folds contributions in canonical
+  // member order, which is precisely this loop.
   std::vector<float> rs_in(n * static_cast<std::size_t>(G)), rs_out(n);
   for (std::size_t i = 0; i < rs_in.size(); ++i) rs_in[i] = payload(gid, 1, g_rank, i);
   comm.reduce_scatter_sum<float>(gid, rs_in, rs_out);
   for (std::size_t i = 0; i < n; ++i) {
-    float want = 0.0f;
-    for (int m = 0; m < G; ++m) {
+    float want = payload(gid, 1, g.members[0], static_cast<std::size_t>(pos) * n + i);
+    for (int m = 1; m < G; ++m) {
       want += payload(gid, 1, g.members[m], static_cast<std::size_t>(pos) * n + i);
     }
-    expect_near(rs_out[i], want, "reduce_scatter gid=" + std::to_string(gid));
+    expect(rs_out[i] == want, "reduce_scatter gid=" + std::to_string(gid) + " i=" +
+                                  std::to_string(i));
   }
 
-  // all-reduce: tolerance.
+  // all-reduce: exact, same canonical fold.
   std::vector<float> ar(n);
   for (std::size_t i = 0; i < n; ++i) ar[i] = payload(gid, 2, g_rank, i);
   comm.all_reduce_sum<float>(gid, ar);
   for (std::size_t i = 0; i < n; ++i) {
-    float want = 0.0f;
-    for (int m = 0; m < G; ++m) want += payload(gid, 2, g.members[m], i);
-    expect_near(ar[i], want, "all_reduce gid=" + std::to_string(gid));
+    float want = payload(gid, 2, g.members[0], i);
+    for (int m = 1; m < G; ++m) want += payload(gid, 2, g.members[m], i);
+    expect(ar[i] == want, "all_reduce gid=" + std::to_string(gid) + " i=" + std::to_string(i));
   }
 
   // broadcast from every root: exact.
@@ -193,11 +205,14 @@ void run_group(pc::Communicator& comm, pc::GroupId gid) {
     expect_near(one[0], static_cast<float>(G), "all_reduce after zero-sized ops");
   }
 
-  // scalar reductions: max exact, sum to tolerance.
+  // scalar reductions: both exact (the sum folds 0.0 + v_0 + ... + v_{G-1}
+  // in member order on every backend).
   const double mx = comm.all_reduce_max_scalar(gid, static_cast<double>(g_rank));
   expect(mx == static_cast<double>(g.members.back()), "scalar max gid=" + std::to_string(gid));
   const double sum = comm.all_reduce_sum_scalar(gid, 1.5);
-  expect(std::fabs(sum - 1.5 * G) < 1e-9, "scalar sum gid=" + std::to_string(gid));
+  double want_sum = 0.0;
+  for (int m = 0; m < G; ++m) want_sum += 1.5;
+  expect(sum == want_sum, "scalar sum gid=" + std::to_string(gid));
 
   comm.barrier(gid);
 }
@@ -236,23 +251,68 @@ void run_handle_lifecycle(pc::Communicator& comm) {
          "functional-mode stats charge cost-model time");
 }
 
+/// End-to-end: the full trainer, one process per rank over the MPI backend,
+/// fed from a sharded dataset directory rank 0 writes — the mpi_conformance
+/// version of `mpirun plexus_train ... mpi`. Losses must be bitwise-identical
+/// to the threaded in-process Local backend (identical data via exact binary
+/// shard IO + canonical-order reductions + SPMD-identical schedules).
+void run_end_to_end_training(int size) {
+  namespace pcore = plexus::core;
+  namespace psim = plexus::sim;
+  psim::GridShape shape{size, 1, 1};
+  if (size == 4) shape = {2, 2, 1};
+  if (size == 8) shape = {2, 2, 2};
+
+  const auto g = plexus::graph::make_test_graph(120, 6.0, 12, 4, 1234);
+  pcore::TrainOptions opt;
+  opt.grid = shape;
+  opt.machine = &psim::Machine::test_machine();
+  opt.model.hidden_dims = {12, 8};
+  opt.model.options.agg_row_blocks = 4;
+  opt.model.seed = 99;
+  opt.epochs = 4;
+
+  // Reference: the threaded in-process cluster over the Local backend —
+  // every process derives it independently, no reference rank needed.
+  opt.backend = pc::Backend::Local;
+  const auto ref = pcore::train_plexus(g, opt);
+
+  // Distributed run: rank 0 publishes the sharded layout, every rank streams
+  // only its own shard's block files.
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("plexus_mpi_conformance_shards_np" + std::to_string(size));
+  if (g_rank == 0) {
+    const auto ds = pcore::preprocess_graph(g, opt.scheme, opt.model.num_layers(),
+                                            /*pad_multiple=*/shape.size(), opt.preprocess_seed);
+    std::filesystem::remove_all(dir);  // stale leftovers from a killed run
+    pcore::write_sharded_plexus_dataset(dir.string(), ds, shape.size());
+  }
+  MPI_Barrier(MPI_COMM_WORLD);
+  pcore::ShardedDatasetView view(dir.string());
+  opt.backend = pc::Backend::Mpi;
+  const auto got = pcore::train_plexus_rank(view, opt, g_rank);
+
+  expect(got.epochs.size() == ref.epochs.size(), "e2e epoch count");
+  for (std::size_t i = 0; i < got.epochs.size() && i < ref.epochs.size(); ++i) {
+    expect(std::memcmp(&got.epochs[i].loss, &ref.epochs[i].loss, sizeof(double)) == 0,
+           "e2e loss epoch " + std::to_string(i) + " mpi=" + std::to_string(got.epochs[i].loss) +
+               " local=" + std::to_string(ref.epochs[i].loss));
+    expect(got.epochs[i].epoch_seconds > 0.0, "e2e sim clock epoch " + std::to_string(i));
+  }
+  expect(view.load_stats().files_opened > 0, "e2e shard IO happened");
+  MPI_Barrier(MPI_COMM_WORLD);
+  if (g_rank == 0) std::filesystem::remove_all(dir);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  int provided = MPI_THREAD_SINGLE;
-  MPI_Init_thread(&argc, &argv, MPI_THREAD_MULTIPLE, &provided);
-  int size = 0;
-  MPI_Comm_rank(MPI_COMM_WORLD, &g_rank);
-  MPI_Comm_size(MPI_COMM_WORLD, &size);
-
-  // Comm channels make MPI calls from their own threads. Under
-  // MPI_THREAD_MULTIPLE any budget works; SERIALIZED tolerates exactly one
-  // channel; anything less forces inline mode (posting thread does MPI).
-  if (provided < MPI_THREAD_SERIALIZED) {
-    pc::set_comm_thread_budget(0);
-  } else if (provided < MPI_THREAD_MULTIPLE) {
-    pc::set_comm_thread_budget(1);
-  }
+  // Initialises MPI (requesting MPI_THREAD_MULTIPLE) and downgrades the comm
+  // thread budget to whatever the runtime actually provides — the same hook
+  // the plexus_train mpi driver uses.
+  const pc::MpiRuntime rt = pc::mpi_runtime_init(&argc, &argv);
+  g_rank = rt.rank;
+  const int size = rt.size;
 
   {
     pc::World world(size);
@@ -274,6 +334,8 @@ int main(int argc, char** argv) {
     comm.barrier(world.world_group());
   }
 
+  run_end_to_end_training(size);
+
   int total_failures = g_failures;
   MPI_Allreduce(MPI_IN_PLACE, &total_failures, 1, MPI_INT, MPI_SUM, MPI_COMM_WORLD);
   if (g_rank == 0) {
@@ -281,6 +343,6 @@ int main(int argc, char** argv) {
                 total_failures == 0 ? "PASS" : "FAIL", total_failures,
                 total_failures == 1 ? "" : "s");
   }
-  MPI_Finalize();
+  pc::mpi_runtime_finalize();
   return total_failures == 0 ? EXIT_SUCCESS : EXIT_FAILURE;
 }

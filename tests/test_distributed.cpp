@@ -6,8 +6,11 @@
 
 #include <cmath>
 #include <cstring>
+#include <filesystem>
+#include <memory>
 
 #include "comm/world.hpp"
+#include "core/dataset_view.hpp"
 #include "core/grid.hpp"
 #include "core/model.hpp"
 #include "core/preprocess.hpp"
@@ -432,6 +435,106 @@ TEST(Distributed, SingleRankHasNoComm) {
   opt.epochs = 2;
   const auto result = pc::train_plexus(g, opt);
   EXPECT_EQ(result.epochs[0].comm_seconds, 0.0);
+}
+
+TEST(Distributed, ReduceEpochStatsTakesCrossRankMaxima) {
+  // The trainer's cross-rank epoch line: every field is max-reduced, every
+  // rank returns the same values (the distributed driver records them on all
+  // processes). Loss/accuracy are identical inputs, mirroring the real run.
+  const int n = 4;
+  plexus::comm::World world(n);
+  std::vector<pc::EpochStats> out(static_cast<std::size_t>(n));
+  psim::run_cluster(world, psim::Machine::test_machine(), [&](psim::RankContext& ctx) {
+    const double r = 1.0 + ctx.rank();
+    pc::EpochStats s;
+    s.loss = 3.5;
+    s.train_accuracy = 0.25;
+    s.epoch_seconds = 10.0 * r;
+    s.spmm_seconds = r;
+    s.gemm_seconds = 100.0 - r;  // max at rank 0: order must not matter
+    s.elementwise_seconds = r * r;
+    s.comm_seconds = 5.0 + r;
+    s.hidden_comm_seconds = 0.5 * r;
+    s.comm_wire_bytes = 1000.0 * r;
+    out[static_cast<std::size_t>(ctx.rank())] =
+        pc::reduce_epoch_stats(ctx.comm, ctx.comm.world().world_group(), s);
+  });
+  for (int i = 0; i < n; ++i) {
+    const auto& s = out[static_cast<std::size_t>(i)];
+    EXPECT_EQ(s.loss, 3.5) << "rank " << i;
+    EXPECT_EQ(s.train_accuracy, 0.25) << "rank " << i;
+    EXPECT_EQ(s.epoch_seconds, 40.0) << "rank " << i;
+    EXPECT_EQ(s.spmm_seconds, 4.0) << "rank " << i;
+    EXPECT_EQ(s.gemm_seconds, 99.0) << "rank " << i;
+    EXPECT_EQ(s.elementwise_seconds, 16.0) << "rank " << i;
+    EXPECT_EQ(s.comm_seconds, 9.0) << "rank " << i;
+    EXPECT_EQ(s.hidden_comm_seconds, 2.0) << "rank " << i;
+    EXPECT_EQ(s.comm_wire_bytes, 4000.0) << "rank " << i;
+  }
+}
+
+TEST(Distributed, ShardedViewTrainingBitwiseEqualsInMemory) {
+  // The one-process-per-rank data path: rank-private ShardedDatasetViews must
+  // train bitwise-identically to the shared in-memory dataset (the block-file
+  // round trip is exact binary IO), and each rank must stream strictly fewer
+  // block files than the directory holds — the shard-local-IO guarantee.
+  const auto g = small_graph();
+  const auto spec = small_spec();
+  const psim::GridShape shape{2, 2, 1};
+  const int volume = shape.size();
+  const auto ds =
+      pc::preprocess_graph(g, pc::PermutationScheme::Double, spec.num_layers(), volume, 7);
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("plexus_shard_view_" + std::to_string(::getpid()));
+  pc::write_sharded_plexus_dataset(dir.string(), ds, volume);
+
+  const int epochs = 3;
+  auto run = [&](bool sharded) {
+    std::vector<double> losses(static_cast<std::size_t>(epochs), 0.0);
+    std::vector<std::int64_t> files(static_cast<std::size_t>(volume), 0);
+    plexus::comm::World world(volume);
+    pc::Grid3D grid(world, shape, psim::Machine::test_machine());
+    psim::run_cluster(world, psim::Machine::test_machine(), [&](psim::RankContext& ctx) {
+      std::unique_ptr<pc::DatasetView> view;
+      if (sharded) {
+        view = std::make_unique<pc::ShardedDatasetView>(dir.string());
+      } else {
+        view = std::make_unique<pc::InMemoryDatasetView>(ds);
+      }
+      pc::DistGcn model(ctx, *view, grid, spec);
+      for (int e = 0; e < epochs; ++e) {
+        const auto s =
+            pc::reduce_epoch_stats(ctx.comm, grid.world_group(), model.train_epoch(ctx, e));
+        if (ctx.rank() == 0) losses[static_cast<std::size_t>(e)] = s.loss;
+      }
+      if (sharded) {
+        files[static_cast<std::size_t>(ctx.rank())] =
+            static_cast<const pc::ShardedDatasetView&>(*view).load_stats().files_opened;
+      }
+    });
+    return std::make_pair(losses, files);
+  };
+  const auto [mem_losses, mem_files] = run(false);
+  const auto [shard_losses, shard_files] = run(true);
+  for (int e = 0; e < epochs; ++e) {
+    EXPECT_EQ(std::memcmp(&mem_losses[static_cast<std::size_t>(e)],
+                          &shard_losses[static_cast<std::size_t>(e)], sizeof(double)),
+              0)
+        << "epoch " << e << " in-memory " << mem_losses[static_cast<std::size_t>(e)]
+        << " sharded " << shard_losses[static_cast<std::size_t>(e)];
+  }
+  std::int64_t block_files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const auto name = entry.path().filename().string();
+    if (name.rfind("adj", 0) == 0 || name.rfind("feat", 0) == 0) ++block_files;
+  }
+  ASSERT_GT(block_files, 0);
+  for (int r = 0; r < volume; ++r) {
+    EXPECT_GT(shard_files[static_cast<std::size_t>(r)], 0) << "rank " << r;
+    EXPECT_LT(shard_files[static_cast<std::size_t>(r)], block_files)
+        << "rank " << r << " opened every block file — not shard-local IO";
+  }
+  std::filesystem::remove_all(dir);
 }
 
 TEST(Serial, GradientsMatchFiniteDifferences) {

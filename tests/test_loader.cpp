@@ -96,3 +96,71 @@ TEST_F(LoaderTest, LabelsRoundTrip) {
 TEST_F(LoaderTest, MissingDirectoryThrows) {
   EXPECT_THROW(pio::read_meta("/nonexistent/plexus"), std::runtime_error);
 }
+
+TEST_F(LoaderTest, TruncatedBlockThrows) {
+  // Chop an adjacency block in half: the loader must fail loudly, not return
+  // a silently short CSR.
+  const auto path = dir_ / "adj_0_0.plx";
+  const auto size = std::filesystem::file_size(path);
+  ASSERT_GT(size, 16u);
+  std::filesystem::resize_file(path, size / 2);
+  EXPECT_THROW(pio::load_adjacency_block(dir_.string(), 0, 64, 0, 64), std::runtime_error);
+}
+
+TEST_F(LoaderTest, CorruptMagicThrows) {
+  const auto path = dir_ / "adj_0_0.plx";
+  std::FILE* f = std::fopen(path.string().c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  const std::uint64_t garbage = 0xdeadbeefdeadbeefULL;
+  ASSERT_EQ(std::fwrite(&garbage, sizeof(garbage), 1, f), 1u);
+  std::fclose(f);
+  try {
+    pio::load_adjacency_block(dir_.string(), 0, 64, 0, 64);
+    FAIL() << "corrupt magic accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("bad magic"), std::string::npos) << e.what();
+  }
+}
+
+TEST_F(LoaderTest, ShortWriteSurfacesAtClose) {
+  // Buffered writes to a full device succeed into the stdio buffer; the
+  // failure only surfaces when fclose flushes. Point a block path at
+  // /dev/full to prove the writer's checked close turns that into an error
+  // instead of reporting a clean write.
+  if (!std::filesystem::exists("/dev/full")) GTEST_SKIP() << "no /dev/full on this platform";
+  const auto wdir = dir_ / "full_disk";
+  std::filesystem::create_directories(wdir);
+  std::filesystem::create_symlink("/dev/full", wdir / "adj_0_0.plx");
+  EXPECT_THROW(pio::write_adjacency_blocks(wdir.string(), "adj", adj_, 1, 1),
+               std::runtime_error);
+}
+
+TEST_F(LoaderTest, MasksAndPlexusMetaRoundTrip) {
+  pio::ShardedMasks masks;
+  const std::size_t n = 256;
+  masks.train.assign(n, 0);
+  masks.val.assign(n, 0);
+  masks.test.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) masks.train[i] = i % 3 == 0;
+  for (std::size_t i = 0; i < n; ++i) masks.val[i] = i % 3 == 1;
+  for (std::size_t i = 0; i < n; ++i) masks.test[i] = i % 3 == 2;
+  pio::write_masks(dir_.string(), masks);
+  const auto got = pio::load_masks(dir_.string());
+  EXPECT_EQ(got.train, masks.train);
+  EXPECT_EQ(got.val, masks.val);
+  EXPECT_EQ(got.test, masks.test);
+
+  pio::PlexusShardMeta m;
+  m.valid_nodes = 250;
+  m.valid_feature_dim = 8;
+  m.train_total = 86;
+  m.scheme = 2;
+  m.adjacency_versions = 2;
+  pio::write_plexus_meta(dir_.string(), m);
+  const auto gm = pio::read_plexus_meta(dir_.string());
+  EXPECT_EQ(gm.valid_nodes, m.valid_nodes);
+  EXPECT_EQ(gm.valid_feature_dim, m.valid_feature_dim);
+  EXPECT_EQ(gm.train_total, m.train_total);
+  EXPECT_EQ(gm.scheme, m.scheme);
+  EXPECT_EQ(gm.adjacency_versions, m.adjacency_versions);
+}

@@ -3,6 +3,7 @@
 
 #include <cmath>
 
+#include "util/parse.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -153,4 +154,38 @@ TEST(Table, RendersAlignedRows) {
 TEST(Table, RejectsRaggedRow) {
   pu::Table t({"a", "b"});
   EXPECT_THROW(t.add_row({"only-one"}), std::runtime_error);
+}
+
+TEST(Parse, AcceptsWholeIntegers) {
+  std::int64_t v64 = -1;
+  EXPECT_TRUE(pu::parse_int64("0", v64));
+  EXPECT_EQ(v64, 0);
+  EXPECT_TRUE(pu::parse_int64("8000", v64));
+  EXPECT_EQ(v64, 8000);
+  EXPECT_TRUE(pu::parse_int64("-17", v64));
+  EXPECT_EQ(v64, -17);
+  EXPECT_TRUE(pu::parse_int64("9223372036854775807", v64));
+  EXPECT_EQ(v64, INT64_MAX);
+  int v = -1;
+  EXPECT_TRUE(pu::parse_int("2147483647", v));
+  EXPECT_EQ(v, INT32_MAX);
+}
+
+TEST(Parse, RejectsGarbageUnlikeAtoi) {
+  // Everything std::atoi would silently turn into 0 (or truncate) must fail.
+  std::int64_t v64 = 123;
+  EXPECT_FALSE(pu::parse_int64("", v64));
+  EXPECT_FALSE(pu::parse_int64("abc", v64));
+  EXPECT_FALSE(pu::parse_int64("12x", v64));
+  EXPECT_FALSE(pu::parse_int64("x12", v64));
+  EXPECT_FALSE(pu::parse_int64(" 12", v64));
+  EXPECT_FALSE(pu::parse_int64("1 2", v64));
+  EXPECT_FALSE(pu::parse_int64("1.5", v64));
+  EXPECT_FALSE(pu::parse_int64("0x10", v64));
+  EXPECT_FALSE(pu::parse_int64("99999999999999999999", v64));  // overflow
+  EXPECT_EQ(v64, 123);  // failures leave the output untouched
+  int v = 77;
+  EXPECT_FALSE(pu::parse_int("2147483648", v));  // fits int64, not int
+  EXPECT_FALSE(pu::parse_int("-2147483649", v));
+  EXPECT_EQ(v, 77);
 }
