@@ -2,7 +2,10 @@
 // grid for a dataset and GPU budget, then functionally verify that the
 // predicted-best configuration beats the predicted-worst on a proxy run.
 //
-//   ./build/examples/config_search [dataset] [gpus]
+//   ./build/examples/config_search --dataset=ogbn-products --gpus=64
+//
+// The old positional form `config_search [dataset] [gpus]` still works but is
+// deprecated.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -11,18 +14,42 @@
 #include "graph/datasets.hpp"
 #include "perfmodel/perfmodel.hpp"
 #include "sim/machine.hpp"
+#include "util/arg_parser.hpp"
 #include "util/parse.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
+  using plexus::util::ArgParser;
   using plexus::util::Table;
   namespace pp = plexus::perf;
 
-  const std::string dataset = argc > 1 ? argv[1] : "ogbn-products";
-  int gpus = 64;
-  if (argc > 2 && (!plexus::util::parse_int(argv[2], gpus) || gpus < 1)) {
-    std::fprintf(stderr, "config_search: bad GPU count '%s'\nusage: %s [dataset] [gpus>=1]\n",
-                 argv[2], argv[0]);
+  ArgParser args("config_search",
+                 "Rank every 3D grid for a dataset and GPU budget with the performance model.",
+                 "[dataset] [gpus]");
+  args.add_flag("dataset", "name", "Table 4 dataset name", "ogbn-products");
+  args.add_flag("gpus", "n", "GPU budget to enumerate grids for", "64");
+
+  switch (args.parse(argc, argv)) {
+    case ArgParser::Status::Help: std::fputs(args.usage().c_str(), stdout); return 0;
+    case ArgParser::Status::Error:
+      std::fprintf(stderr, "config_search: %s\n%s", args.error().c_str(), args.usage().c_str());
+      return 1;
+    case ArgParser::Status::Ok: break;
+  }
+  const auto& pos = args.positionals();
+  if (!pos.empty()) {
+    std::fprintf(stderr,
+                 "config_search: note: positional arguments are deprecated; use --key=value "
+                 "flags (--help)\n");
+  }
+  const std::string dataset =
+      !pos.empty() && !args.is_set("dataset") ? pos[0] : args.value("dataset");
+  const std::string gpus_arg =
+      pos.size() > 1 && !args.is_set("gpus") ? pos[1] : args.value("gpus");
+  int gpus = 0;
+  if (!plexus::util::parse_int(gpus_arg, gpus) || gpus < 1) {
+    std::fprintf(stderr, "config_search: bad GPU count '%s'\n%s", gpus_arg.c_str(),
+                 args.usage().c_str());
     return 1;
   }
 

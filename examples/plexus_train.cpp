@@ -1,20 +1,29 @@
 // Command-line training driver — the "plexus run" entry point a downstream
 // user would script:
 //
-//   ./build/examples/plexus_train [dataset] [nodes] [gx] [gy] [gz] [epochs] [backend] [agg]
-//   ./build/examples/plexus_train ogbn-products 8000 4 2 2 10 local sparse
+//   ./build/examples/plexus_train --dataset=ogbn-products --nodes=8000 \
+//       --grid=4x2x2 --epochs=10 --backend=local --agg=sparse
+//   ./build/examples/plexus_train --gpus=16        # perf model picks the grid
+//   ./build/examples/plexus_train --checkpoint=/tmp/ckpt --checkpoint-every=2
+//   ./build/examples/plexus_train --resume=/tmp/ckpt --epochs=10
 //
-// dataset: any Table 4 name (a scaled proxy is generated at `nodes` scale).
-// Pass gx=0 to let the performance model choose the grid for gx*gy*gz... i.e.
-// `plexus_train ogbn-products 8000 0 16` asks the model for the best 16-GPU
-// configuration. `backend` picks the byte transport (sim | local, plus mpi in
+// dataset: any Table 4 name (a scaled proxy is generated at --nodes scale).
+// --gpus asks the performance model for the best grid at that GPU budget
+// (section 4.3). --backend picks the byte transport (sim | local, plus mpi in
 // PLEXUS_WITH_MPI builds; default: PLEXUS_BACKEND, else sim) — losses are
 // bitwise-identical across all of them. The mpi backend runs one process per
-// rank: launch under `mpirun -np <gx*gy*gz>`; rank 0 preprocesses and writes
-// a sharded dataset directory (PLEXUS_SHARD_DIR, default under /tmp), every
+// rank: launch under `mpirun -np <volume>`; rank 0 preprocesses and writes a
+// sharded dataset directory (PLEXUS_SHARD_DIR, default under /tmp), every
 // rank then streams only its own shard's block files (see docs/COMM.md).
-// `agg` picks the aggregation strategy (dense | sparse | auto; default:
-// PLEXUS_AGG, else dense) — losses are bitwise-identical, wire bytes differ.
+// --agg picks the aggregation strategy (dense | sparse | auto; default:
+// PLEXUS_AGG, else the model's) — losses are bitwise-identical, wire bytes
+// differ. --checkpoint writes a restorable checkpoint directory (final epoch
+// always, every k-th epoch with --checkpoint-every=k); --resume continues a
+// checkpointed run bitwise (see docs/SERVING.md).
+//
+// The old positional form `plexus_train [dataset] [nodes] [gx] [gy] [gz]
+// [epochs] [backend] [agg]` (gx=0 = model-chosen gy-GPU grid) still works but
+// is deprecated.
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -25,61 +34,125 @@
 #include "graph/datasets.hpp"
 #include "perfmodel/perfmodel.hpp"
 #include "sim/machine.hpp"
+#include "util/arg_parser.hpp"
+#include "util/enum_names.hpp"
 #include "util/parse.hpp"
 
 namespace {
 
-int usage(const char* argv0, const char* what, const char* got) {
-  std::fprintf(stderr, "plexus_train: %s '%s'\n", what, got);
-  std::fprintf(stderr,
-               "usage: %s [dataset] [nodes>=1] [gx>=0] [gy>=1] [gz>=1] [epochs>=1] "
-               "[backend] [agg]\n       gx=0 asks the performance model for the best "
-               "gy-GPU grid\n",
-               argv0);
-  return 1;
+/// Parse "XxYxZ" (e.g. "4x2x2").
+bool parse_grid(const std::string& s, int& gx, int& gy, int& gz) {
+  const auto a = s.find('x');
+  const auto b = a == std::string::npos ? std::string::npos : s.find('x', a + 1);
+  if (b == std::string::npos) return false;
+  return plexus::util::parse_int(s.substr(0, a), gx) &&
+         plexus::util::parse_int(s.substr(a + 1, b - a - 1), gy) &&
+         plexus::util::parse_int(s.substr(b + 1), gz) && gx >= 0 && gy >= 1 && gz >= 1;
 }
 
-/// The backends this binary can actually run, for error messages.
-const char* backend_choices() {
-  return plexus::comm::mpi_transport_available() ? "sim | local | mpi" : "sim | local";
+int fail(const plexus::util::ArgParser& args, const std::string& what) {
+  std::fprintf(stderr, "plexus_train: %s\n%s", what.c_str(), args.usage().c_str());
+  return 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string dataset = argc > 1 ? argv[1] : "ogbn-products";
-  std::int64_t nodes = 4000;
-  int gx = 2, gy = 2, gz = 2, epochs = 10;
-  if (argc > 2 && (!plexus::util::parse_int64(argv[2], nodes) || nodes < 1)) {
-    return usage(argv[0], "bad node count", argv[2]);
+  using plexus::util::ArgParser;
+  ArgParser args("plexus_train", "Train the Plexus 3D-parallel GCN on a proxy dataset.",
+                 "[dataset] [nodes] [gx] [gy] [gz] [epochs] [backend] [agg]");
+  args.add_flag("dataset", "name", "Table 4 dataset (proxy generated at --nodes scale)",
+                "ogbn-products");
+  args.add_flag("nodes", "n", "proxy node count", "4000");
+  args.add_flag("grid", "XxYxZ", "3D grid shape", "2x2x2");
+  args.add_flag("gpus", "n", "let the performance model pick the best n-GPU grid");
+  args.add_flag("epochs", "n", "total training epochs", "10");
+  args.add_flag("backend", "name",
+                "byte transport: " + plexus::comm::backend_choices() +
+                    " (default: PLEXUS_BACKEND, else sim)");
+  args.add_flag("agg", "name",
+                "aggregation: " + plexus::util::enum_choices<plexus::core::Aggregation>() +
+                    " (default: PLEXUS_AGG, else the model's)");
+  args.add_flag("checkpoint", "dir", "write a checkpoint directory (final epoch; see -every)");
+  args.add_flag("checkpoint-every", "k", "also checkpoint every k-th epoch", "0");
+  args.add_flag("resume", "dir", "resume from a checkpoint directory (bitwise continuation)");
+
+  switch (args.parse(argc, argv)) {
+    case ArgParser::Status::Help: std::fputs(args.usage().c_str(), stdout); return 0;
+    case ArgParser::Status::Error:
+      std::fprintf(stderr, "plexus_train: %s\n%s", args.error().c_str(), args.usage().c_str());
+      return 1;
+    case ArgParser::Status::Ok: break;
   }
-  if (argc > 3 && (!plexus::util::parse_int(argv[3], gx) || gx < 0)) {
-    return usage(argv[0], "bad grid dimension gx", argv[3]);
+
+  // Deprecated positional form: fills any value its matching flag didn't set.
+  const auto& pos = args.positionals();
+  if (!pos.empty()) {
+    std::fprintf(stderr,
+                 "plexus_train: note: positional arguments are deprecated; use --key=value "
+                 "flags (--help)\n");
   }
-  if (argc > 4 && (!plexus::util::parse_int(argv[4], gy) || gy < 1)) {
-    return usage(argv[0], "bad grid dimension gy", argv[4]);
+  const auto positional_or = [&](std::size_t i, std::string_view flag) {
+    return i < pos.size() && !args.is_set(flag) ? pos[i] : std::string(args.value(flag));
+  };
+
+  const std::string dataset = positional_or(0, "dataset");
+  std::int64_t nodes = 0;
+  if (!plexus::util::parse_int64(positional_or(1, "nodes"), nodes) || nodes < 1) {
+    return fail(args, "bad node count '" + positional_or(1, "nodes") + "'");
   }
-  if (argc > 5 && (!plexus::util::parse_int(argv[5], gz) || gz < 1)) {
-    return usage(argv[0], "bad grid dimension gz", argv[5]);
+  int gx = 2, gy = 2, gz = 2;
+  if (pos.size() > 2 && !args.is_set("grid")) {
+    // Legacy split grid args: [gx] [gy] [gz]; gx=0 = model-chosen gy-GPU grid.
+    if (!plexus::util::parse_int(pos[2], gx) || gx < 0) {
+      return fail(args, "bad grid dimension gx '" + pos[2] + "'");
+    }
+    if (pos.size() > 3 && (!plexus::util::parse_int(pos[3], gy) || gy < 1)) {
+      return fail(args, "bad grid dimension gy '" + pos[3] + "'");
+    }
+    if (pos.size() > 4 && (!plexus::util::parse_int(pos[4], gz) || gz < 1)) {
+      return fail(args, "bad grid dimension gz '" + pos[4] + "'");
+    }
+  } else if (!parse_grid(args.value("grid"), gx, gy, gz)) {
+    return fail(args, "bad --grid '" + args.value("grid") + "' (expected XxYxZ)");
   }
-  if (argc > 6 && (!plexus::util::parse_int(argv[6], epochs) || epochs < 1)) {
-    return usage(argv[0], "bad epoch count", argv[6]);
+  int gpu_budget = 0;  // > 0: ask the perf model
+  if (args.is_set("gpus") && (!args.value_int("gpus", gpu_budget) || gpu_budget < 1)) {
+    return fail(args, "bad --gpus '" + args.value("gpus") + "'");
+  }
+  if (gx == 0) gpu_budget = gy;  // legacy spelling of the same request
+  int epochs = 0;
+  if (!plexus::util::parse_int(positional_or(5, "epochs"), epochs) || epochs < 1) {
+    return fail(args, "bad epoch count '" + positional_or(5, "epochs") + "'");
   }
   auto backend = plexus::comm::default_backend();
-  if (argc > 7 && !plexus::comm::backend_from_string(argv[7], backend)) {
-    std::fprintf(stderr, "unknown backend '%s' (expected %s)\n", argv[7], backend_choices());
-    return 1;
+  const std::string backend_arg = positional_or(6, "backend");
+  if (!backend_arg.empty() && !plexus::comm::backend_from_string(backend_arg, backend)) {
+    return fail(args, plexus::util::enum_error<plexus::comm::Backend>(
+                          backend_arg, plexus::comm::backend_choices()));
   }
-  auto agg = plexus::core::default_aggregation();
-  if (argc > 8 && !plexus::core::aggregation_from_string(argv[8], agg)) {
-    std::fprintf(stderr, "unknown aggregation '%s' (expected dense | sparse | auto)\n", argv[8]);
-    return 1;
+  auto agg = plexus::core::env_aggregation();
+  const std::string agg_arg = positional_or(7, "agg");
+  if (!agg_arg.empty()) {
+    plexus::core::Aggregation a = plexus::core::Aggregation::Dense;
+    if (!plexus::core::aggregation_from_string(agg_arg, a)) {
+      return fail(args, plexus::util::enum_error<plexus::core::Aggregation>(agg_arg));
+    }
+    agg = a;
   }
+  const std::string checkpoint_dir = args.value("checkpoint");
+  int checkpoint_every = 0;
+  if (!args.value_int("checkpoint-every", checkpoint_every) || checkpoint_every < 0) {
+    return fail(args, "bad --checkpoint-every '" + args.value("checkpoint-every") + "'");
+  }
+  const std::string resume_dir = args.value("resume");
+
   const bool distributed = backend == plexus::comm::Backend::Mpi;
   if (distributed && !plexus::comm::mpi_transport_available()) {
-    std::fprintf(stderr, "this build has no mpi backend (expected %s); rebuild with "
-                         "-DPLEXUS_WITH_MPI=ON\n",
-                 backend_choices());
+    std::fprintf(stderr,
+                 "this build has no mpi backend (expected %s); rebuild with "
+                 "-DPLEXUS_WITH_MPI=ON\n",
+                 plexus::comm::backend_choices().c_str());
     return 1;
   }
 
@@ -89,12 +162,12 @@ int main(int argc, char** argv) {
   const auto& info = plexus::graph::dataset_info(dataset);
   const auto& machine = plexus::sim::Machine::perlmutter_a100();
 
-  if (gx == 0) {
-    // Model-selected configuration for a `gy`-GPU budget (section 4.3). The
-    // choice is deterministic, so under mpirun every rank selects the same
-    // grid without communicating.
+  if (gpu_budget > 0) {
+    // Model-selected configuration for a GPU budget (section 4.3). The choice
+    // is deterministic, so under mpirun every rank selects the same grid
+    // without communicating.
     const auto w = plexus::perf::WorkloadStats::from_dataset(info);
-    const auto best = plexus::perf::best_configuration(machine, w, gy);
+    const auto best = plexus::perf::best_configuration(machine, w, gpu_budget);
     gx = best.x;
     gz = best.z;
     gy = best.y;
@@ -124,17 +197,28 @@ int main(int argc, char** argv) {
   opt.evaluate_validation = true;
   opt.backend = backend;
   opt.aggregation = agg;
+  opt.checkpoint_dir = checkpoint_dir;
+  opt.checkpoint_every = checkpoint_every;
+
+  const char* agg_label =
+      agg.has_value() ? plexus::core::aggregation_name(*agg) : "model default";
 
   plexus::core::TrainResult result;
-  long long num_edges = -1;
-  if (!distributed) {
+  if (!resume_dir.empty()) {
+    if (rt.rank == 0) {
+      std::printf("resuming from %s on a %dx%dx%d grid, %d total epochs, %s transport\n",
+                  resume_dir.c_str(), gx, gy, gz, epochs, plexus::comm::backend_name(backend));
+    }
+    result = distributed ? plexus::core::resume_plexus_rank(resume_dir, opt, rt.rank)
+                         : plexus::core::resume_plexus(resume_dir, opt);
+  } else if (!distributed) {
     const auto g = plexus::graph::make_proxy(info, nodes, /*seed=*/1);
-    num_edges = static_cast<long long>(g.num_edges());
     std::printf(
         "training %s proxy (%lld nodes, %lld edges) on a %dx%dx%d grid, %d epochs, "
         "%s transport, %s aggregation\n",
-        dataset.c_str(), static_cast<long long>(g.num_nodes), num_edges, gx, gy, gz, epochs,
-        plexus::comm::backend_name(backend), plexus::core::aggregation_name(agg));
+        dataset.c_str(), static_cast<long long>(g.num_nodes),
+        static_cast<long long>(g.num_edges()), gx, gy, gz, epochs,
+        plexus::comm::backend_name(backend), agg_label);
     result = plexus::core::train_plexus(g, opt);
   } else {
     // Rank 0 preprocesses once and writes the sharded block-file layout; the
@@ -150,12 +234,12 @@ int main(int argc, char** argv) {
                   .string();
     if (rt.rank == 0) {
       const auto g = plexus::graph::make_proxy(info, nodes, /*seed=*/1);
-      num_edges = static_cast<long long>(g.num_edges());
       std::printf(
           "training %s proxy (%lld nodes, %lld edges) on a %dx%dx%d grid, %d epochs, "
           "%s transport, %s aggregation\n",
-          dataset.c_str(), static_cast<long long>(g.num_nodes), num_edges, gx, gy, gz, epochs,
-          plexus::comm::backend_name(backend), plexus::core::aggregation_name(agg));
+          dataset.c_str(), static_cast<long long>(g.num_nodes),
+          static_cast<long long>(g.num_edges()), gx, gy, gz, epochs,
+          plexus::comm::backend_name(backend), agg_label);
       const auto ds = plexus::core::preprocess_graph(g, opt.scheme, opt.model.num_layers(),
                                                      /*pad_multiple=*/volume,
                                                      opt.preprocess_seed);
@@ -178,11 +262,15 @@ int main(int argc, char** argv) {
       std::printf(
           "epoch %2zu  loss %.4f  acc %.3f  sim %.2f ms (spmm %.2f, gemm %.2f, comm %.2f)  "
           "wire %.2f MB\n",
-          e + 1, s.loss, s.train_accuracy, s.epoch_seconds * 1e3, s.spmm_seconds * 1e3,
-          s.gemm_seconds * 1e3, s.wait_seconds() * 1e3, s.comm_wire_bytes / 1e6);
+          e + 1 + static_cast<std::size_t>(result.first_epoch), s.loss, s.train_accuracy,
+          s.epoch_seconds * 1e3, s.spmm_seconds * 1e3, s.gemm_seconds * 1e3,
+          s.wait_seconds() * 1e3, s.comm_wire_bytes / 1e6);
     }
     std::printf("validation accuracy %.3f | avg epoch %.2f ms on %s\n", result.val_accuracy,
                 result.avg_epoch_seconds(2) * 1e3, machine.name.c_str());
+    if (!checkpoint_dir.empty()) {
+      std::printf("checkpoint written to %s\n", checkpoint_dir.c_str());
+    }
   }
   if (distributed) {
     plexus::comm::mpi_runtime_barrier();  // keep rank 0's output ahead of teardown

@@ -150,28 +150,20 @@ Transport& sim_transport() {
 
 }  // namespace detail
 
-const char* backend_name(Backend b) {
-  switch (b) {
-    case Backend::Sim: return "sim";
-    case Backend::Local: return "local";
-    case Backend::Mpi: return "mpi";
-  }
-  return "?";
-}
+const char* backend_name(Backend b) { return util::enum_name(b); }
 
 bool backend_from_string(std::string_view s, Backend& out) {
-  std::string lower(s);
-  for (auto& c : lower) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-  if (lower == "sim") {
-    out = Backend::Sim;
-  } else if (lower == "local") {
-    out = Backend::Local;
-  } else if (lower == "mpi") {
-    out = Backend::Mpi;
-  } else {
-    return false;
+  return util::enum_from_string(s, out);
+}
+
+std::string backend_choices() {
+  std::string s;
+  for (const auto& e : util::EnumNames<Backend>::table) {
+    if (e.value == Backend::Mpi && !mpi_transport_available()) continue;
+    if (!s.empty()) s += " | ";
+    s += e.name;
   }
-  return true;
+  return s;
 }
 
 namespace {

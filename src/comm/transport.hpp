@@ -53,6 +53,7 @@
 
 #include "comm/handle.hpp"
 #include "comm/world.hpp"
+#include "util/enum_names.hpp"
 
 namespace plexus::comm {
 
@@ -176,11 +177,17 @@ class Transport {
                          detail::CommOp& op);
 };
 
-/// Backend name ("sim", "local", "mpi") for logs and CLI flags.
+/// Backend name ("sim", "local", "mpi") for logs and CLI flags. Thin wrapper
+/// over the util::EnumNames registry below.
 const char* backend_name(Backend b);
 
 /// Parse a backend name (case-insensitive). Returns false on unknown names.
 bool backend_from_string(std::string_view s, Backend& out);
+
+/// The backends this *build* can actually run: "sim | local", plus "mpi"
+/// when compiled with PLEXUS_WITH_MPI. Pass to util::enum_error<Backend> so
+/// error messages never advertise an unavailable backend.
+std::string backend_choices();
 
 /// The process-wide default backend: `set_default_backend` override, else
 /// `PLEXUS_BACKEND`, else Sim.
@@ -252,3 +259,15 @@ Transport& mpi_transport();
 }  // namespace detail
 
 }  // namespace plexus::comm
+
+/// Registry entry (util/enum_names.hpp): the one source of truth for backend
+/// names. backend_name / backend_from_string are wrappers over this table.
+template <>
+struct plexus::util::EnumNames<plexus::comm::Backend> {
+  static constexpr const char* kind = "backend";
+  static constexpr EnumEntry<plexus::comm::Backend> table[] = {
+      {plexus::comm::Backend::Sim, "sim"},
+      {plexus::comm::Backend::Local, "local"},
+      {plexus::comm::Backend::Mpi, "mpi"},
+  };
+};

@@ -40,28 +40,10 @@ void drain_pipeline(std::deque<comm::CommHandle>& inflight) {
 
 }  // namespace
 
-const char* aggregation_name(Aggregation a) {
-  switch (a) {
-    case Aggregation::Dense: return "dense";
-    case Aggregation::Sparse: return "sparse";
-    case Aggregation::Auto: return "auto";
-  }
-  return "?";
-}
+const char* aggregation_name(Aggregation a) { return util::enum_name(a); }
 
 bool aggregation_from_string(std::string_view s, Aggregation& out) {
-  std::string lower(s);
-  for (auto& c : lower) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-  if (lower == "dense") {
-    out = Aggregation::Dense;
-  } else if (lower == "sparse") {
-    out = Aggregation::Sparse;
-  } else if (lower == "auto") {
-    out = Aggregation::Auto;
-  } else {
-    return false;
-  }
-  return true;
+  return util::enum_from_string(s, out);
 }
 
 Aggregation default_aggregation() {
@@ -69,6 +51,14 @@ Aggregation default_aggregation() {
   if (s == nullptr || *s == '\0') return Aggregation::Dense;
   Aggregation a = Aggregation::Dense;
   if (!aggregation_from_string(s, a)) return Aggregation::Dense;  // malformed: default
+  return a;
+}
+
+std::optional<Aggregation> env_aggregation() {
+  const char* s = std::getenv("PLEXUS_AGG");
+  if (s == nullptr || *s == '\0') return std::nullopt;
+  Aggregation a = Aggregation::Dense;
+  if (!aggregation_from_string(s, a)) return std::nullopt;  // malformed: inherit
   return a;
 }
 
@@ -112,6 +102,13 @@ DistGcnLayer::DistGcnLayer(std::int64_t padded_nodes, const Grid3D& grid, int ra
   w_slice_ = flat_slice(w_block, ext_r_, coord_r_);
   dw_slice_.assign(w_slice_.size(), 0.0f);
   adam_ = dense::Adam(w_slice_.size(), opts.adam);
+}
+
+void DistGcnLayer::restore_state(std::span<const float> w, std::span<const float> m,
+                                 std::span<const float> v, std::int64_t adam_t) {
+  PLEXUS_CHECK(w.size() == w_slice_.size(), "restored weight slice size mismatch");
+  std::copy(w.begin(), w.end(), w_slice_.begin());
+  adam_.set_state(m, v, adam_t);
 }
 
 comm::CommHandle DistGcnLayer::igathered_weights(sim::RankContext& ctx, dense::Matrix& w_block) {

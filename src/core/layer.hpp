@@ -12,6 +12,7 @@
 /// synchronise through the communicator.
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string_view>
 #include <vector>
@@ -45,7 +46,8 @@ enum class Aggregation {
   Auto,
 };
 
-/// Strategy name ("dense", "sparse", "auto") for logs and CLI flags.
+/// Strategy name ("dense", "sparse", "auto") for logs and CLI flags. Thin
+/// wrapper over the util::EnumNames registry at the bottom of this header.
 const char* aggregation_name(Aggregation a);
 
 /// Parse a strategy name (case-insensitive). Returns false on unknown names.
@@ -55,6 +57,13 @@ bool aggregation_from_string(std::string_view s, Aggregation& out);
 /// Dense. Resolved by TrainOptions; PlexusOptions itself defaults to Dense so
 /// directly-constructed layers are unaffected by the environment.
 Aggregation default_aggregation();
+
+/// PLEXUS_AGG as an *optional* override: the parsed value when the variable
+/// is set (and well-formed), std::nullopt otherwise. This is the
+/// TrainOptions::aggregation default — set means "override the model's
+/// aggregation", unset means "inherit model.options.aggregation" (see
+/// core::resolve_options).
+std::optional<Aggregation> env_aggregation();
 
 /// Tunables of the parallel algorithm (paper section 5).
 struct PlexusOptions {
@@ -133,6 +142,15 @@ class DistGcnLayer {
 
   /// Gathered weight block (tests): (Din/Q x Dout/P).
   dense::Matrix gather_weight_block(sim::RankContext& ctx);
+
+  /// This rank's flat weight slice and its optimizer state (checkpointing).
+  std::span<const float> weight_slice() const { return w_slice_; }
+  const dense::Adam& optimizer() const { return adam_; }
+
+  /// Overwrite the weight slice + Adam state (checkpoint restore). Span
+  /// sizes must match weight_slice_size().
+  void restore_state(std::span<const float> w, std::span<const float> m,
+                     std::span<const float> v, std::int64_t adam_t);
 
  private:
   /// Post the R-group all-gather assembling the (Din/Q x Dout/P) weight block
@@ -240,3 +258,15 @@ class DistGcnLayer {
 };
 
 }  // namespace plexus::core
+
+/// Registry entry (util/enum_names.hpp): the one source of truth for
+/// aggregation-strategy names.
+template <>
+struct plexus::util::EnumNames<plexus::core::Aggregation> {
+  static constexpr const char* kind = "aggregation";
+  static constexpr EnumEntry<plexus::core::Aggregation> table[] = {
+      {plexus::core::Aggregation::Dense, "dense"},
+      {plexus::core::Aggregation::Sparse, "sparse"},
+      {plexus::core::Aggregation::Auto, "auto"},
+  };
+};

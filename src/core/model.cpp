@@ -20,7 +20,7 @@ std::int64_t round_up(std::int64_t v, std::int64_t multiple) {
 }  // namespace
 
 DistGcn::DistGcn(sim::RankContext& ctx, const DatasetView& view, const Grid3D& grid, GcnSpec spec)
-    : view_(&view), grid_(&grid), spec_(std::move(spec)) {
+    : view_(&view), grid_(&grid), rank_(ctx.rank()), spec_(std::move(spec)) {
   const int L = spec_.num_layers();
   const std::int64_t volume = grid.size();
 
@@ -169,6 +169,173 @@ EpochStats DistGcn::train_epoch(sim::RankContext& ctx, int epoch) {
   s.hidden_comm_seconds = ctx.comm.stats().total_hidden_seconds() - hidden0;
   s.comm_wire_bytes = static_cast<double>(ctx.comm.stats().total_wire_bytes() - wire0);
   return s;
+}
+
+CheckpointData DistGcn::gather_state(sim::RankContext& ctx) {
+  const Grid3D& grid = *grid_;
+  const comm::GroupId wg = grid.world_group();
+  const int world = grid.size();
+  const int L = spec_.num_layers();
+
+  CheckpointData out;
+  io::ModelState& s = out.model;
+  s.hidden_dims = spec_.hidden_dims;
+  s.model_seed = spec_.seed;
+  s.train_input_features = spec_.train_input_features ? 1 : 0;
+  s.agg_row_blocks = spec_.options.agg_row_blocks;
+  s.gemm_dw_tuning = spec_.options.gemm_dw_tuning ? 1 : 0;
+  s.pipeline_depth = spec_.options.pipeline_depth;
+  s.aggregation = static_cast<std::int32_t>(spec_.options.aggregation);
+  s.adam = spec_.options.adam;
+
+  // Per-layer weights + Adam moments. Every rank holds an equal-size flat
+  // slice (dims are padded to the grid volume), so one world-group all-gather
+  // per buffer suffices; each rank then re-scatters every member's slice into
+  // the global row-major matrix using that member's (deterministic) layout —
+  // the (q, p, r) coordinates tile the matrix exactly once.
+  for (int l = 0; l < L; ++l) {
+    auto& layer = *layers_[static_cast<std::size_t>(l)];
+    const std::int64_t rows = padded_dims_[static_cast<std::size_t>(l)];
+    const std::int64_t cols = padded_dims_[static_cast<std::size_t>(l) + 1];
+    io::LayerState ls;
+    ls.rows = rows;
+    ls.cols = cols;
+    ls.adam_t = layer.optimizer().t();  // identical on all ranks
+    const std::size_t total = static_cast<std::size_t>(rows * cols);
+    ls.w.assign(total, 0.0f);
+    ls.m.assign(total, 0.0f);
+    ls.v.assign(total, 0.0f);
+
+    const std::size_t slice = layer.weight_slice().size();
+    std::vector<float> gw(slice * static_cast<std::size_t>(world));
+    std::vector<float> gm(gw.size());
+    std::vector<float> gv(gw.size());
+    ctx.comm.all_gather<float>(wg, layer.weight_slice(), gw);
+    ctx.comm.all_gather<float>(wg, layer.optimizer().m(), gm);
+    ctx.comm.all_gather<float>(wg, layer.optimizer().v(), gv);
+
+    const LayerRoles& roles = layer.roles();
+    for (int r = 0; r < world; ++r) {
+      const Coords c = grid.coords_of(r);
+      const Slice wr = uniform_slice(rows, grid.extent(roles.q), Grid3D::coord(c, roles.q));
+      const Slice wc = uniform_slice(cols, grid.extent(roles.p), Grid3D::coord(c, roles.p));
+      const Slice fs =
+          flat_slice_range(wr.size() * wc.size(), grid.extent(roles.r), Grid3D::coord(c, roles.r));
+      PLEXUS_CHECK(static_cast<std::size_t>(fs.size()) == slice,
+                   "gather_state: weight slice size mismatch");
+      const std::size_t base = static_cast<std::size_t>(r) * slice;
+      for (std::int64_t i = 0; i < fs.size(); ++i) {
+        const std::int64_t flat = fs.begin + i;
+        const std::size_t dst = static_cast<std::size_t>(
+            (wr.begin + flat / wc.size()) * cols + wc.begin + flat % wc.size());
+        ls.w[dst] = gw[base + static_cast<std::size_t>(i)];
+        ls.m[dst] = gm[base + static_cast<std::size_t>(i)];
+        ls.v[dst] = gv[base + static_cast<std::size_t>(i)];
+      }
+    }
+    s.layers.push_back(std::move(ls));
+  }
+
+  // Trainable features + their Adam moments: same gather-then-re-scatter,
+  // but through the layer-0 reshard layout (matrix_shard block, R0-aligned
+  // aggregation row blocks, r-th sub-range of each block — mirrors the ctor).
+  s.feat_rows = view_->padded_nodes();
+  s.feat_cols = padded_dims_[0];
+  s.feat_t = f_adam_.t();
+  out.features = dense::Matrix(s.feat_rows, s.feat_cols);
+  const std::size_t ftotal = static_cast<std::size_t>(s.feat_rows * s.feat_cols);
+  s.feat_m.assign(ftotal, 0.0f);
+  s.feat_v.assign(ftotal, 0.0f);
+
+  const std::size_t fslice = f_slice_.size();
+  std::vector<float> gf(fslice * static_cast<std::size_t>(world));
+  std::vector<float> gfm(gf.size());
+  std::vector<float> gfv(gf.size());
+  ctx.comm.all_gather<float>(wg, f_slice_, gf);
+  ctx.comm.all_gather<float>(wg, f_adam_.m(), gfm);
+  ctx.comm.all_gather<float>(wg, f_adam_.v(), gfv);
+
+  const LayerRoles r0 = roles_for_layer(0);
+  const int nb = std::max(1, spec_.options.agg_row_blocks);
+  for (int r = 0; r < world; ++r) {
+    const Coords c = grid.coords_of(r);
+    const auto blk = matrix_shard(s.feat_rows, s.feat_cols, grid, c, r0.p, r0.q);
+    const int ext_r = grid.extent(r0.r);
+    const int rc = Grid3D::coord(c, r0.r);
+    const auto bounds = sparse::block_bounds_aligned(blk.rows.size(), nb, ext_r);
+    const std::int64_t bcols = blk.cols.size();
+    std::size_t off = static_cast<std::size_t>(r) * fslice;
+    for (std::size_t k = 0; k + 1 < bounds.size(); ++k) {
+      const std::int64_t sub = (bounds[k + 1] - bounds[k]) / ext_r;
+      for (std::int64_t i = 0; i < sub; ++i) {
+        const std::int64_t grow = blk.rows.begin + bounds[k] + rc * sub + i;
+        const std::size_t dst = static_cast<std::size_t>(grow * s.feat_cols + blk.cols.begin);
+        std::copy_n(gf.data() + off, bcols, out.features.row(grow) + blk.cols.begin);
+        std::copy_n(gfm.data() + off, bcols, s.feat_m.data() + dst);
+        std::copy_n(gfv.data() + off, bcols, s.feat_v.data() + dst);
+        off += static_cast<std::size_t>(bcols);
+      }
+    }
+    PLEXUS_CHECK(off == static_cast<std::size_t>(r + 1) * fslice,
+                 "gather_state: feature slice size mismatch");
+  }
+  return out;
+}
+
+void DistGcn::restore_state(const io::ModelState& s) {
+  const Grid3D& grid = *grid_;
+  const int L = spec_.num_layers();
+  PLEXUS_CHECK(s.num_layers() == L && s.hidden_dims == spec_.hidden_dims,
+               "restore_state: checkpoint model shape does not match this model");
+  PLEXUS_CHECK(s.feat_rows == view_->padded_nodes() && s.feat_cols == padded_dims_[0],
+               "restore_state: checkpoint feature shape does not match the dataset");
+  const Coords c = grid.coords_of(rank_);
+
+  for (int l = 0; l < L; ++l) {
+    auto& layer = *layers_[static_cast<std::size_t>(l)];
+    const io::LayerState& ls = s.layers[static_cast<std::size_t>(l)];
+    PLEXUS_CHECK(ls.rows == padded_dims_[static_cast<std::size_t>(l)] &&
+                     ls.cols == padded_dims_[static_cast<std::size_t>(l) + 1],
+                 "restore_state: layer dims do not match");
+    const LayerRoles& roles = layer.roles();
+    const Slice wr = uniform_slice(ls.rows, grid.extent(roles.q), Grid3D::coord(c, roles.q));
+    const Slice wc = uniform_slice(ls.cols, grid.extent(roles.p), Grid3D::coord(c, roles.p));
+    const Slice fs =
+        flat_slice_range(wr.size() * wc.size(), grid.extent(roles.r), Grid3D::coord(c, roles.r));
+    std::vector<float> w(static_cast<std::size_t>(fs.size()));
+    std::vector<float> m(w.size());
+    std::vector<float> v(w.size());
+    for (std::int64_t i = 0; i < fs.size(); ++i) {
+      const std::int64_t flat = fs.begin + i;
+      const std::size_t src = static_cast<std::size_t>(
+          (wr.begin + flat / wc.size()) * ls.cols + wc.begin + flat % wc.size());
+      w[static_cast<std::size_t>(i)] = ls.w[src];
+      m[static_cast<std::size_t>(i)] = ls.m[src];
+      v[static_cast<std::size_t>(i)] = ls.v[src];
+    }
+    layer.restore_state(w, m, v, ls.adam_t);
+  }
+
+  // Feature Adam moments, re-sliced through the ctor's reshard layout. The
+  // features themselves were already loaded from the view (the checkpoint's
+  // feature blocks are the trained embeddings).
+  std::vector<float> fm(f_slice_.size());
+  std::vector<float> fv(f_slice_.size());
+  const LayerRoles r0 = roles_for_layer(0);
+  const auto blk = matrix_shard(s.feat_rows, s.feat_cols, grid, c, r0.p, r0.q);
+  std::size_t off = 0;
+  for (std::size_t k = 0; k + 1 < f_bounds_.size(); ++k) {
+    const std::int64_t sub = (f_bounds_[k + 1] - f_bounds_[k]) / f_r_ext_;
+    for (std::int64_t i = 0; i < sub; ++i) {
+      const std::int64_t grow = blk.rows.begin + f_bounds_[k] + f_r_coord_ * sub + i;
+      const std::size_t src = static_cast<std::size_t>(grow * s.feat_cols + blk.cols.begin);
+      std::copy_n(s.feat_m.data() + src, f_block_cols_, fm.data() + off);
+      std::copy_n(s.feat_v.data() + src, f_block_cols_, fv.data() + off);
+      off += static_cast<std::size_t>(f_block_cols_);
+    }
+  }
+  PLEXUS_CHECK(off == f_slice_.size(), "restore_state: feature slice size mismatch");
+  f_adam_.set_state(fm, fv, s.feat_t);
 }
 
 dense::Matrix DistGcn::forward_logits(sim::RankContext& ctx) {

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/adjacency_store.hpp"
+#include "core/checkpoint.hpp"
 #include "core/grid.hpp"
 #include "core/layer.hpp"
 #include "core/loss.hpp"
@@ -82,6 +83,22 @@ class DistGcn {
   int num_layers() const { return spec_.num_layers(); }
   const std::vector<std::int64_t>& padded_dims() const { return padded_dims_; }
 
+  /// Assemble the global model state for checkpointing: one world-group
+  /// all-gather per sharded buffer (weights, Adam moments, features), then a
+  /// deterministic local re-scatter of every rank's slice into the global
+  /// matrices. SPMD — every rank must call it and gets an identical result;
+  /// the caller picks one rank to write. The trainer-owned ModelState fields
+  /// (scheme, preprocess_seed, pad_multiple, epochs_completed) are left at
+  /// their defaults for the caller to fill.
+  CheckpointData gather_state(sim::RankContext& ctx);
+
+  /// Inverse of gather_state, purely local: re-extract this rank's weight and
+  /// optimizer slices from the global state. The trained features themselves
+  /// are NOT restored here — they arrive through the DatasetView the model was
+  /// constructed over (a checkpoint directory's feature blocks); only their
+  /// Adam moments ride in `s`.
+  void restore_state(const io::ModelState& s);
+
  private:
   /// Delegation target of the PlexusDataset ctor: builds against *view, then
   /// takes ownership of it.
@@ -95,6 +112,7 @@ class DistGcn {
   std::unique_ptr<DatasetView> owned_view_;  ///< set by the PlexusDataset ctor
   const DatasetView* view_;
   const Grid3D* grid_;
+  int rank_ = 0;
   GcnSpec spec_;
   std::vector<std::int64_t> padded_dims_;  ///< per-layer in/out dims, size L+1
   std::unique_ptr<AdjacencyStore> adj_store_;

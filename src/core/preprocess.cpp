@@ -17,6 +17,10 @@ const char* scheme_name(PermutationScheme s) {
   return "?";
 }
 
+bool scheme_from_string(std::string_view s, PermutationScheme& out) {
+  return util::enum_from_string(s, out);
+}
+
 namespace {
 
 std::int64_t round_up(std::int64_t v, std::int64_t multiple) {

@@ -16,9 +16,12 @@
 #include <cstdint>
 #include <vector>
 
+#include <string_view>
+
 #include "dense/matrix.hpp"
 #include "graph/graph.hpp"
 #include "sparse/csr.hpp"
+#include "util/enum_names.hpp"
 
 namespace plexus::core {
 
@@ -28,7 +31,13 @@ enum class PermutationScheme {
   Double,  ///< distinct row/column permutations, alternating across layers
 };
 
+/// Long display name for tables/logs ("original", "single-permutation",
+/// "double-permutation"). CLI flags and checkpoints use the registry names
+/// ("none" | "single" | "double") below instead.
 const char* scheme_name(PermutationScheme s);
+
+/// Parse a registry name (case-insensitive). Returns false on unknown names.
+bool scheme_from_string(std::string_view s, PermutationScheme& out);
 
 struct PlexusDataset {
   std::int64_t num_nodes = 0;         ///< active nodes
@@ -70,3 +79,14 @@ double scheme_imbalance(const graph::Graph& g, PermutationScheme scheme, std::in
                         std::int64_t grid_cols, std::uint64_t seed);
 
 }  // namespace plexus::core
+
+/// Registry entry (util/enum_names.hpp): CLI/checkpoint names of the scheme.
+template <>
+struct plexus::util::EnumNames<plexus::core::PermutationScheme> {
+  static constexpr const char* kind = "permutation scheme";
+  static constexpr EnumEntry<plexus::core::PermutationScheme> table[] = {
+      {plexus::core::PermutationScheme::None, "none"},
+      {plexus::core::PermutationScheme::Single, "single"},
+      {plexus::core::PermutationScheme::Double, "double"},
+  };
+};

@@ -39,30 +39,65 @@ std::vector<double> TrainResult::losses() const {
   return out;
 }
 
-namespace {
-
-/// Resolve the effective model spec from the options (depth / aggregation
-/// overrides), shared by the threaded and one-process-per-rank drivers.
-GcnSpec resolve_spec(const TrainOptions& opt) {
+GcnSpec resolve_options(const TrainOptions& opt) {
   GcnSpec spec = opt.model;
   if (opt.pipeline_depth >= 0) spec.options.pipeline_depth = opt.pipeline_depth;
-  spec.options.aggregation = opt.aggregation;
+  if (opt.aggregation.has_value()) spec.options.aggregation = *opt.aggregation;
   return spec;
 }
+
+GcnSpec spec_from_model_state(const io::ModelState& s) {
+  GcnSpec spec;
+  spec.hidden_dims = s.hidden_dims;
+  spec.seed = s.model_seed;
+  spec.train_input_features = s.train_input_features != 0;
+  spec.options.agg_row_blocks = s.agg_row_blocks;
+  spec.options.gemm_dw_tuning = s.gemm_dw_tuning != 0;
+  spec.options.pipeline_depth = s.pipeline_depth;
+  spec.options.aggregation = static_cast<Aggregation>(s.aggregation);
+  spec.options.adam = s.adam;
+  return spec;
+}
+
+namespace {
+
+/// Where a run starts: epoch 0 fresh, or a restored checkpoint's epoch
+/// counter (the state pointer must outlive the run).
+struct ResumePlan {
+  const io::ModelState* state = nullptr;
+  int start_epoch = 0;
+};
 
 /// The per-rank training body shared by train_plexus (threaded cluster;
 /// `result` non-null on rank 0 only) and train_plexus_rank (one process per
 /// rank; `result` non-null everywhere — the reduced stats agree on all
 /// ranks, so every process records identical epoch lines).
 void train_rank_body(sim::RankContext& ctx, const DatasetView& view, const Grid3D& grid,
-                     const GcnSpec& spec, const TrainOptions& opt, TrainResult* result) {
+                     const GcnSpec& spec, const TrainOptions& opt, const ResumePlan& plan,
+                     TrainResult* result) {
   const bool trace = opt.trace_timeline && result != nullptr && ctx.rank() == 0;
   if (trace) ctx.comm.timeline().set_enabled(true);
   DistGcn model(ctx, view, grid, spec);
+  if (plan.state != nullptr) model.restore_state(*plan.state);
   const auto wg = grid.world_group();
-  for (int e = 0; e < opt.epochs; ++e) {
+  const bool checkpointing = !opt.checkpoint_dir.empty();
+  for (int e = plan.start_epoch; e < opt.epochs; ++e) {
     const EpochStats s = reduce_epoch_stats(ctx.comm, wg, model.train_epoch(ctx, e));
-    if (result != nullptr) result->epochs[static_cast<std::size_t>(e)] = s;
+    if (result != nullptr) result->epochs[static_cast<std::size_t>(e - plan.start_epoch)] = s;
+    if (checkpointing &&
+        (e + 1 == opt.epochs || (opt.checkpoint_every > 0 && (e + 1) % opt.checkpoint_every == 0))) {
+      // The gathers run on every rank (collectives); only rank 0 writes. A
+      // trailing barrier keeps the directory complete before any rank races
+      // into the next epoch or process exit. State-neutral: nothing training
+      // reads is touched, so checkpointed and plain runs stay bitwise equal.
+      CheckpointData data = model.gather_state(ctx);
+      data.model.scheme = static_cast<std::int32_t>(view.scheme());
+      data.model.preprocess_seed = opt.preprocess_seed;
+      data.model.pad_multiple = grid.size();
+      data.model.epochs_completed = e + 1;
+      if (ctx.rank() == 0) save_checkpoint(opt.checkpoint_dir, view, data);
+      ctx.comm.barrier(wg);
+    }
   }
   if (opt.evaluate_validation) {
     const double acc = model.evaluate(ctx, view.mask(Split::Val));
@@ -71,6 +106,67 @@ void train_rank_body(sim::RankContext& ctx, const DatasetView& view, const Grid3
   if (trace) {
     result->rank0_timeline = std::move(ctx.comm.timeline());  // comm is end-of-life here
   }
+}
+
+/// Shared threaded-cluster driver behind train_plexus and resume_plexus.
+TrainResult run_threaded(const DatasetView& view, const TrainOptions& opt,
+                         const ResumePlan& plan) {
+  PLEXUS_CHECK(view.padded_nodes() % opt.grid.size() == 0,
+               "dataset not padded for this grid volume");
+  PLEXUS_CHECK(opt.epochs >= plan.start_epoch,
+               "opt.epochs is the total epoch count and the checkpoint is already past it");
+  comm::World world(opt.grid.size());
+  Grid3D grid(world, opt.grid, *opt.machine);
+
+  TrainResult result;
+  result.first_epoch = plan.start_epoch;
+  result.epochs.resize(static_cast<std::size_t>(opt.epochs - plan.start_epoch));
+  const GcnSpec spec = resolve_options(opt);
+
+  const auto rank_fn = [&](sim::RankContext& ctx) {
+    train_rank_body(ctx, view, grid, spec, opt, plan, ctx.rank() == 0 ? &result : nullptr);
+  };
+  sim::run_cluster(world, *opt.machine, rank_fn, /*enable_clock=*/true, opt.intra_rank_threads,
+                   &comm::transport_for(opt.backend));
+  return result;
+}
+
+/// Shared one-process-per-rank driver behind train_plexus_rank and
+/// resume_plexus_rank.
+TrainResult run_rank(const DatasetView& view, const TrainOptions& opt, const ResumePlan& plan,
+                     int my_rank) {
+  PLEXUS_CHECK(view.padded_nodes() % opt.grid.size() == 0,
+               "dataset not padded for this grid volume");
+  PLEXUS_CHECK(opt.epochs >= plan.start_epoch,
+               "opt.epochs is the total epoch count and the checkpoint is already past it");
+  comm::Transport& transport = comm::transport_for(opt.backend);
+  comm::World world(opt.grid.size());
+  Grid3D grid(world, opt.grid, *opt.machine);
+
+  TrainResult result;
+  result.first_epoch = plan.start_epoch;
+  result.epochs.resize(static_cast<std::size_t>(opt.epochs - plan.start_epoch));
+  const GcnSpec spec = resolve_options(opt);
+
+  sim::run_distributed_rank(
+      world, *opt.machine, my_rank,
+      [&](sim::RankContext& ctx) { train_rank_body(ctx, view, grid, spec, opt, plan, &result); },
+      transport, /*enable_clock=*/true, opt.intra_rank_threads);
+  return result;
+}
+
+/// Fold a checkpoint's authoritative fields into a TrainOptions copy: the
+/// model spec, permutation scheme and preprocess seed come from the
+/// checkpoint, everything else (grid, epochs, backend, override knobs) from
+/// the caller.
+TrainOptions options_for_resume(const TrainOptions& opt, const io::ModelState& state) {
+  PLEXUS_CHECK(state.pad_multiple == opt.grid.size(),
+               "resume requires the grid volume the checkpoint was written for");
+  TrainOptions ropt = opt;
+  ropt.model = spec_from_model_state(state);
+  ropt.scheme = static_cast<PermutationScheme>(state.scheme);
+  ropt.preprocess_seed = state.preprocess_seed;
+  return ropt;
 }
 
 }  // namespace
@@ -92,21 +188,7 @@ EpochStats reduce_epoch_stats(comm::Communicator& comm, comm::GroupId wg, EpochS
 }
 
 TrainResult train_plexus(const DatasetView& view, const TrainOptions& opt) {
-  PLEXUS_CHECK(view.padded_nodes() % opt.grid.size() == 0,
-               "dataset not padded for this grid volume");
-  comm::World world(opt.grid.size());
-  Grid3D grid(world, opt.grid, *opt.machine);
-
-  TrainResult result;
-  result.epochs.resize(static_cast<std::size_t>(opt.epochs));
-  const GcnSpec spec = resolve_spec(opt);
-
-  const auto rank_fn = [&](sim::RankContext& ctx) {
-    train_rank_body(ctx, view, grid, spec, opt, ctx.rank() == 0 ? &result : nullptr);
-  };
-  sim::run_cluster(world, *opt.machine, rank_fn, /*enable_clock=*/true, opt.intra_rank_threads,
-                   &comm::transport_for(opt.backend));
-  return result;
+  return run_threaded(view, opt, ResumePlan{});
 }
 
 TrainResult train_plexus(const PlexusDataset& ds, const TrainOptions& opt) {
@@ -114,21 +196,28 @@ TrainResult train_plexus(const PlexusDataset& ds, const TrainOptions& opt) {
 }
 
 TrainResult train_plexus_rank(const DatasetView& view, const TrainOptions& opt, int my_rank) {
-  PLEXUS_CHECK(view.padded_nodes() % opt.grid.size() == 0,
-               "dataset not padded for this grid volume");
-  comm::Transport& transport = comm::transport_for(opt.backend);
-  comm::World world(opt.grid.size());
-  Grid3D grid(world, opt.grid, *opt.machine);
+  return run_rank(view, opt, ResumePlan{}, my_rank);
+}
 
-  TrainResult result;
-  result.epochs.resize(static_cast<std::size_t>(opt.epochs));
-  const GcnSpec spec = resolve_spec(opt);
+TrainResult resume_plexus(const std::string& checkpoint_dir, const TrainOptions& opt) {
+  const io::ModelState state = load_model_state(checkpoint_dir);
+  const TrainOptions ropt = options_for_resume(opt, state);
+  // The threaded cluster shares one view across rank threads, so the
+  // checkpoint dataset is materialised in memory (ShardedDatasetView is
+  // per-rank: its streaming stats are not synchronised).
+  const PlexusDataset ds = load_checkpoint_dataset(checkpoint_dir);
+  const InMemoryDatasetView view(ds);
+  return run_threaded(view, ropt,
+                      ResumePlan{&state, static_cast<int>(state.epochs_completed)});
+}
 
-  sim::run_distributed_rank(
-      world, *opt.machine, my_rank,
-      [&](sim::RankContext& ctx) { train_rank_body(ctx, view, grid, spec, opt, &result); },
-      transport, /*enable_clock=*/true, opt.intra_rank_threads);
-  return result;
+TrainResult resume_plexus_rank(const std::string& checkpoint_dir, const TrainOptions& opt,
+                               int my_rank) {
+  const io::ModelState state = load_model_state(checkpoint_dir);
+  const TrainOptions ropt = options_for_resume(opt, state);
+  const ShardedDatasetView view(checkpoint_dir);
+  return run_rank(view, ropt, ResumePlan{&state, static_cast<int>(state.epochs_completed)},
+                  my_rank);
 }
 
 TrainResult train_plexus(const graph::Graph& g, const TrainOptions& opt) {

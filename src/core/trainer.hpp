@@ -11,10 +11,13 @@
 ///   opt.grid = {2, 2, 2};
 ///   auto result = plexus::core::train_plexus(graph, opt);
 
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "comm/timeline.hpp"
 #include "comm/transport.hpp"
+#include "core/checkpoint.hpp"
 #include "core/model.hpp"
 #include "core/preprocess.hpp"
 #include "graph/graph.hpp"
@@ -44,12 +47,13 @@ struct TrainOptions {
   int pipeline_depth = -1;
   /// Aggregation strategy for the blocked collectives (see
   /// core::Aggregation): Dense ring collectives, Sparse selective row
-  /// exchange, or Auto (per layer/direction cost-model choice). Defaults to
-  /// the PLEXUS_AGG environment variable, else Dense. Copied into
-  /// model.options unconditionally — set model.options.aggregation through
-  /// this knob, not GcnSpec. Losses are bitwise-identical across strategies;
+  /// exchange, or Auto (per layer/direction cost-model choice). Follows the
+  /// same inherit-unless-set contract as pipeline_depth (see
+  /// resolve_options): std::nullopt keeps model.options.aggregation, a value
+  /// overrides it. Defaults to the PLEXUS_AGG environment variable when set,
+  /// else nullopt (inherit). Losses are bitwise-identical across strategies;
   /// only bytes-on-the-wire and the simulated comm time change.
-  Aggregation aggregation = default_aggregation();
+  std::optional<Aggregation> aggregation = env_aggregation();
   /// Record rank 0's simulated timeline (compute / in-flight / exposed comm
   /// spans) into TrainResult::rank0_timeline. Off by default (unbounded span
   /// storage); breakdown harnesses (fig9) turn it on.
@@ -63,12 +67,37 @@ struct TrainOptions {
   /// one-process-per-rank backend and cannot run under the threaded cluster —
   /// it is driven through train_plexus_rank instead.
   comm::Backend backend = comm::default_backend();
+  /// Checkpoint directory (core/checkpoint.hpp). Empty = no checkpointing.
+  /// When set, a checkpoint is always written after the final epoch; set
+  /// checkpoint_every > 0 to also write one every k-th epoch (absolute epoch
+  /// numbering). Rank 0 writes; the gather collectives run on every rank and
+  /// do not perturb training state or the recorded epoch stats.
+  std::string checkpoint_dir;
+  int checkpoint_every = 0;
 };
+
+/// Resolve the effective per-layer options from TrainOptions — THE one place
+/// trainer-level overrides meet GcnSpec, shared by every driver (threaded,
+/// one-process-per-rank, resume) and by serve/, so all of them configure the
+/// model identically. Contract, uniform across knobs:
+///   * pipeline_depth:  opt.pipeline_depth >= 0 overrides, < 0 (default)
+///     inherits model.options.pipeline_depth;
+///   * aggregation:     opt.aggregation engaged overrides, nullopt (default,
+///     unless PLEXUS_AGG is set) inherits model.options.aggregation.
+/// Everything else passes through opt.model untouched.
+GcnSpec resolve_options(const TrainOptions& opt);
+
+/// Rebuild the GcnSpec a checkpoint was trained with (exactly what
+/// gather_state flattened into the ModelState spec fields).
+GcnSpec spec_from_model_state(const io::ModelState& s);
 
 struct TrainResult {
   std::vector<EpochStats> epochs;  ///< max-over-ranks timings, rank-0 loss
   double val_accuracy = 0.0;
   comm::Timeline rank0_timeline;   ///< populated when TrainOptions::trace_timeline
+  /// Absolute index of epochs[0] (non-zero for resumed runs: a resume that
+  /// continues at epoch k records epochs [k, opt.epochs) only).
+  int first_epoch = 0;
 
   /// Mean epoch time skipping the first `skip` epochs ("average performance of
   /// the last eight epochs to account for initial fluctuations", section 6.2).
@@ -113,5 +142,22 @@ TrainResult train_plexus(const graph::Graph& g, const TrainOptions& opt);
 /// reduced across ranks exactly as in train_plexus), so rank 0 can print the
 /// same epoch lines the threaded cluster would.
 TrainResult train_plexus_rank(const DatasetView& view, const TrainOptions& opt, int my_rank);
+
+/// Resume training from a checkpoint directory on the threaded in-process
+/// cluster: loads the checkpoint's dataset (trained features) and model
+/// state, restores weights/optimizer moments, and trains epochs
+/// [epochs_completed, opt.epochs). Epoch seeds key on the absolute epoch
+/// index, so the resumed losses are bitwise-identical to an uninterrupted
+/// run's (tests/test_checkpoint.cpp). The checkpoint is authoritative for
+/// the model spec, permutation scheme and preprocess seed — those TrainOptions
+/// fields are ignored; grid/epochs/backend/override knobs still apply, and
+/// opt.grid's volume must equal the checkpoint's pad_multiple.
+TrainResult resume_plexus(const std::string& checkpoint_dir, const TrainOptions& opt);
+
+/// One-process-per-rank resume (see train_plexus_rank): each process streams
+/// its own shard of the checkpoint directory through a private
+/// ShardedDatasetView and restores its local state slices.
+TrainResult resume_plexus_rank(const std::string& checkpoint_dir, const TrainOptions& opt,
+                               int my_rank);
 
 }  // namespace plexus::core

@@ -1,5 +1,6 @@
 #include "dense/optim.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/error.hpp"
@@ -8,6 +9,14 @@ namespace plexus::dense {
 
 Adam::Adam(std::size_t num_params, AdamConfig cfg)
     : cfg_(cfg), m_(num_params, 0.0f), v_(num_params, 0.0f) {}
+
+void Adam::set_state(std::span<const float> m, std::span<const float> v, std::int64_t t) {
+  PLEXUS_CHECK(m.size() == m_.size() && v.size() == v_.size(), "Adam state size mismatch");
+  PLEXUS_CHECK(t >= 0, "Adam step count must be non-negative");
+  std::copy(m.begin(), m.end(), m_.begin());
+  std::copy(v.begin(), v.end(), v_.begin());
+  t_ = t;
+}
 
 void Adam::step(std::span<float> params, std::span<const float> grads) {
   PLEXUS_CHECK(params.size() == m_.size() && grads.size() == m_.size(), "Adam size mismatch");

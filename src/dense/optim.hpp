@@ -33,6 +33,16 @@ class Adam {
   std::int64_t t() const { return t_; }
   const AdamConfig& config() const { return cfg_; }
 
+  /// First/second-moment buffers, exposed for checkpointing: a restored
+  /// optimizer must resume from the exact (m, v, t) it was saved with or the
+  /// bias-corrected update diverges from the uninterrupted run.
+  std::span<const float> m() const { return m_; }
+  std::span<const float> v() const { return v_; }
+
+  /// Overwrite the optimizer state (checkpoint restore). Spans must match
+  /// num_params.
+  void set_state(std::span<const float> m, std::span<const float> v, std::int64_t t);
+
  private:
   AdamConfig cfg_;
   std::vector<float> m_;

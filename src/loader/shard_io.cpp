@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <utility>
 
+#include "loader/file_io.hpp"
 #include "sparse/coo.hpp"
 #include "sparse/partition2d.hpp"
 #include "util/error.hpp"
@@ -14,76 +15,7 @@ namespace plexus::io {
 
 namespace {
 
-constexpr std::uint64_t kMagic = 0x504c585553'0002ULL;  // "PLXUS" v2
-
-/// RAII stdio handle. `fclose` is where buffered write errors surface (a
-/// short flush on a full disk fails the close, not the fwrite), so write
-/// scopes must end with the checked close(); the destructor is the
-/// best-effort fallback for read files and for unwinding past an earlier
-/// error, where a throw would terminate.
-class File {
- public:
-  File(std::FILE* f, std::string path) : f_(f), path_(std::move(path)) {}
-  File(File&& o) noexcept : f_(std::exchange(o.f_, nullptr)), path_(std::move(o.path_)) {}
-  File(const File&) = delete;
-  File& operator=(const File&) = delete;
-  File& operator=(File&&) = delete;
-  ~File() {
-    if (f_ != nullptr) std::fclose(f_);
-  }
-
-  std::FILE* get() const { return f_; }
-
-  /// Flush + close, surfacing deferred write errors via PLEXUS_CHECK.
-  void close() {
-    if (f_ == nullptr) return;
-    std::FILE* f = std::exchange(f_, nullptr);
-    PLEXUS_CHECK(std::fclose(f) == 0, "close failed (buffered write error?) for " + path_);
-  }
-
- private:
-  std::FILE* f_ = nullptr;
-  std::string path_;
-};
-
-File open_file(const std::string& path, const char* mode) {
-  File f(std::fopen(path.c_str(), mode), path);
-  PLEXUS_CHECK(f.get() != nullptr, "cannot open " + path);
-  return f;
-}
-
-template <typename T>
-void write_pod(std::FILE* f, const T& v) {
-  PLEXUS_CHECK(std::fwrite(&v, sizeof(T), 1, f) == 1, "write failed");
-}
-
-template <typename T>
-void write_array(std::FILE* f, const T* data, std::size_t count) {
-  if (count == 0) return;
-  PLEXUS_CHECK(std::fwrite(data, sizeof(T), count, f) == count, "write failed");
-}
-
-template <typename T>
-T read_pod(std::FILE* f, LoadStats* stats) {
-  T v{};
-  PLEXUS_CHECK(std::fread(&v, sizeof(T), 1, f) == 1, "read failed");
-  if (stats != nullptr) stats->bytes_read += static_cast<std::int64_t>(sizeof(T));
-  return v;
-}
-
-template <typename T>
-std::vector<T> read_array(std::FILE* f, std::size_t count, LoadStats* stats) {
-  std::vector<T> v(count);
-  if (count > 0) {
-    PLEXUS_CHECK(std::fread(v.data(), sizeof(T), count, f) == count, "read failed");
-  }
-  if (stats != nullptr) {
-    stats->bytes_read += static_cast<std::int64_t>(count * sizeof(T));
-    stats->peak_host_bytes =
-        std::max(stats->peak_host_bytes, static_cast<std::int64_t>(count * sizeof(T)));
-  }
-  return v;
-}
+constexpr std::uint64_t kMagic = kPlxMagic;
 
 std::string adj_path(const std::string& dir, const std::string& prefix, int r, int c) {
   return dir + "/" + prefix + "_" + std::to_string(r) + "_" + std::to_string(c) + ".plx";

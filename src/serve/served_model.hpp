@@ -1,0 +1,71 @@
+#pragma once
+/// \file served_model.hpp
+/// A trained Plexus model loaded from a checkpoint directory for inference.
+///
+/// Serving full-graph GCN node classification has a property training does
+/// not: the graph is fixed, so every node's logits can be computed ONCE — a
+/// single serial forward pass over the checkpoint's trained features and
+/// global weight matrices — and every query after that is an O(num_classes)
+/// argmax against the cached logits. ServedModel does exactly that at load
+/// time and then answers `predict` lookups concurrently (all state is
+/// immutable after construction; const methods are thread-safe).
+///
+/// Queries address nodes by their ORIGINAL graph id. The preprocessing
+/// permutations regenerate deterministically from the checkpointed
+/// (scheme, preprocess_seed, num_layers), giving the original-id → logits-row
+/// map; the argmax runs over the valid classes only (padded weight columns
+/// are zero, so padded-class logits could otherwise shadow negative real
+/// logits).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dataset_view.hpp"
+#include "core/preprocess.hpp"
+#include "dense/matrix.hpp"
+#include "loader/checkpoint.hpp"
+
+namespace plexus::serve {
+
+struct Prediction {
+  std::int32_t label = 0;  ///< argmax class
+  float score = 0.0f;      ///< its logit
+};
+
+class ServedModel {
+ public:
+  /// Load `checkpoint_dir` (a core::save_checkpoint directory) and run the
+  /// one-time full-graph forward pass.
+  explicit ServedModel(const std::string& checkpoint_dir);
+
+  std::int64_t num_nodes() const { return ds_.num_nodes; }
+  std::int64_t num_classes() const { return ds_.num_classes; }
+  int num_layers() const { return state_.num_layers(); }
+  const io::ModelState& state() const { return state_; }
+
+  /// Classify one node (original graph id in [0, num_nodes())). Thread-safe.
+  Prediction predict(std::int64_t node) const;
+
+  /// Ground-truth label of a node (original id) — test/reporting convenience.
+  std::int32_t label(std::int64_t node) const;
+  /// True when the node is in the given split.
+  bool in_split(std::int64_t node, core::Split split) const;
+
+  /// Cached activation of layer `l` (layer output block, padded shape);
+  /// activations(num_layers() - 1) are the logits.
+  const dense::Matrix& activations(int l) const;
+  const dense::Matrix& logits() const;
+
+  /// The logits row a node's outputs live in (the regenerated output
+  /// permutation) — exposed for tests that compare against training.
+  std::int64_t logits_row(std::int64_t node) const;
+
+ private:
+  io::ModelState state_;
+  core::PlexusDataset ds_;
+  std::vector<dense::Matrix> acts_;   ///< one per layer, last = logits
+  std::vector<std::int64_t> p_out_;   ///< original id -> output row
+};
+
+}  // namespace plexus::serve

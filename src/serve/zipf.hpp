@@ -1,0 +1,51 @@
+#pragma once
+/// \file zipf.hpp
+/// Zipfian request sampler for the serving benchmarks: node popularity in
+/// real inference traffic is heavy-tailed, and a Zipf(s) mix is the standard
+/// stand-in (hot nodes hit the head, the long tail exercises the cold path).
+///
+/// Implementation: the inverse-power weights 1/(i+1)^s are prefix-summed
+/// into a CDF once (O(n)); each draw is a SplitMix64 uniform plus a binary
+/// search (O(log n)). Deterministic for a fixed (n, s, seed).
+
+#include <algorithm>
+#include <cstdint>
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace plexus::serve {
+
+class ZipfSampler {
+ public:
+  /// Ranks [0, n) with P(i) proportional to 1/(i+1)^exponent. exponent = 0
+  /// degenerates to uniform; ~1 is the classic web-traffic shape.
+  ZipfSampler(std::int64_t n, double exponent, std::uint64_t seed)
+      : rng_(seed) {
+    PLEXUS_CHECK(n > 0, "ZipfSampler: need a positive universe");
+    PLEXUS_CHECK(exponent >= 0.0, "ZipfSampler: exponent must be non-negative");
+    cdf_.resize(static_cast<std::size_t>(n));
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+      cdf_[static_cast<std::size_t>(i)] = acc;
+    }
+    for (auto& c : cdf_) c /= acc;
+  }
+
+  /// Next rank in [0, n). Rank 0 is the most popular.
+  std::int64_t next() {
+    const double u = rng_.next_double();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return it == cdf_.end() ? static_cast<std::int64_t>(cdf_.size()) - 1
+                            : static_cast<std::int64_t>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+  util::SplitMix64 rng_;
+};
+
+}  // namespace plexus::serve

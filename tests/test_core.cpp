@@ -227,3 +227,65 @@ TEST(AdjacencyStore, ShardsPartitionTheMatrix) {
     EXPECT_EQ(total, ds.adjacency_for_layer(layer).nnz()) << "layer " << layer;
   }
 }
+
+// ---------------------------------------------------------------------------
+// core::resolve_options — the one place trainer-level overrides meet GcnSpec
+// (shared by the threaded driver, the per-rank driver, resume, and serve/).
+
+#include "core/trainer.hpp"
+
+namespace {
+
+pc::TrainOptions options_with_model_defaults() {
+  pc::TrainOptions opt;
+  opt.model.options.pipeline_depth = 3;
+  opt.model.options.aggregation = pc::Aggregation::Sparse;
+  // Neutralize the PLEXUS_AGG-derived default so the matrix below is
+  // hermetic regardless of the test environment.
+  opt.aggregation = std::nullopt;
+  return opt;
+}
+
+}  // namespace
+
+TEST(ResolveOptions, NegativeDepthInheritsModelDepth) {
+  auto opt = options_with_model_defaults();
+  opt.pipeline_depth = -1;
+  EXPECT_EQ(pc::resolve_options(opt).options.pipeline_depth, 3);
+}
+
+TEST(ResolveOptions, ZeroAndPositiveDepthOverride) {
+  auto opt = options_with_model_defaults();
+  opt.pipeline_depth = 0;  // 0 is a real setting (adaptive), not "unset"
+  EXPECT_EQ(pc::resolve_options(opt).options.pipeline_depth, 0);
+  opt.pipeline_depth = 2;
+  EXPECT_EQ(pc::resolve_options(opt).options.pipeline_depth, 2);
+}
+
+TEST(ResolveOptions, NulloptAggregationInherits) {
+  auto opt = options_with_model_defaults();
+  EXPECT_EQ(pc::resolve_options(opt).options.aggregation, pc::Aggregation::Sparse);
+}
+
+TEST(ResolveOptions, EngagedAggregationOverrides) {
+  auto opt = options_with_model_defaults();
+  opt.aggregation = pc::Aggregation::Dense;
+  EXPECT_EQ(pc::resolve_options(opt).options.aggregation, pc::Aggregation::Dense);
+  opt.aggregation = pc::Aggregation::Auto;
+  EXPECT_EQ(pc::resolve_options(opt).options.aggregation, pc::Aggregation::Auto);
+}
+
+TEST(ResolveOptions, EverythingElsePassesThrough) {
+  auto opt = options_with_model_defaults();
+  opt.model.hidden_dims = {96, 32};
+  opt.model.seed = 1234;
+  opt.model.options.agg_row_blocks = 4;
+  opt.model.options.gemm_dw_tuning = true;
+  opt.pipeline_depth = 1;
+  const auto spec = pc::resolve_options(opt);
+  EXPECT_EQ(spec.hidden_dims, opt.model.hidden_dims);
+  EXPECT_EQ(spec.seed, 1234u);
+  EXPECT_EQ(spec.options.agg_row_blocks, 4);
+  EXPECT_TRUE(spec.options.gemm_dw_tuning);
+  EXPECT_EQ(spec.options.pipeline_depth, 1);
+}

@@ -189,3 +189,141 @@ TEST(Parse, RejectsGarbageUnlikeAtoi) {
   EXPECT_FALSE(pu::parse_int("-2147483649", v));
   EXPECT_EQ(v, 77);
 }
+
+// ---------------------------------------------------------------------------
+// util::EnumNames — the one string<->enum registry (CLI flags, env vars,
+// checkpoint headers). Property: to_string(from_string(name)) == name for
+// every listed name, case-insensitively, across all three registered enums.
+
+#include <cctype>
+
+#include "comm/transport.hpp"
+#include "core/layer.hpp"
+#include "core/preprocess.hpp"
+#include "util/enum_names.hpp"
+
+namespace {
+
+template <typename E>
+void expect_enum_round_trip() {
+  for (const auto& entry : pu::EnumNames<E>::table) {
+    E parsed{};
+    ASSERT_TRUE(pu::enum_from_string(entry.name, parsed)) << entry.name;
+    EXPECT_EQ(parsed, entry.value);
+    EXPECT_STREQ(pu::enum_name(parsed), entry.name);
+
+    // Case-insensitive: SHOUTED names parse to the same value.
+    std::string upper = entry.name;
+    for (char& c : upper) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    E parsed_upper{};
+    ASSERT_TRUE(pu::enum_from_string(upper, parsed_upper)) << upper;
+    EXPECT_EQ(parsed_upper, entry.value);
+
+    // The choices listing mentions every name.
+    EXPECT_NE(pu::enum_choices<E>().find(entry.name), std::string::npos);
+  }
+}
+
+}  // namespace
+
+TEST(EnumNames, BackendRoundTrip) { expect_enum_round_trip<plexus::comm::Backend>(); }
+TEST(EnumNames, PermutationSchemeRoundTrip) {
+  expect_enum_round_trip<plexus::core::PermutationScheme>();
+}
+TEST(EnumNames, AggregationRoundTrip) { expect_enum_round_trip<plexus::core::Aggregation>(); }
+
+TEST(EnumNames, RejectsUnknownAndFormatsError) {
+  plexus::comm::Backend b = plexus::comm::Backend::Sim;
+  EXPECT_FALSE(pu::enum_from_string("bogus", b));
+  EXPECT_EQ(b, plexus::comm::Backend::Sim);  // untouched on failure
+  const auto msg = pu::enum_error<plexus::comm::Backend>("bogus");
+  EXPECT_NE(msg.find("unknown backend 'bogus'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("sim"), std::string::npos) << msg;
+  // Caller-supplied availability listing overrides the static table.
+  const auto custom = pu::enum_error<plexus::comm::Backend>("x", "sim | local");
+  EXPECT_NE(custom.find("(expected sim | local)"), std::string::npos) << custom;
+}
+
+// ---------------------------------------------------------------------------
+// util::ArgParser — the shared --key=value CLI for the example binaries.
+
+#include "util/arg_parser.hpp"
+
+namespace {
+
+// argv builder: gtest-friendly wrapper around the char** interface.
+pu::ArgParser::Status parse_args(pu::ArgParser& args, std::vector<std::string> argv) {
+  argv.insert(argv.begin(), "prog");
+  std::vector<char*> ptrs;
+  for (auto& s : argv) ptrs.push_back(s.data());
+  return args.parse(static_cast<int>(ptrs.size()), ptrs.data());
+}
+
+pu::ArgParser train_like_parser() {
+  pu::ArgParser args("prog", "test parser", "[dataset] [epochs]");
+  args.add_flag("dataset", "name", "dataset to use", "ogbn-products");
+  args.add_flag("epochs", "n", "epochs to train", "10");
+  args.add_flag("checkpoint", "dir", "checkpoint directory");
+  return args;
+}
+
+}  // namespace
+
+TEST(ArgParser, DefaultsAndOverrides) {
+  auto args = train_like_parser();
+  ASSERT_EQ(parse_args(args, {"--epochs=5"}), pu::ArgParser::Status::Ok);
+  EXPECT_TRUE(args.is_set("epochs"));
+  EXPECT_FALSE(args.is_set("dataset"));
+  EXPECT_EQ(args.value("dataset"), "ogbn-products");  // default reported
+  int epochs = 0;
+  EXPECT_TRUE(args.value_int("epochs", epochs));
+  EXPECT_EQ(epochs, 5);
+}
+
+TEST(ArgParser, BareFlagStoresOne) {
+  auto args = train_like_parser();
+  ASSERT_EQ(parse_args(args, {"--checkpoint"}), pu::ArgParser::Status::Ok);
+  EXPECT_TRUE(args.is_set("checkpoint"));
+  EXPECT_EQ(args.value("checkpoint"), "1");
+}
+
+TEST(ArgParser, PositionalsCollectInOrder) {
+  auto args = train_like_parser();
+  ASSERT_EQ(parse_args(args, {"test-graph", "--epochs=3", "7"}), pu::ArgParser::Status::Ok);
+  ASSERT_EQ(args.positionals().size(), 2u);
+  EXPECT_EQ(args.positionals()[0], "test-graph");
+  EXPECT_EQ(args.positionals()[1], "7");
+}
+
+TEST(ArgParser, HelpShortCircuits) {
+  auto args = train_like_parser();
+  EXPECT_EQ(parse_args(args, {"--help"}), pu::ArgParser::Status::Help);
+  // Usage mentions every flag, its hint, and the deprecated positional form.
+  const auto usage = args.usage();
+  EXPECT_NE(usage.find("--dataset=name"), std::string::npos) << usage;
+  EXPECT_NE(usage.find("--epochs=n"), std::string::npos) << usage;
+  EXPECT_NE(usage.find("[dataset] [epochs]"), std::string::npos) << usage;
+}
+
+TEST(ArgParser, UnknownFlagSuggestsNearestName) {
+  auto args = train_like_parser();
+  EXPECT_EQ(parse_args(args, {"--epocs=3"}), pu::ArgParser::Status::Error);
+  EXPECT_NE(args.error().find("--epocs"), std::string::npos) << args.error();
+  EXPECT_NE(args.error().find("--epochs"), std::string::npos) << args.error();  // did-you-mean
+}
+
+TEST(ArgParser, UnknownFlagWithoutNeighborStillErrors) {
+  auto args = train_like_parser();
+  EXPECT_EQ(parse_args(args, {"--definitely-not-a-flag=1"}), pu::ArgParser::Status::Error);
+  EXPECT_NE(args.error().find("definitely-not-a-flag"), std::string::npos) << args.error();
+}
+
+TEST(ArgParser, RejectsNonNumericValues) {
+  auto args = train_like_parser();
+  ASSERT_EQ(parse_args(args, {"--epochs=ten"}), pu::ArgParser::Status::Ok);  // strings parse fine
+  int epochs = 42;
+  EXPECT_FALSE(args.value_int("epochs", epochs));
+  EXPECT_EQ(epochs, 42);  // untouched on failure
+  std::int64_t e64 = 42;
+  EXPECT_FALSE(args.value_int64("epochs", e64));
+}

@@ -14,7 +14,15 @@ Thresholds live in tools/perf_smoke_thresholds.json. The gated counters
 the ring cost model — fully deterministic, so the gate is runner-independent.
 On failure every violated threshold is printed with a value-vs-limit diff.
 
-Usage: perf_smoke_check.py <micro_collectives.json> [thresholds.json]
+It can additionally (or instead) gate the serving stack: pass
+--serve-report=PATH with a bench/micro_serve JSON report and the serve
+section of the thresholds file is checked (minimum sustained QPS, maximum
+p99 latency, nothing rejected). Serve numbers are wall-clock, so those
+margins are deliberately loose — the gate catches order-of-magnitude
+regressions and outright breakage, not percent-level drift.
+
+Usage: perf_smoke_check.py [micro_collectives.json] [thresholds.json]
+                           [--serve-report=micro_serve.json]
 """
 import json
 import os
@@ -135,34 +143,71 @@ def check_sparse_bytes(counters, thresholds, failures):
             )
 
 
+def check_serve(counters, thresholds, failures):
+    serve = thresholds.get("serve")
+    if serve is None:
+        failures.append("thresholds file has no 'serve' section")
+        return
+    name = serve["benchmark"]
+    qps = get_counter(counters, name, "qps", failures)
+    p99 = get_counter(counters, name, "p99_us", failures)
+    rejected = get_counter(counters, name, "rejected", failures)
+    if qps is None or p99 is None or rejected is None:
+        return
+    ok = qps >= serve["min_qps"] and p99 <= serve["max_p99_us"] and rejected == 0
+    print(
+        f"[{'OK' if ok else 'FAIL'}] {name}: {qps:.0f} QPS (min {serve['min_qps']:.0f}), "
+        f"p99 {p99:.1f}us (max {serve['max_p99_us']:.0f}us), {rejected:.0f} rejected"
+    )
+    if not ok:
+        failures.append(
+            f"{name}: QPS {qps:.0f} / p99 {p99:.1f}us / rejected {rejected:.0f} violates "
+            f"(min_qps {serve['min_qps']}, max_p99_us {serve['max_p99_us']}, rejected == 0)"
+        )
+
+
 def main():
-    if len(sys.argv) < 2:
+    serve_report = None
+    positionals = []
+    for arg in sys.argv[1:]:
+        if arg.startswith("--serve-report="):
+            serve_report = arg.split("=", 1)[1]
+        else:
+            positionals.append(arg)
+    if not positionals and serve_report is None:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    report_path = sys.argv[1]
     thresholds_path = (
-        sys.argv[2]
-        if len(sys.argv) > 2
+        positionals[1]
+        if len(positionals) > 1
         else os.path.join(os.path.dirname(os.path.abspath(__file__)), "perf_smoke_thresholds.json")
     )
     with open(thresholds_path) as f:
         thresholds = json.load(f)
-    counters = load_counters(report_path)
 
     failures = []
-    check_pipelined_vs_blocking(counters, thresholds, failures)
-    check_adaptive_vs_best_fixed(counters, thresholds, failures)
-    check_sparse_bytes(counters, thresholds, failures)
+    if positionals:
+        counters = load_counters(positionals[0])
+        check_pipelined_vs_blocking(counters, thresholds, failures)
+        check_adaptive_vs_best_fixed(counters, thresholds, failures)
+        check_sparse_bytes(counters, thresholds, failures)
+    if serve_report is not None:
+        check_serve(load_counters(serve_report), thresholds, failures)
 
     if failures:
         print(f"\nperf-smoke FAILED ({len(failures)} threshold(s) violated):", file=sys.stderr)
         for f_ in failures:
             print(f"  - {f_}", file=sys.stderr)
         return 1
-    print(
-        "\nperf-smoke passed: pipelining hides communication, the adaptive depth "
-        "matches or beats every fixed depth, and sparse aggregation moves fewer bytes."
-    )
+    checked = []
+    if positionals:
+        checked.append(
+            "pipelining hides communication, the adaptive depth matches or beats every "
+            "fixed depth, and sparse aggregation moves fewer bytes"
+        )
+    if serve_report is not None:
+        checked.append("the serving stack sustains the gated QPS within the p99 latency cap")
+    print(f"\nperf-smoke passed: {'; '.join(checked)}.")
     return 0
 
 
