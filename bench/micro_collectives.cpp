@@ -311,6 +311,62 @@ BENCHMARK(BM_BlockedAggregationSparseBytes)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
+/// Float wire bytes of a short training run under the bf16 wire format vs
+/// the fp32 default, through the full trainer (same graph, same grid, same
+/// seeds — only TrainOptions::wire differs). Reports `wire_bytes_ratio` =
+/// bf16 wire bytes / fp32 wire bytes, which CI's perf-smoke job gates at
+/// <= 0.55 (the measured value is exactly 0.5: every payload this workload
+/// ships is fp32 and packs 2 bytes/float on the wire). Deterministic
+/// (post-time byte accounting), hence Iterations(1).
+void BM_Bf16WireBytes(benchmark::State& state) {
+  static const plexus::graph::Graph g = [] {
+    constexpr int kScale = 12;
+    const std::int64_t nodes = std::int64_t{1} << kScale;
+    plexus::graph::Graph built;
+    built.name = "rmat-bf16wire";
+    built.num_nodes = nodes;
+    built.num_classes = 8;
+    built.edges = plexus::graph::rmat(kScale, nodes * 4, 0.57, 0.19, 0.19, 0.05, /*seed=*/42);
+    built.features = plexus::dense::Matrix(nodes, 32);
+    plexus::util::CounterRng rng(11);
+    for (std::int64_t i = 0; i < built.features.size(); ++i) {
+      built.features.flat()[static_cast<std::size_t>(i)] =
+          rng.uniform_at(static_cast<std::uint64_t>(i), -1, 1);
+    }
+    built.labels.resize(static_cast<std::size_t>(nodes));
+    for (std::int64_t v = 0; v < nodes; ++v) {
+      built.labels[static_cast<std::size_t>(v)] = static_cast<std::int32_t>(v % 8);
+    }
+    built.train_mask.assign(static_cast<std::size_t>(nodes), 1);
+    built.val_mask.assign(static_cast<std::size_t>(nodes), 0);
+    built.test_mask.assign(static_cast<std::size_t>(nodes), 0);
+    return built;
+  }();
+
+  double fp32_bytes = 0.0, bf16_bytes = 0.0;
+  for (auto _ : state) {
+    plexus::core::TrainOptions opt;
+    opt.grid = {2, 1, 2};
+    opt.machine = &plexus::sim::Machine::test_machine();
+    opt.model.hidden_dims = {32};
+    opt.epochs = 2;
+    opt.wire = plexus::comm::WirePrecision::Fp32;
+    const auto fp32 = plexus::core::train_plexus(g, opt);
+    opt.wire = plexus::comm::WirePrecision::Bf16;
+    const auto bf16 = plexus::core::train_plexus(g, opt);
+    fp32_bytes = fp32.epochs.back().comm_wire_bytes;
+    bf16_bytes = bf16.epochs.back().comm_wire_bytes;
+  }
+  state.counters["fp32_wire_mb"] =
+      benchmark::Counter(fp32_bytes / 1e6, benchmark::Counter::kDefaults);
+  state.counters["bf16_wire_mb"] =
+      benchmark::Counter(bf16_bytes / 1e6, benchmark::Counter::kDefaults);
+  state.counters["wire_bytes_ratio"] =
+      benchmark::Counter(fp32_bytes > 0.0 ? bf16_bytes / fp32_bytes : 1.0,
+                         benchmark::Counter::kDefaults);
+}
+BENCHMARK(BM_Bf16WireBytes)->Unit(benchmark::kMillisecond)->Iterations(1);
+
 /// Wall-clock effect of per-group comm channels: a 2x2 grid where every rank
 /// posts one all-reduce on its *row* line and one on its *column* line
 /// (GroupIds 1-4), then waits both. With one channel the two collectives

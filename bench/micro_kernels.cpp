@@ -23,6 +23,7 @@
 #include "sparse/csr.hpp"
 #include "sparse/spmm.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -180,6 +181,90 @@ void BM_GemmThreads(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GemmThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// SIMD-vs-scalar kernel speedups, gated by CI's perf-smoke job. The
+// denominator is the *pinned* scalar table — kernels(Target::Scalar), the
+// same code PLEXUS_SIMD=scalar would dispatch to — measured in-process on
+// the identical operands, so no re-exec under a different environment is
+// needed and the ratio isolates vectorization (both sides single-threaded,
+// both compiled with -ffp-contract=off, bitwise-identical outputs).
+
+/// Min-of-three wall time of one full-matrix call of `k`'s SpMM row kernel
+/// on the RMAT sweep operands (one warm-up call first).
+double spmm_kernel_seconds(const plexus::simd::Kernels& k, plexus::dense::Matrix& c) {
+  const auto& a = rmat_adj();
+  const auto& b = rmat_dense();
+  const auto run = [&] {
+    k.spmm_rows(a.row_ptr().data(), a.col_idx().data(), a.vals().data(), b.data(), b.cols(),
+                c.data(), c.cols(), 0, a.rows(), b.cols(), /*accumulate=*/false);
+  };
+  run();
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    run();
+    benchmark::DoNotOptimize(c.data());
+    best = std::min(
+        best, std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count());
+  }
+  return best;
+}
+
+void BM_SpmmSimdVsScalar(benchmark::State& state) {
+  const auto& a = rmat_adj();
+  plexus::dense::Matrix c(a.rows(), rmat_dense().cols());
+  const double scalar =
+      spmm_kernel_seconds(plexus::simd::kernels(plexus::simd::Target::Scalar), c);
+  double active = std::numeric_limits<double>::infinity();
+  for (auto _ : state) {
+    active = std::min(active, spmm_kernel_seconds(plexus::simd::active_kernels(), c));
+  }
+  state.SetLabel(plexus::simd::target_name(plexus::simd::active_target()));
+  state.SetItemsProcessed(state.iterations() * a.nnz() * rmat_dense().cols() * 2);
+  if (active > 0.0 && std::isfinite(active)) {
+    state.counters["speedup_vs_serial"] = scalar / active;
+  }
+}
+BENCHMARK(BM_SpmmSimdVsScalar)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+/// Min-of-three wall time of one full-range GEMM accumulate tile of `k` on
+/// the kGemmSweepN operands.
+double gemm_kernel_seconds(const plexus::simd::Kernels& k, const plexus::dense::Matrix& a,
+                           const plexus::dense::Matrix& b, plexus::dense::Matrix& c) {
+  const std::int64_t n = kGemmSweepN;
+  const auto run = [&] {
+    k.gemm_tile(a.data(), n, b.data(), n, c.data(), n, 0, n, 0, n, n, 1.0f);
+  };
+  run();
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    run();
+    benchmark::DoNotOptimize(c.data());
+    best = std::min(
+        best, std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count());
+  }
+  return best;
+}
+
+void BM_GemmSimdVsScalar(benchmark::State& state) {
+  const auto a = make_dense(kGemmSweepN, kGemmSweepN);
+  const auto b = make_dense(kGemmSweepN, kGemmSweepN);
+  plexus::dense::Matrix c(kGemmSweepN, kGemmSweepN);
+  const double scalar =
+      gemm_kernel_seconds(plexus::simd::kernels(plexus::simd::Target::Scalar), a, b, c);
+  double active = std::numeric_limits<double>::infinity();
+  for (auto _ : state) {
+    active = std::min(active, gemm_kernel_seconds(plexus::simd::active_kernels(), a, b, c));
+  }
+  state.SetLabel(plexus::simd::target_name(plexus::simd::active_target()));
+  state.SetItemsProcessed(state.iterations() * 2 * kGemmSweepN * kGemmSweepN * kGemmSweepN);
+  if (active > 0.0 && std::isfinite(active)) {
+    state.counters["speedup_vs_serial"] = scalar / active;
+  }
+}
+BENCHMARK(BM_GemmSimdVsScalar)->Unit(benchmark::kMillisecond)->Iterations(1);
 
 void BM_CsrTranspose(benchmark::State& state) {
   const auto a = make_adj(state.range(0), 16.0);

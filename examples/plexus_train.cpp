@@ -1,7 +1,7 @@
 // Command-line training driver — the "plexus run" entry point a downstream
 // user would script:
 //
-//   ./build/examples/plexus_train --dataset=ogbn-products --nodes=8000 \
+//   ./build/examples/plexus_train --dataset=ogbn-products --nodes=8000
 //       --grid=4x2x2 --epochs=10 --backend=local --agg=sparse
 //   ./build/examples/plexus_train --gpus=16        # perf model picks the grid
 //   ./build/examples/plexus_train --checkpoint=/tmp/ckpt --checkpoint-every=2
@@ -17,7 +17,10 @@
 // rank then streams only its own shard's block files (see docs/COMM.md).
 // --agg picks the aggregation strategy (dense | sparse | auto; default:
 // PLEXUS_AGG, else the model's) — losses are bitwise-identical, wire bytes
-// differ. --checkpoint writes a restorable checkpoint directory (final epoch
+// differ. --wire picks the collective wire format (fp32 | bf16; default:
+// PLEXUS_WIRE, else fp32) — bf16 halves the float wire volume but is an
+// explicit numeric change (losses close, not bitwise; docs/COMM.md).
+// --checkpoint writes a restorable checkpoint directory (final epoch
 // always, every k-th epoch with --checkpoint-every=k); --resume continues a
 // checkpointed run bitwise (see docs/SERVING.md).
 //
@@ -37,6 +40,7 @@
 #include "util/arg_parser.hpp"
 #include "util/enum_names.hpp"
 #include "util/parse.hpp"
+#include "util/simd.hpp"
 
 namespace {
 
@@ -73,6 +77,10 @@ int main(int argc, char** argv) {
   args.add_flag("agg", "name",
                 "aggregation: " + plexus::util::enum_choices<plexus::core::Aggregation>() +
                     " (default: PLEXUS_AGG, else the model's)");
+  args.add_flag("wire", "name",
+                "fp32 wire format: " +
+                    plexus::util::enum_choices<plexus::comm::WirePrecision>() +
+                    " (default: PLEXUS_WIRE, else fp32; bf16 is not bitwise)");
   args.add_flag("checkpoint", "dir", "write a checkpoint directory (final epoch; see -every)");
   args.add_flag("checkpoint-every", "k", "also checkpoint every k-th epoch", "0");
   args.add_flag("resume", "dir", "resume from a checkpoint directory (bitwise continuation)");
@@ -140,6 +148,12 @@ int main(int argc, char** argv) {
     }
     agg = a;
   }
+  auto wire = plexus::comm::default_wire_precision();
+  if (args.is_set("wire") &&
+      !plexus::comm::wire_precision_from_string(args.value("wire"), wire)) {
+    return fail(args,
+                plexus::util::enum_error<plexus::comm::WirePrecision>(args.value("wire")));
+  }
   const std::string checkpoint_dir = args.value("checkpoint");
   int checkpoint_every = 0;
   if (!args.value_int("checkpoint-every", checkpoint_every) || checkpoint_every < 0) {
@@ -197,17 +211,23 @@ int main(int argc, char** argv) {
   opt.evaluate_validation = true;
   opt.backend = backend;
   opt.aggregation = agg;
+  opt.wire = wire;
   opt.checkpoint_dir = checkpoint_dir;
   opt.checkpoint_every = checkpoint_every;
 
   const char* agg_label =
       agg.has_value() ? plexus::core::aggregation_name(*agg) : "model default";
+  const char* wire_label = plexus::comm::wire_precision_name(wire);
+  const char* simd_label = plexus::simd::target_name(plexus::simd::active_target());
 
   plexus::core::TrainResult result;
   if (!resume_dir.empty()) {
     if (rt.rank == 0) {
-      std::printf("resuming from %s on a %dx%dx%d grid, %d total epochs, %s transport\n",
-                  resume_dir.c_str(), gx, gy, gz, epochs, plexus::comm::backend_name(backend));
+      std::printf(
+          "resuming from %s on a %dx%dx%d grid, %d total epochs, %s transport, %s wire, "
+          "%s simd\n",
+          resume_dir.c_str(), gx, gy, gz, epochs, plexus::comm::backend_name(backend),
+          wire_label, simd_label);
     }
     result = distributed ? plexus::core::resume_plexus_rank(resume_dir, opt, rt.rank)
                          : plexus::core::resume_plexus(resume_dir, opt);
@@ -215,10 +235,10 @@ int main(int argc, char** argv) {
     const auto g = plexus::graph::make_proxy(info, nodes, /*seed=*/1);
     std::printf(
         "training %s proxy (%lld nodes, %lld edges) on a %dx%dx%d grid, %d epochs, "
-        "%s transport, %s aggregation\n",
+        "%s transport, %s aggregation, %s wire, %s simd\n",
         dataset.c_str(), static_cast<long long>(g.num_nodes),
         static_cast<long long>(g.num_edges()), gx, gy, gz, epochs,
-        plexus::comm::backend_name(backend), agg_label);
+        plexus::comm::backend_name(backend), agg_label, wire_label, simd_label);
     result = plexus::core::train_plexus(g, opt);
   } else {
     // Rank 0 preprocesses once and writes the sharded block-file layout; the
@@ -236,10 +256,10 @@ int main(int argc, char** argv) {
       const auto g = plexus::graph::make_proxy(info, nodes, /*seed=*/1);
       std::printf(
           "training %s proxy (%lld nodes, %lld edges) on a %dx%dx%d grid, %d epochs, "
-          "%s transport, %s aggregation\n",
+          "%s transport, %s aggregation, %s wire, %s simd\n",
           dataset.c_str(), static_cast<long long>(g.num_nodes),
           static_cast<long long>(g.num_edges()), gx, gy, gz, epochs,
-          plexus::comm::backend_name(backend), agg_label);
+          plexus::comm::backend_name(backend), agg_label, wire_label, simd_label);
       const auto ds = plexus::core::preprocess_graph(g, opt.scheme, opt.model.num_layers(),
                                                      /*pad_multiple=*/volume,
                                                      opt.preprocess_seed);

@@ -72,8 +72,11 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdint>
 #include <cstring>
+#include <functional>
 #include <limits>
+#include <memory>
 #include <set>
 #include <span>
 #include <utility>
@@ -86,6 +89,7 @@
 #include "comm/transport.hpp"
 #include "comm/world.hpp"
 #include "util/error.hpp"
+#include "util/simd.hpp"
 
 namespace plexus::comm {
 
@@ -172,6 +176,20 @@ void accumulate_sum(void* acc, const void* src, std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) a[i] += s[i];
 }
 
+/// CollArgs-shaped wrappers over the bf16 wire helpers (util/simd.hpp):
+/// bf16 wire contributions folded into a fp32 accumulator, so precision is
+/// lost exactly once per contribution (at the sender's pack), never in the
+/// summation itself.
+inline void assign_bf16_f32(void* acc, const void* src, std::size_t n) {
+  simd::bf16_assign_f32(static_cast<float*>(acc), static_cast<const std::uint16_t*>(src),
+                        static_cast<std::int64_t>(n));
+}
+
+inline void accumulate_bf16_f32(void* acc, const void* src, std::size_t n) {
+  simd::bf16_accumulate_f32(static_cast<float*>(acc), static_cast<const std::uint16_t*>(src),
+                            static_cast<std::int64_t>(n));
+}
+
 }  // namespace detail
 
 class Communicator {
@@ -187,7 +205,7 @@ class Communicator {
                Transport* transport = nullptr)
       : world_(&world), rank_(rank), clock_(clock),
         transport_(transport != nullptr ? transport : &transport_for(default_backend())),
-        channel_budget_(comm_thread_budget()) {
+        wire_(default_wire_precision()), channel_budget_(comm_thread_budget()) {
     PLEXUS_CHECK(rank >= 0 && rank < world.size(), "rank out of range");
     PLEXUS_CHECK(clock == nullptr || transport_->supports_clock(),
                  "this transport cannot carry a SimClock");
@@ -207,6 +225,20 @@ class Communicator {
                  "this transport cannot carry a SimClock");
     clock_ = clock;
   }
+
+  /// Select the wire format for fp32 collective payloads (transport.hpp).
+  /// Like set_clock, must precede the first op: mixing wire formats inside
+  /// one SPMD program would deadlock the count/byte exchanges.
+  void set_wire_precision(WirePrecision w) {
+    PLEXUS_CHECK(!posted_any_, "set_wire_precision: must precede the first collective");
+    wire_ = w;
+  }
+  WirePrecision wire_precision() const { return wire_; }
+
+  /// Bytes one fp32 payload element occupies on this rank's wire — the
+  /// planning input for pipeline-depth / aggregation choices (they must
+  /// price what the links actually carry, not the in-memory width).
+  std::size_t wire_float_bytes() const { return wire_elem_size(wire_); }
 
   Transport& transport() const { return *transport_; }
   Backend backend() const { return transport_->backend(); }
@@ -252,6 +284,28 @@ class Communicator {
     a.count = inout.size();
     a.dtype = dtype_of<T>();
     a.accumulate = &detail::accumulate_sum<T>;
+    if constexpr (std::is_same_v<T, float>) {
+      if (wire_ == WirePrecision::Bf16) {
+        // Publish a bf16-packed copy of the contribution; every member folds
+        // the G wire chunks in canonical order into its own fp32 buffer, so
+        // the result is still group-uniform.
+        a.elem = sizeof(std::uint16_t);
+        a.acc_elem = sizeof(float);
+        a.assign = &detail::assign_bf16_f32;
+        a.accumulate = &detail::accumulate_bf16_f32;
+        auto wire = std::make_shared<std::vector<std::uint16_t>>();
+        const float* src = inout.data();
+        const std::size_t n = inout.size();
+        return post_wire_op(
+            a, static_cast<std::int64_t>(n * sizeof(std::uint16_t)),
+            [wire, src, n](CollArgs& aw) {
+              wire->resize(n);
+              simd::bf16_pack(src, wire->data(), static_cast<std::int64_t>(n));
+              aw.send = wire->data();
+            },
+            [] {});
+      }
+    }
     return post_collective(a, static_cast<std::int64_t>(inout.size() * sizeof(T)));
   }
 
@@ -270,6 +324,27 @@ class Communicator {
     a.elem = sizeof(T);
     a.count = in.size();
     a.dtype = dtype_of<T>();
+    if constexpr (std::is_same_v<T, float>) {
+      if (wire_ == WirePrecision::Bf16) {
+        a.elem = sizeof(std::uint16_t);
+        auto ws = std::make_shared<std::vector<std::uint16_t>>();
+        auto wr = std::make_shared<std::vector<std::uint16_t>>();
+        const float* src = in.data();
+        const std::size_t sn = in.size();
+        return post_wire_op(
+            a, static_cast<std::int64_t>(out.size() * sizeof(std::uint16_t)),
+            [ws, wr, src, sn, rn = out.size()](CollArgs& aw) {
+              ws->resize(sn);
+              simd::bf16_pack(src, ws->data(), static_cast<std::int64_t>(sn));
+              wr->resize(rn);
+              aw.send = ws->data();
+              aw.recv = wr->data();
+            },
+            [wr, out] {
+              simd::bf16_unpack(wr->data(), out.data(), static_cast<std::int64_t>(out.size()));
+            });
+      }
+    }
     return post_collective(a, static_cast<std::int64_t>(out.size() * sizeof(T)));
   }
 
@@ -289,6 +364,25 @@ class Communicator {
     a.count = out.size();
     a.dtype = dtype_of<T>();
     a.accumulate = &detail::accumulate_sum<T>;
+    if constexpr (std::is_same_v<T, float>) {
+      if (wire_ == WirePrecision::Bf16) {
+        a.elem = sizeof(std::uint16_t);
+        a.acc_elem = sizeof(float);
+        a.assign = &detail::assign_bf16_f32;
+        a.accumulate = &detail::accumulate_bf16_f32;
+        auto wire = std::make_shared<std::vector<std::uint16_t>>();
+        const float* src = in.data();
+        const std::size_t sn = in.size();
+        return post_wire_op(
+            a, static_cast<std::int64_t>(in.size() * sizeof(std::uint16_t)),
+            [wire, src, sn](CollArgs& aw) {
+              wire->resize(sn);
+              simd::bf16_pack(src, wire->data(), static_cast<std::int64_t>(sn));
+              aw.send = wire->data();
+            },
+            [] {});
+      }
+    }
     return post_collective(a, static_cast<std::int64_t>(in.size() * sizeof(T)));
   }
 
@@ -326,6 +420,61 @@ class Communicator {
                  "iall_to_all_v: send buffer does not match send_counts");
     PLEXUS_CHECK(recv.size() == static_cast<std::size_t>(recv_elems),
                  "iall_to_all_v: recv buffer does not match recv_counts");
+    if constexpr (std::is_same_v<T, float>) {
+      if (wire_ == WirePrecision::Bf16) {
+        // Same straggler protocol as below, but the packed chunks travel as
+        // bf16: the counts stay element counts, only `elem` (and therefore
+        // every displacement and the costed byte volume) narrows.
+        a.elem = sizeof(std::uint16_t);
+        const std::int64_t my_wire_bytes =
+            my_elems * static_cast<std::int64_t>(sizeof(std::uint16_t));
+        auto ws = std::make_shared<std::vector<std::uint16_t>>();
+        auto wr = std::make_shared<std::vector<std::uint16_t>>();
+        const float* sptr = send.data();
+        const std::size_t sn = send.size();
+        const std::span<float> out = recv;
+        std::function<void(CollArgs&)> setup = [ws, wr, sptr, sn,
+                                                rn = recv.size()](CollArgs& aw) {
+          ws->resize(sn);
+          simd::bf16_pack(sptr, ws->data(), static_cast<std::int64_t>(sn));
+          wr->resize(rn);
+          aw.send = ws->data();
+          aw.recv = wr->data();
+        };
+        std::function<void()> teardown = [wr, out] {
+          simd::bf16_unpack(wr->data(), out.data(), static_cast<std::int64_t>(out.size()));
+        };
+        Transport* t = transport_;
+        if (!t->uses_group_protocol()) {
+          return post_op(Collective::AllToAll, gid, my_wire_bytes,
+                         [&g, a, t, setup = std::move(setup),
+                          teardown = std::move(teardown)](detail::CommOp& op) mutable {
+                           setup(a);
+                           t->execute(g, a, op);
+                           teardown();
+                         });
+        }
+        return post_op(Collective::AllToAll, gid, /*bytes=*/0,
+                       [&g, a, t, my_wire_bytes, setup = std::move(setup),
+                        teardown = std::move(teardown)](detail::CommOp& op) mutable {
+                         setup(a);
+                         detail::aux_value(g, a.pos) = static_cast<double>(my_wire_bytes);
+                         const double floor =
+                             detail::publish(g, a.pos, a.send, op.posted_clock);
+                         g.barrier->arrive_and_wait();
+                         double max_bytes = 0.0;
+                         for (int m = 0; m < g.size(); ++m) {
+                           max_bytes = std::max(max_bytes, detail::aux_value(g, m));
+                         }
+                         op.bytes = static_cast<std::int64_t>(max_bytes);
+                         t->move(g, a);
+                         detail::finish_read_phase(g, a.pos, floor, op);
+                         g.barrier->arrive_and_wait();
+                         t->finalize(g, a);
+                         teardown();
+                       });
+      }
+    }
     const std::int64_t my_bytes = my_elems * static_cast<std::int64_t>(sizeof(T));
     Transport* t = transport_;
     if (!t->uses_group_protocol()) {
@@ -404,6 +553,33 @@ class Communicator {
     a.count = buf.size();
     a.root = root_pos;
     a.dtype = dtype_of<T>();
+    if constexpr (std::is_same_v<T, float>) {
+      if (wire_ == WirePrecision::Bf16) {
+        // The root packs into the wire buffer; *every* member — the root
+        // included — widens the wire buffer back, so replicated state stays
+        // bitwise-identical across the group (a root that kept its exact
+        // fp32 copy would silently diverge from its peers).
+        a.elem = sizeof(std::uint16_t);
+        auto wire = std::make_shared<std::vector<std::uint16_t>>();
+        const std::span<float> out = buf;
+        post_wire_op(
+            a, static_cast<std::int64_t>(buf.size() * sizeof(std::uint16_t)),
+            [wire, out](CollArgs& aw) {
+              wire->resize(out.size());
+              if (aw.pos == aw.root) {
+                simd::bf16_pack(out.data(), wire->data(),
+                                static_cast<std::int64_t>(out.size()));
+              }
+              aw.recv = wire->data();
+            },
+            [wire, out] {
+              simd::bf16_unpack(wire->data(), out.data(),
+                                static_cast<std::int64_t>(out.size()));
+            })
+            .wait();
+        return;
+      }
+    }
     post_collective(a, static_cast<std::int64_t>(buf.size() * sizeof(T))).wait();
   }
 
@@ -422,6 +598,29 @@ class Communicator {
     a.elem = sizeof(T);
     a.count = in.size() / static_cast<std::size_t>(g.size());
     a.dtype = dtype_of<T>();
+    if constexpr (std::is_same_v<T, float>) {
+      if (wire_ == WirePrecision::Bf16) {
+        a.elem = sizeof(std::uint16_t);
+        auto ws = std::make_shared<std::vector<std::uint16_t>>();
+        auto wr = std::make_shared<std::vector<std::uint16_t>>();
+        const float* src = in.data();
+        const std::size_t sn = in.size();
+        post_wire_op(
+            a, static_cast<std::int64_t>(in.size() * sizeof(std::uint16_t)),
+            [ws, wr, src, sn, rn = out.size()](CollArgs& aw) {
+              ws->resize(sn);
+              simd::bf16_pack(src, ws->data(), static_cast<std::int64_t>(sn));
+              wr->resize(rn);
+              aw.send = ws->data();
+              aw.recv = wr->data();
+            },
+            [wr, out] {
+              simd::bf16_unpack(wr->data(), out.data(), static_cast<std::int64_t>(out.size()));
+            })
+            .wait();
+        return;
+      }
+    }
     post_collective(a, static_cast<std::int64_t>(in.size() * sizeof(T))).wait();
   }
 
@@ -559,6 +758,43 @@ class Communicator {
     });
   }
 
+  /// post_collective for compressed-wire fp32 payloads. `setup` runs first
+  /// on the op's executing thread — it packs this rank's contribution into
+  /// staging owned by the closures and points the CollArgs at it, so the
+  /// pack overlaps like the rest of the op on a comm channel — and
+  /// `teardown` runs after the transport completes (widening received wire
+  /// data back into the caller's fp32 buffers). The staging lives inside
+  /// the op closure, so nonblocking handles can be waited from anywhere.
+  CommHandle post_wire_op(CollArgs a, std::int64_t bytes, std::function<void(CollArgs&)> setup,
+                          std::function<void()> teardown) {
+    auto& g = world_->group(a.gid);
+    a.pos = g.position_of(rank_);
+    Transport* t = transport_;
+    if (!t->uses_group_protocol()) {
+      return post_op(a.kind, a.gid, bytes,
+                     [&g, a, t, setup = std::move(setup),
+                      teardown = std::move(teardown)](detail::CommOp& op) mutable {
+                       setup(a);
+                       t->execute(g, a, op);
+                       teardown();
+                     });
+    }
+    return post_op(a.kind, a.gid, bytes,
+                   [&g, a, t, setup = std::move(setup),
+                    teardown = std::move(teardown)](detail::CommOp& op) mutable {
+                     setup(a);
+                     const void* pub =
+                         a.send != nullptr ? a.send : static_cast<const void*>(a.recv);
+                     const double floor = detail::publish(g, a.pos, pub, op.posted_clock);
+                     g.barrier->arrive_and_wait();
+                     t->move(g, a);
+                     detail::finish_read_phase(g, a.pos, floor, op);
+                     g.barrier->arrive_and_wait();
+                     t->finalize(g, a);
+                     teardown();
+                   });
+  }
+
   /// The one accounting path every collective shares: build the op record,
   /// hand it to the op's channel (or execute inline), return the handle.
   /// `gid` must be the group the op runs on; the channel routing key is the
@@ -674,6 +910,7 @@ class Communicator {
   int rank_;
   SimClock* clock_;
   Transport* transport_;  ///< byte-movement backend (never null)
+  WirePrecision wire_;    ///< fp32 payload wire format (transport.hpp)
   CommStats stats_;
   Timeline timeline_;
   /// Disjoint, sorted [t0, t1) intervals during which this rank charged

@@ -53,7 +53,7 @@ class SimTransport final : public Transport {
         if (nb == 0) return;
         const std::size_t off = static_cast<std::size_t>(a.pos) * nb;
         const auto* first = static_cast<const unsigned char*>(g.slots[0]);
-        std::memcpy(a.recv, first + off, nb);
+        detail::assign_chunk(a, a.recv, first + off);
         for (int m = 1; m < g.size(); ++m) {
           const auto* src =
               static_cast<const unsigned char*>(g.slots[static_cast<std::size_t>(m)]) + off;
@@ -64,8 +64,8 @@ class SimTransport final : public Transport {
       case Collective::AllReduce: {
         if (nb == 0) return;
         auto& scratch = detail::op_scratch();
-        scratch.resize(nb);
-        std::memcpy(scratch.data(), g.slots[0], nb);
+        scratch.resize(a.count * a.accumulator_elem());
+        detail::assign_chunk(a, scratch.data(), g.slots[0]);
         for (int m = 1; m < g.size(); ++m) {
           a.accumulate(scratch.data(), g.slots[static_cast<std::size_t>(m)], a.count);
         }
@@ -100,11 +100,10 @@ class SimTransport final : public Transport {
 
   void finalize(GroupShared&, const CollArgs& a) override {
     if (a.kind != Collective::AllReduce) return;
-    const std::size_t nb = a.count * a.elem;
-    if (nb == 0) return;
+    if (a.count * a.elem == 0) return;
     // The in-place result: peers read the original buffer during the read
     // phase, so the reduced scratch lands only after the completion barrier.
-    std::memcpy(a.recv, detail::op_scratch().data(), nb);
+    std::memcpy(a.recv, detail::op_scratch().data(), a.count * a.accumulator_elem());
   }
 };
 
@@ -203,6 +202,52 @@ ScopedBackend::~ScopedBackend() {
     set_default_backend(prev_);
   } else {
     reset_default_backend();
+  }
+}
+
+const char* wire_precision_name(WirePrecision w) { return util::enum_name(w); }
+
+bool wire_precision_from_string(std::string_view s, WirePrecision& out) {
+  return util::enum_from_string(s, out);
+}
+
+namespace {
+
+/// -1 = follow PLEXUS_WIRE, else the WirePrecision value of the override.
+std::atomic<int> g_wire_override{-1};
+
+WirePrecision env_wire_precision() {
+  const char* s = std::getenv("PLEXUS_WIRE");
+  if (s == nullptr || *s == '\0') return WirePrecision::Fp32;
+  WirePrecision w = WirePrecision::Fp32;
+  if (!wire_precision_from_string(s, w)) return WirePrecision::Fp32;  // malformed: default
+  return w;
+}
+
+}  // namespace
+
+WirePrecision default_wire_precision() {
+  const int v = g_wire_override.load(std::memory_order_relaxed);
+  return v >= 0 ? static_cast<WirePrecision>(v) : env_wire_precision();
+}
+
+void set_default_wire_precision(WirePrecision w) {
+  g_wire_override.store(static_cast<int>(w), std::memory_order_relaxed);
+}
+
+void reset_default_wire_precision() { g_wire_override.store(-1, std::memory_order_relaxed); }
+
+ScopedWirePrecision::ScopedWirePrecision(WirePrecision w)
+    : had_override_(g_wire_override.load(std::memory_order_relaxed) >= 0),
+      prev_(default_wire_precision()) {
+  set_default_wire_precision(w);
+}
+
+ScopedWirePrecision::~ScopedWirePrecision() {
+  if (had_override_) {
+    set_default_wire_precision(prev_);
+  } else {
+    reset_default_wire_precision();
   }
 }
 

@@ -46,6 +46,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <string_view>
 #include <type_traits>
@@ -69,6 +70,39 @@ enum class Backend {
 /// Element type of a collective payload, for backends (MPI) that need a real
 /// datatype for reductions. Byte-copy collectives may use `Bytes`.
 enum class DType { Bytes, F32, F64, I32, I64 };
+
+/// Number format of fp32 collective payloads *on the wire*. `Fp32` ships the
+/// buffers verbatim (bitwise-identical training, the default); `Bf16` packs
+/// fp32 → bf16 at the transport boundary — the Communicator converts on post
+/// and widens / accumulates in fp32 on completion, so the compression is an
+/// explicitly opted-in numeric change (docs/COMM.md), never silent. Only
+/// fp32 payloads compress; int / double / metadata exchanges always travel
+/// at full width. Resolution mirrors Backend: explicit
+/// `Communicator::set_wire_precision`, else `set_default_wire_precision()`,
+/// else the `PLEXUS_WIRE` environment variable (`fp32` | `bf16`), else Fp32.
+enum class WirePrecision {
+  Fp32,  ///< verbatim fp32 payloads (bitwise-deterministic)
+  Bf16,  ///< bf16 wire payloads, fp32 accumulation (half the wire volume)
+};
+
+/// Wire-format name ("fp32", "bf16") for logs and CLI flags.
+const char* wire_precision_name(WirePrecision w);
+
+/// Parse a wire-format name (case-insensitive). Returns false on unknown.
+bool wire_precision_from_string(std::string_view s, WirePrecision& out);
+
+/// The process-wide default wire format: `set_default_wire_precision`
+/// override, else `PLEXUS_WIRE`, else Fp32.
+WirePrecision default_wire_precision();
+void set_default_wire_precision(WirePrecision w);
+
+/// Restore "follow the PLEXUS_WIRE environment variable".
+void reset_default_wire_precision();
+
+/// Bytes one fp32 payload element occupies on the wire under `w`.
+constexpr std::size_t wire_elem_size(WirePrecision w) {
+  return w == WirePrecision::Bf16 ? 2 : 4;
+}
 
 template <typename T>
 constexpr DType dtype_of() {
@@ -116,7 +150,21 @@ struct CollArgs {
   /// Typed accumulation `acc[i] += src[i]` over `n` elements; null for
   /// non-reducing collectives. Every backend must apply contributions with
   /// this exact function in canonical member order for bitwise conformance.
+  /// Under a compressed wire format `src` points at *wire-typed* elements
+  /// (`elem` bytes each) while `acc` stays a fp32 accumulator — the function
+  /// widens as it folds, so precision is lost only once per contribution.
   void (*accumulate)(void* acc, const void* src, std::size_t n) = nullptr;
+  /// Reduction-accumulator initialisation `acc[i] = widen(src[i])` over
+  /// `count` elements, for wire formats narrower than the accumulator. Null
+  /// means the wire and accumulator types agree: plain `memcpy` of
+  /// `count * elem` bytes (the historic behaviour, bit-for-bit).
+  void (*assign)(void* acc, const void* src, std::size_t n) = nullptr;
+  /// Element size of the reduction accumulator (and of `recv` for reducing
+  /// collectives). 0 means `elem` — wire and accumulator types agree.
+  std::size_t acc_elem = 0;
+
+  /// Effective accumulator element size (see `acc_elem`).
+  std::size_t accumulator_elem() const { return acc_elem != 0 ? acc_elem : elem; }
   /// Scalar reductions (all_reduce_{max,sum}_scalar) for non-protocol
   /// backends; in-process backends exchange scalars through the group's
   /// clock-slot aux values instead.
@@ -239,7 +287,33 @@ class ScopedBackend {
   Backend prev_;
 };
 
+/// RAII default-wire-format override for tests and benches.
+class ScopedWirePrecision {
+ public:
+  explicit ScopedWirePrecision(WirePrecision w);
+  ~ScopedWirePrecision();
+  ScopedWirePrecision(const ScopedWirePrecision&) = delete;
+  ScopedWirePrecision& operator=(const ScopedWirePrecision&) = delete;
+
+ private:
+  bool had_override_;
+  WirePrecision prev_;
+};
+
 namespace detail {
+
+/// Initialise a reduction accumulator from the first contribution: the
+/// wire-format `assign` hook when set, else the historic memcpy of the raw
+/// chunk. Every backend seeds its canonical left-fold through this.
+inline void assign_chunk(const CollArgs& a, void* acc, const void* src) {
+  if (a.assign != nullptr) {
+    a.assign(acc, src, a.count);
+    return;
+  }
+  const std::size_t nb = a.count * a.elem;
+  if (nb > 0) std::memcpy(acc, src, nb);
+}
+
 /// Flat variable all-to-all movement shared by the in-process transports
 /// (CollArgs::send_counts != nullptr). Each member publishes its send_counts
 /// through `g.xfer_slots` (one extra barrier), then copies its chunk out of
@@ -269,5 +343,15 @@ struct plexus::util::EnumNames<plexus::comm::Backend> {
       {plexus::comm::Backend::Sim, "sim"},
       {plexus::comm::Backend::Local, "local"},
       {plexus::comm::Backend::Mpi, "mpi"},
+  };
+};
+
+/// Registry entry: the one source of truth for wire-format names.
+template <>
+struct plexus::util::EnumNames<plexus::comm::WirePrecision> {
+  static constexpr const char* kind = "wire format";
+  static constexpr EnumEntry<plexus::comm::WirePrecision> table[] = {
+      {plexus::comm::WirePrecision::Fp32, "fp32"},
+      {plexus::comm::WirePrecision::Bf16, "bf16"},
   };
 };

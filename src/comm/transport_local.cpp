@@ -87,14 +87,17 @@ class LocalTransport final : public Transport {
       }
       case Collective::AllReduce: {
         if (nb == 0) return;
-        // Ring-gather every member's contribution into staging chunks
-        // [0, G), then left-fold them in canonical order into chunk G.
+        // Ring-gather every member's *published* contribution (the packed
+        // wire buffer under a compressed wire format, else the in-place
+        // buffer) into staging chunks [0, G), then left-fold them in
+        // canonical order into the fp32-width accumulator chunk after them.
+        const auto* contrib =
+            static_cast<const unsigned char*>(a.send != nullptr ? a.send : a.recv);
         auto& scratch = detail::op_scratch();
-        scratch.resize(static_cast<std::size_t>(G + 1) * nb);
-        ring_all_gather_published(g, a.pos, static_cast<const unsigned char*>(a.recv),
-                                  scratch.data(), nb);
+        scratch.resize(static_cast<std::size_t>(G) * nb + a.count * a.accumulator_elem());
+        ring_all_gather_published(g, a.pos, contrib, scratch.data(), nb);
         unsigned char* acc = scratch.data() + static_cast<std::size_t>(G) * nb;
-        std::memcpy(acc, scratch.data(), nb);
+        detail::assign_chunk(a, acc, scratch.data());
         for (int m = 1; m < G; ++m) {
           a.accumulate(acc, scratch.data() + static_cast<std::size_t>(m) * nb, a.count);
         }
@@ -113,7 +116,7 @@ class LocalTransport final : public Transport {
               static_cast<const unsigned char*>(g.slots[static_cast<std::size_t>(m)]) + off;
           std::memcpy(scratch.data() + static_cast<std::size_t>(m) * nb, src, nb);
         }
-        std::memcpy(a.recv, scratch.data(), nb);
+        detail::assign_chunk(a, a.recv, scratch.data());
         for (int m = 1; m < G; ++m) {
           a.accumulate(a.recv, scratch.data() + static_cast<std::size_t>(m) * nb, a.count);
         }
@@ -130,7 +133,7 @@ class LocalTransport final : public Transport {
     const std::size_t nb = a.count * a.elem;
     if (nb == 0) return;
     std::memcpy(a.recv, detail::op_scratch().data() + static_cast<std::size_t>(g.size()) * nb,
-                nb);
+                a.count * a.accumulator_elem());
   }
 
  private:

@@ -141,7 +141,7 @@ class MpiTransport final : public Transport {
                   "MPI_Allgather(reduce_scatter)");
         if (chunk_bytes > 0) {
           const std::uint64_t off = static_cast<std::uint64_t>(a.pos) * chunk_bytes;
-          std::memcpy(a.recv, buf.data() + off, chunk_bytes);
+          detail::assign_chunk(a, a.recv, buf.data() + off);
           for (int m = 1; m < G; ++m) {
             a.accumulate(a.recv, buf.data() + static_cast<std::uint64_t>(m) * full + off,
                          a.count);
@@ -167,14 +167,17 @@ class MpiTransport final : public Transport {
           finish(g, op, max_posted);
           return;
         }
-        // In-place buffer: gather every member's contribution, fold member 0
-        // first then 1..G-1 — SimTransport's scratch fold, verbatim.
+        // Gather every member's *published* contribution (the packed wire
+        // buffer under a compressed wire format, else the in-place buffer),
+        // fold member 0 first then 1..G-1 — SimTransport's scratch fold,
+        // verbatim.
         auto& buf = gather_buf_;
         buf.resize(chunk_bytes * static_cast<std::uint64_t>(G));
-        mpi_check(MPI_Allgather(nn(a.recv), nb, MPI_BYTE, nn(buf.data()), nb, MPI_BYTE, comm),
+        const void* contrib = a.send != nullptr ? a.send : a.recv;
+        mpi_check(MPI_Allgather(nn(contrib), nb, MPI_BYTE, nn(buf.data()), nb, MPI_BYTE, comm),
                   "MPI_Allgather(all_reduce)");
         if (chunk_bytes > 0) {
-          std::memcpy(a.recv, buf.data(), chunk_bytes);
+          detail::assign_chunk(a, a.recv, buf.data());
           for (int m = 1; m < G; ++m) {
             a.accumulate(a.recv, buf.data() + static_cast<std::uint64_t>(m) * chunk_bytes,
                          a.count);

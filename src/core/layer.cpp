@@ -151,7 +151,10 @@ int DistGcnLayer::resolve_depth(sim::RankContext& ctx, const sparse::Csr& a,
     any = true;
   }
   const auto& g = ctx.comm.world().group(gid);
-  const double t_ring = comm::collective_time(op, 4 * max_rows * din_q_, g.size(), g.link,
+  // Price what the links actually carry: bf16 wire halves the per-element
+  // volume, shrinking the hiding window and therefore the adaptive depth.
+  const auto eb = static_cast<std::int64_t>(ctx.comm.wire_float_bytes());
+  const double t_ring = comm::collective_time(op, eb * max_rows * din_q_, g.size(), g.link,
                                               g.a2a_distance_penalty);
   *cache = comm::choose_pipeline_depth(t_spmm_min, t_ring, nb);
   return *cache;
@@ -191,6 +194,9 @@ void DistGcnLayer::build_sparse_plan(sim::RankContext& ctx, SparsePlan& plan,
   ctx.comm.all_gather<std::int64_t>(gid, counts, all_counts);
 
   const auto& g = ctx.comm.world().group(gid);
+  // Feature payloads are priced at their wire width (fp32 or bf16): the
+  // dense-vs-sparse choice must compare what the links would really carry.
+  const auto wire_eb = static_cast<std::int64_t>(ctx.comm.wire_float_bytes());
   double t_dense = 0.0, t_sparse = 0.0;
   std::int64_t max_support = 0, max_blk_rows = 0;
   int nonempty = 0;
@@ -205,8 +211,8 @@ void DistGcnLayer::build_sparse_plan(sim::RankContext& ctx, SparsePlan& plan,
                                              static_cast<std::size_t>(nblk) +
                                          static_cast<std::size_t>(k)]);
     }
-    const std::int64_t dense_bytes = blk_rows * din_q_ * 4;
-    const std::int64_t support_bytes = s_max * din_q_ * 4;
+    const std::int64_t dense_bytes = blk_rows * din_q_ * wire_eb;
+    const std::int64_t support_bytes = s_max * din_q_ * wire_eb;
     t_dense += comm::dense_aggregation_time(dense_bytes, scatter, G, g.link,
                                             g.a2a_distance_penalty);
     t_sparse += comm::sparse_aggregation_time(dense_bytes, support_bytes, scatter, G, g.link,
@@ -235,7 +241,7 @@ void DistGcnLayer::build_sparse_plan(sim::RankContext& ctx, SparsePlan& plan,
       any = true;
     }
     const double t_ring = comm::sparse_aggregation_time(
-        max_blk_rows * din_q_ * 4, max_support * din_q_ * 4, scatter, G, g.link,
+        max_blk_rows * din_q_ * wire_eb, max_support * din_q_ * wire_eb, scatter, G, g.link,
         g.a2a_distance_penalty);
     const int local = comm::choose_pipeline_depth(t_spmm_min, t_ring, nonempty);
     depth = static_cast<int>(ctx.comm.all_reduce_max_scalar(gid, static_cast<double>(local)));

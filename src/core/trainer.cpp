@@ -77,6 +77,7 @@ void train_rank_body(sim::RankContext& ctx, const DatasetView& view, const Grid3
                      TrainResult* result) {
   const bool trace = opt.trace_timeline && result != nullptr && ctx.rank() == 0;
   if (trace) ctx.comm.timeline().set_enabled(true);
+  ctx.comm.set_wire_precision(opt.wire);  // before the first collective
   DistGcn model(ctx, view, grid, spec);
   if (plan.state != nullptr) model.restore_state(*plan.state);
   const auto wg = grid.world_group();

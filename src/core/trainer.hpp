@@ -67,6 +67,17 @@ struct TrainOptions {
   /// one-process-per-rank backend and cannot run under the threaded cluster —
   /// it is driven through train_plexus_rank instead.
   comm::Backend backend = comm::default_backend();
+  /// Wire format for fp32 collective payloads (comm/transport.hpp):
+  /// WirePrecision::Fp32 ships the buffers verbatim — the bitwise-
+  /// deterministic default — while WirePrecision::Bf16 packs fp32 → bf16 at
+  /// the transport boundary, halving the float wire volume (and the modelled
+  /// comm time, which the adaptive pipeline-depth / aggregation planning
+  /// re-prices accordingly) at the cost of one bf16 rounding per sent value;
+  /// accumulation stays in fp32 (docs/COMM.md). Unlike every knob above,
+  /// bf16 is an explicit numeric change: losses are close to, but not
+  /// bitwise-identical with, fp32 runs. Defaults to the process default (the
+  /// PLEXUS_WIRE environment variable, else Fp32).
+  comm::WirePrecision wire = comm::default_wire_precision();
   /// Checkpoint directory (core/checkpoint.hpp). Empty = no checkpointing.
   /// When set, a checkpoint is always written after the final epoch; set
   /// checkpoint_every > 0 to also write one every k-th epoch (absolute epoch

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/error.hpp"
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace plexus::dense {
@@ -16,29 +17,23 @@ namespace {
 /// blocked for L1/L2 residency. Operands that arrive transposed are materialised
 /// by the caller; shard sizes in the simulator are small enough that the copy is
 /// cheaper than a strided kernel. The row space is split across the intra-rank
-/// engine; each output row keeps the serial i-k-j summation order, so results
-/// are bitwise-identical for any thread count.
+/// engine; each output row keeps the serial i-k-j summation order, and the
+/// runtime-dispatched SIMD tile (util/simd.hpp) vectorizes only over j, so
+/// results are bitwise-identical for any thread count and any SIMD target.
 void gemm_nn_accumulate(float alpha, const Matrix& a, const Matrix& b, Matrix& c) {
   const std::int64_t m = a.rows();
   const std::int64_t k = a.cols();
   const std::int64_t n = b.cols();
   constexpr std::int64_t kBlockI = 64;
   constexpr std::int64_t kBlockK = 128;
+  const auto& kernels = simd::active_kernels();
   const auto row_range = [&](std::int64_t m0, std::int64_t m1) {
     for (std::int64_t i0 = m0; i0 < m1; i0 += kBlockI) {
       const std::int64_t i1 = std::min(m1, i0 + kBlockI);
       for (std::int64_t k0 = 0; k0 < k; k0 += kBlockK) {
         const std::int64_t k1 = std::min(k, k0 + kBlockK);
-        for (std::int64_t i = i0; i < i1; ++i) {
-          const float* arow = a.row(i);
-          float* crow = c.row(i);
-          for (std::int64_t kk = k0; kk < k1; ++kk) {
-            const float av = alpha * arow[kk];
-            if (av == 0.0f) continue;
-            const float* brow = b.row(kk);
-            for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-          }
-        }
+        kernels.gemm_tile(a.data(), a.cols(), b.data(), b.cols(), c.data(), c.cols(), i0, i1, k0,
+                          k1, n, alpha);
       }
     }
   };

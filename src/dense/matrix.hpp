@@ -10,12 +10,23 @@
 #include <span>
 #include <vector>
 
+#include "util/aligned.hpp"
 #include "util/rng.hpp"
 
 namespace plexus::dense {
 
 class Matrix {
  public:
+  /// Storage contract: the base allocation is `kAlignment`-byte aligned (one
+  /// cache line / the AVX-512 vector width) so SIMD kernels get an aligned
+  /// starting address, while rows stay **tightly packed** — `row(r) ==
+  /// data() + r * cols()` with stride exactly `cols()` — because flat(),
+  /// checkpoint IO and the collective row spans all treat the matrix as one
+  /// contiguous rows*cols buffer. Alignment never pads the row stride.
+  static constexpr std::size_t kAlignment = 64;
+  static_assert(kAlignment % sizeof(float) == 0 && kAlignment % alignof(float) == 0,
+                "row stride stays a whole number of elements; only the base is over-aligned");
+
   Matrix() = default;
   Matrix(std::int64_t rows, std::int64_t cols, float fill = 0.0f);
 
@@ -68,7 +79,7 @@ class Matrix {
  private:
   std::int64_t rows_ = 0;
   std::int64_t cols_ = 0;
-  std::vector<float> data_;
+  std::vector<float, util::AlignedAllocator<float, kAlignment>> data_;
 };
 
 }  // namespace plexus::dense

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace plexus::dense {
@@ -13,13 +14,11 @@ void relu(const Matrix& x, Matrix& out) {
   const auto in = x.flat();
   auto o = out.flat();
   const auto n = static_cast<std::int64_t>(in.size());
+  const auto& kernels = simd::active_kernels();
   util::parallel_for(
       0, n,
       [&](std::int64_t i0, std::int64_t i1) {
-        for (std::int64_t i = i0; i < i1; ++i) {
-          const float v = in[static_cast<std::size_t>(i)];
-          o[static_cast<std::size_t>(i)] = v > 0.0f ? v : 0.0f;
-        }
+        kernels.relu(in.data() + i0, o.data() + i0, i1 - i0);
       },
       /*work_estimate=*/n);
 }
@@ -37,13 +36,11 @@ void relu_backward(const Matrix& pre_activation, const Matrix& dy, Matrix& dx) {
   const auto g = dy.flat();
   auto o = dx.flat();
   const auto n = static_cast<std::int64_t>(q.size());
+  const auto& kernels = simd::active_kernels();
   util::parallel_for(
       0, n,
       [&](std::int64_t i0, std::int64_t i1) {
-        for (std::int64_t i = i0; i < i1; ++i) {
-          o[static_cast<std::size_t>(i)] =
-              q[static_cast<std::size_t>(i)] > 0.0f ? g[static_cast<std::size_t>(i)] : 0.0f;
-        }
+        kernels.relu_backward(q.data() + i0, g.data() + i0, o.data() + i0, i1 - i0);
       },
       /*work_estimate=*/n);
 }

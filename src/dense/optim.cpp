@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/simd.hpp"
 
 namespace plexus::dense {
 
@@ -23,15 +24,9 @@ void Adam::step(std::span<float> params, std::span<const float> grads) {
   ++t_;
   const float bc1 = 1.0f - std::pow(cfg_.beta1, static_cast<float>(t_));
   const float bc2 = 1.0f - std::pow(cfg_.beta2, static_cast<float>(t_));
-  for (std::size_t i = 0; i < params.size(); ++i) {
-    float g = grads[i];
-    if (cfg_.weight_decay != 0.0f) g += cfg_.weight_decay * params[i];
-    m_[i] = cfg_.beta1 * m_[i] + (1.0f - cfg_.beta1) * g;
-    v_[i] = cfg_.beta2 * v_[i] + (1.0f - cfg_.beta2) * g * g;
-    const float mhat = m_[i] / bc1;
-    const float vhat = v_[i] / bc2;
-    params[i] -= cfg_.lr * mhat / (std::sqrt(vhat) + cfg_.eps);
-  }
+  simd::active_kernels().adam_step(params.data(), grads.data(), m_.data(), v_.data(),
+                                   static_cast<std::int64_t>(params.size()), cfg_.beta1,
+                                   cfg_.beta2, cfg_.lr, cfg_.eps, cfg_.weight_decay, bc1, bc2);
 }
 
 }  // namespace plexus::dense

@@ -1,0 +1,112 @@
+#include "perfmodel/host_fit.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "dense/gemm.hpp"
+#include "dense/matrix.hpp"
+#include "graph/generators.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/spmm.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/simd.hpp"
+#include "util/thread_pool.hpp"
+
+namespace plexus::perf {
+
+namespace {
+
+// Probe sizes: big enough that per-call overhead is noise, small enough that
+// the whole calibration stays well under a second on a laptop core.
+constexpr std::int64_t kGemmN = 256;
+constexpr std::int64_t kSpmmNodes = 4096;
+constexpr double kSpmmDegree = 16.0;
+constexpr std::int64_t kSpmmCols = 64;
+constexpr std::size_t kStreamFloats = std::size_t{8} << 20;  // 32 MB src, 32 MB dst
+
+dense::Matrix random_matrix(std::int64_t r, std::int64_t c, std::uint64_t seed) {
+  util::CounterRng rng(seed);
+  dense::Matrix m(r, c);
+  for (std::int64_t i = 0; i < m.size(); ++i) {
+    m.flat()[static_cast<std::size_t>(i)] = rng.uniform_at(static_cast<std::uint64_t>(i), -1, 1);
+  }
+  return m;
+}
+
+/// Warm-up call plus min-of-three timed repetitions — the same protocol the
+/// micro-bench serial baselines use, so the fit and the bench agree.
+template <typename Fn>
+double min_seconds(Fn&& fn) {
+  fn();
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    best = std::min(best,
+                    std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count());
+  }
+  return best;
+}
+
+double gemm_rate(dense::Trans ta, dense::Trans tb) {
+  const auto a = random_matrix(kGemmN, kGemmN, 3);
+  const auto b = random_matrix(kGemmN, kGemmN, 5);
+  dense::Matrix c(kGemmN, kGemmN);
+  const double secs =
+      min_seconds([&] { dense::gemm(ta, tb, 1.0f, a, b, 0.0f, c); });
+  return 2.0 * static_cast<double>(kGemmN * kGemmN * kGemmN) / secs;
+}
+
+}  // namespace
+
+HostCalibration measure_host_kernels() {
+  // Single-threaded: the machine model's peak is per device, and the thread
+  // sweeps already characterise scaling separately (bench/micro_kernels).
+  util::ScopedIntraRankThreads single(1);
+
+  HostCalibration c;
+  c.simd = simd::target_name(simd::active_target());
+  c.gemm_nn_flops = gemm_rate(dense::Trans::N, dense::Trans::N);
+  c.gemm_nt_flops = gemm_rate(dense::Trans::N, dense::Trans::T);
+  c.gemm_tn_flops = gemm_rate(dense::Trans::T, dense::Trans::N);
+
+  const auto adj = sparse::Csr::from_coo(
+      graph::erdos_renyi(kSpmmNodes,
+                         static_cast<std::int64_t>(static_cast<double>(kSpmmNodes) * kSpmmDegree /
+                                                   2.0),
+                         /*seed=*/7),
+      false);
+  const auto b = random_matrix(kSpmmNodes, kSpmmCols, 9);
+  dense::Matrix h(adj.rows(), kSpmmCols);
+  const double spmm_secs = min_seconds([&] { sparse::spmm(adj, b, h); });
+  c.spmm_flops = static_cast<double>(sparse::spmm_flops(adj, kSpmmCols)) / spmm_secs;
+
+  std::vector<float> src(kStreamFloats, 1.0f);
+  std::vector<float> dst(kStreamFloats, 0.0f);
+  const double stream_secs =
+      min_seconds([&] { std::memcpy(dst.data(), src.data(), kStreamFloats * sizeof(float)); });
+  c.stream_bytes = 2.0 * static_cast<double>(kStreamFloats * sizeof(float)) / stream_secs;
+  return c;
+}
+
+sim::Machine fit_host_machine(const HostCalibration& c, const sim::Machine& reference) {
+  PLEXUS_CHECK(c.gemm_nn_flops > 0.0 && c.spmm_flops > 0.0 && c.stream_bytes > 0.0,
+               "fit_host_machine: calibration has unmeasured rates");
+  sim::Machine m = reference;  // network constants carry over (no NICs to probe)
+  m.name = "host-" + c.simd;
+  m.gpus_per_node = 1;
+  m.peak_flops = c.gemm_nn_flops;
+  m.gemm_eff_nn = 1.0;
+  m.gemm_eff_nt = std::clamp(c.gemm_nt_flops / c.gemm_nn_flops, 0.01, 1.0);
+  m.gemm_eff_tn = std::clamp(c.gemm_tn_flops / c.gemm_nn_flops, 0.01, 1.0);
+  m.spmm_efficiency = std::clamp(c.spmm_flops / c.gemm_nn_flops, 1e-4, 1.0);
+  m.mem_bw = c.stream_bytes;
+  m.spmm_noise = 0.0;
+  return m;
+}
+
+}  // namespace plexus::perf

@@ -198,8 +198,10 @@ EpochPrediction predict_epoch(const sim::Machine& machine, const WorkloadStats& 
 }
 
 int choose_pipeline_depth(const sim::Machine& machine, const WorkloadStats& w,
-                          const sim::GridShape& g, int layer, int agg_row_blocks) {
+                          const sim::GridShape& g, int layer, int agg_row_blocks,
+                          int wire_elem_bytes) {
   PLEXUS_CHECK(layer >= 0 && layer < w.num_layers(), "choose_pipeline_depth: bad layer");
+  PLEXUS_CHECK(wire_elem_bytes > 0, "choose_pipeline_depth: bad wire element size");
   const LayerRoles roles = roles_for_layer(layer);
   const double ep = extent(g, roles.p);
   const double eq = extent(g, roles.q);
@@ -218,7 +220,7 @@ int choose_pipeline_depth(const sim::Machine& machine, const WorkloadStats& w,
   const double t_spmm = sim::spmm_time(machine, block);
   // Per-block ring time of the H all-reduce over the P group (eq. 4.5/4.6).
   const auto link_p = sim::link_for_dim(machine, g, roles.p);
-  const double block_bytes = 4.0 * (n / er) / nb * din_q;
+  const double block_bytes = static_cast<double>(wire_elem_bytes) * (n / er) / nb * din_q;
   const double t_ring = comm::collective_time(
       comm::Collective::AllReduce, static_cast<std::int64_t>(block_bytes),
       static_cast<int>(ep), link_p);
@@ -227,8 +229,9 @@ int choose_pipeline_depth(const sim::Machine& machine, const WorkloadStats& w,
 
 bool choose_sparse_aggregation(const sim::Machine& machine, const WorkloadStats& w,
                                const sim::GridShape& g, int layer, int agg_row_blocks,
-                               bool backward) {
+                               bool backward, int wire_elem_bytes) {
   PLEXUS_CHECK(layer >= 0 && layer < w.num_layers(), "choose_sparse_aggregation: bad layer");
+  PLEXUS_CHECK(wire_elem_bytes > 0, "choose_sparse_aggregation: bad wire element size");
   const LayerRoles roles = roles_for_layer(layer);
   const double ep = extent(g, roles.p);
   const double eq = extent(g, roles.q);
@@ -252,8 +255,9 @@ bool choose_sparse_aggregation(const sim::Machine& machine, const WorkloadStats&
   const double deg = nnz / (er * ep) / std::max(1.0, rows);
   const double density = std::min(1.0, 1.0 - std::exp(-deg));
 
-  const auto block_bytes = static_cast<std::int64_t>(4.0 * (rows / nb) * din_q);
-  const auto support_bytes = static_cast<std::int64_t>(4.0 * (rows / nb) * density * din_q);
+  const double eb = static_cast<double>(wire_elem_bytes);
+  const auto block_bytes = static_cast<std::int64_t>(eb * (rows / nb) * din_q);
+  const auto support_bytes = static_cast<std::int64_t>(eb * (rows / nb) * density * din_q);
   const bool scatter = backward && layer == 0;
   const double t_dense =
       comm::dense_aggregation_time(block_bytes, scatter, static_cast<int>(group), link);

@@ -78,8 +78,12 @@ EpochPrediction predict_epoch(const sim::Machine& machine, const WorkloadStats& 
 /// `PlexusOptions::pipeline_depth == 0`; DistGcnLayer applies the same rule
 /// (comm::choose_pipeline_depth) to its exact local shard costs. Returns 1
 /// when there is nothing to pipeline (one block, or a 1-wide P group).
+/// `wire_elem_bytes` is the per-float wire size of the collectives (4 for
+/// fp32, 2 under the bf16 wire format — comm::wire_elem_size), so the
+/// depth is planned against the bytes that actually hit the links.
 int choose_pipeline_depth(const sim::Machine& machine, const WorkloadStats& w,
-                          const sim::GridShape& g, int layer, int agg_row_blocks);
+                          const sim::GridShape& g, int layer, int agg_row_blocks,
+                          int wire_elem_bytes = 4);
 
 /// Workload-level dense-vs-sparse choice for a layer's blocked aggregation
 /// (the selective row exchange of core::Aggregation::Sparse). Estimates the
@@ -92,9 +96,11 @@ int choose_pipeline_depth(const sim::Machine& machine, const WorkloadStats& w,
 /// direction). Returns true when sparse is predicted to win. This is the
 /// workload-level form of the exact per-shard decision DistGcnLayer makes
 /// under Aggregation::Auto from its measured support counts.
+/// `wire_elem_bytes` as in choose_pipeline_depth: both the dense and the
+/// sparse candidate are priced at the active wire format's per-float size.
 bool choose_sparse_aggregation(const sim::Machine& machine, const WorkloadStats& w,
                                const sim::GridShape& g, int layer, int agg_row_blocks,
-                               bool backward = false);
+                               bool backward = false, int wire_elem_bytes = 4);
 
 /// All factorisations x*y*z == gpus.
 std::vector<sim::GridShape> enumerate_grids(int gpus);

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace plexus::sparse {
@@ -13,23 +14,16 @@ namespace {
 /// The one row-range worker every SpMM entry point funnels through: rows
 /// [r0, r1) of A*B into the same rows of C, overwriting (zero-fill) or
 /// accumulating. Each output row is touched by exactly one call, so any
-/// partition of the row space yields bitwise-identical results.
+/// partition of the row space yields bitwise-identical results; the
+/// runtime-dispatched SIMD kernel (util/simd.hpp) vectorizes over the feature
+/// dimension only, so every target is bitwise-identical to the scalar loop.
 void spmm_row_range(const Csr& a, const dense::Matrix& b, dense::Matrix& c, std::int64_t r0,
                     std::int64_t r1, bool accumulate) {
   const auto rp = a.row_ptr();
   const auto ci = a.col_idx();
   const auto va = a.vals();
-  const std::int64_t n = b.cols();
-  for (std::int64_t r = r0; r < r1; ++r) {
-    float* crow = c.row(r);
-    if (!accumulate) std::fill(crow, crow + n, 0.0f);
-    for (std::int64_t k = rp[static_cast<std::size_t>(r)]; k < rp[static_cast<std::size_t>(r) + 1];
-         ++k) {
-      const float v = va[static_cast<std::size_t>(k)];
-      const float* brow = b.row(ci[static_cast<std::size_t>(k)]);
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += v * brow[j];
-    }
-  }
+  simd::active_kernels().spmm_rows(rp.data(), ci.data(), va.data(), b.data(), b.cols(), c.data(),
+                                   c.cols(), r0, r1, b.cols(), accumulate);
 }
 
 /// Splits [r0, r1) into `parts` ranges of roughly equal nnz (prefix search

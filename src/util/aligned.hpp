@@ -1,0 +1,44 @@
+#pragma once
+/// \file aligned.hpp
+/// Minimal over-aligned allocator for std::vector-backed numeric storage.
+///
+/// `AlignedAllocator<float, 64>` gives `dense::Matrix` a 64-byte-aligned base
+/// pointer (one cache line, the AVX-512 vector width) so SIMD kernels may use
+/// aligned loads whenever the row stride cooperates, without changing the
+/// container type seen by any caller. Alignment is a property of the *base*
+/// allocation only — element layout stays exactly std::vector's.
+
+#include <cstddef>
+#include <new>
+
+namespace plexus::util {
+
+template <typename T, std::size_t Alignment>
+struct AlignedAllocator {
+  static_assert((Alignment & (Alignment - 1)) == 0, "alignment must be a power of two");
+  static_assert(Alignment >= alignof(T), "alignment must not weaken the type's own");
+
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    return static_cast<T*>(::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t(Alignment));
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) { return true; }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) { return false; }
+};
+
+}  // namespace plexus::util

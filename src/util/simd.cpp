@@ -1,0 +1,365 @@
+#include "util/simd.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+#define PLEXUS_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define PLEXUS_SIMD_X86 0
+#endif
+
+// The scalar fallback is pinned non-vectorized on x86 so "scalar" means the
+// same thing on every build (and `speedup_vs_serial` in micro_kernels measures
+// SIMD against a true scalar loop, not whatever the autovectorizer produced
+// for the baseline ISA). Elsewhere there is no vector target to compare
+// against, so the compiler may do its best.
+#if PLEXUS_SIMD_X86 && !defined(__clang__)
+#define PLEXUS_SCALAR_ATTR __attribute__((optimize("no-tree-vectorize", "no-tree-slp-vectorize")))
+#else
+#define PLEXUS_SCALAR_ATTR
+#endif
+
+namespace plexus::simd {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Elementwise kernels. Plain loops cloned per target attribute: every
+// operation is one correctly-rounded mul/add/div/sqrt per element, so any
+// vectorization of the loop is bitwise-identical to the scalar run.
+
+#define PLEXUS_DEFINE_ELEMENTWISE(SUFFIX, ATTR)                                                    \
+  ATTR void relu_##SUFFIX(const float* x, float* y, std::int64_t n) {                              \
+    for (std::int64_t i = 0; i < n; ++i) y[i] = x[i] > 0.0f ? x[i] : 0.0f;                         \
+  }                                                                                                \
+  ATTR void relu_backward_##SUFFIX(const float* q, const float* dy, float* dx, std::int64_t n) {   \
+    for (std::int64_t i = 0; i < n; ++i) dx[i] = q[i] > 0.0f ? dy[i] : 0.0f;                       \
+  }                                                                                                \
+  ATTR void adam_step_##SUFFIX(float* p, const float* g, float* m, float* v, std::int64_t n,       \
+                               float beta1, float beta2, float lr, float eps, float weight_decay,  \
+                               float bc1, float bc2) {                                             \
+    if (weight_decay != 0.0f) {                                                                    \
+      for (std::int64_t i = 0; i < n; ++i) {                                                       \
+        float gi = g[i];                                                                           \
+        gi += weight_decay * p[i];                                                                 \
+        m[i] = beta1 * m[i] + (1.0f - beta1) * gi;                                                 \
+        v[i] = beta2 * v[i] + (1.0f - beta2) * gi * gi;                                            \
+        const float mhat = m[i] / bc1;                                                             \
+        const float vhat = v[i] / bc2;                                                             \
+        p[i] -= lr * mhat / (std::sqrt(vhat) + eps);                                               \
+      }                                                                                            \
+    } else {                                                                                       \
+      for (std::int64_t i = 0; i < n; ++i) {                                                       \
+        const float gi = g[i];                                                                     \
+        m[i] = beta1 * m[i] + (1.0f - beta1) * gi;                                                 \
+        v[i] = beta2 * v[i] + (1.0f - beta2) * gi * gi;                                            \
+        const float mhat = m[i] / bc1;                                                             \
+        const float vhat = v[i] / bc2;                                                             \
+        p[i] -= lr * mhat / (std::sqrt(vhat) + eps);                                               \
+      }                                                                                            \
+    }                                                                                              \
+  }
+
+PLEXUS_DEFINE_ELEMENTWISE(scalar, PLEXUS_SCALAR_ATTR)
+#if PLEXUS_SIMD_X86
+PLEXUS_DEFINE_ELEMENTWISE(avx2, __attribute__((target("avx2"))))
+PLEXUS_DEFINE_ELEMENTWISE(avx512, __attribute__((target("avx512f"))))
+#endif
+#undef PLEXUS_DEFINE_ELEMENTWISE
+
+// ---------------------------------------------------------------------------
+// Row kernels: the axpy `c[j] += v * b[j]` over the feature dimension is the
+// inner loop of both SpMM and the GEMM accumulate tile. The vector bodies use
+// separate mul + add intrinsics (never FMA — one rounding per operation, same
+// as the scalar expression) and handle the tail with scalar ops (AVX2) or a
+// masked lane set (AVX-512), so every feature width is bitwise-identical to
+// the serial reference.
+
+PLEXUS_SCALAR_ATTR void spmm_rows_scalar(const std::int64_t* rp, const std::int32_t* ci,
+                                         const float* va, const float* b, std::int64_t ldb,
+                                         float* c, std::int64_t ldc, std::int64_t r0,
+                                         std::int64_t r1, std::int64_t n, bool accumulate) {
+  for (std::int64_t r = r0; r < r1; ++r) {
+    float* crow = c + r * ldc;
+    if (!accumulate) std::memset(crow, 0, static_cast<std::size_t>(n) * sizeof(float));
+    for (std::int64_t k = rp[r]; k < rp[r + 1]; ++k) {
+      const float v = va[k];
+      const float* brow = b + static_cast<std::int64_t>(ci[k]) * ldb;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += v * brow[j];
+    }
+  }
+}
+
+PLEXUS_SCALAR_ATTR void gemm_tile_scalar(const float* a, std::int64_t lda, const float* b,
+                                         std::int64_t ldb, float* c, std::int64_t ldc,
+                                         std::int64_t i0, std::int64_t i1, std::int64_t k0,
+                                         std::int64_t k1, std::int64_t n, float alpha) {
+  for (std::int64_t i = i0; i < i1; ++i) {
+    const float* arow = a + i * lda;
+    float* crow = c + i * ldc;
+    for (std::int64_t kk = k0; kk < k1; ++kk) {
+      const float av = alpha * arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = b + kk * ldb;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+#if PLEXUS_SIMD_X86
+
+__attribute__((target("avx2"))) void spmm_rows_avx2(const std::int64_t* rp,
+                                                    const std::int32_t* ci, const float* va,
+                                                    const float* b, std::int64_t ldb, float* c,
+                                                    std::int64_t ldc, std::int64_t r0,
+                                                    std::int64_t r1, std::int64_t n,
+                                                    bool accumulate) {
+  for (std::int64_t r = r0; r < r1; ++r) {
+    float* crow = c + r * ldc;
+    if (!accumulate) std::memset(crow, 0, static_cast<std::size_t>(n) * sizeof(float));
+    for (std::int64_t k = rp[r]; k < rp[r + 1]; ++k) {
+      const float v = va[k];
+      const float* brow = b + static_cast<std::int64_t>(ci[k]) * ldb;
+      const __m256 vv = _mm256_set1_ps(v);
+      std::int64_t j = 0;
+      for (; j + 8 <= n; j += 8) {
+        const __m256 bj = _mm256_loadu_ps(brow + j);
+        const __m256 cj = _mm256_loadu_ps(crow + j);
+        _mm256_storeu_ps(crow + j, _mm256_add_ps(cj, _mm256_mul_ps(vv, bj)));
+      }
+      for (; j < n; ++j) crow[j] += v * brow[j];
+    }
+  }
+}
+
+__attribute__((target("avx512f"))) void spmm_rows_avx512(const std::int64_t* rp,
+                                                         const std::int32_t* ci, const float* va,
+                                                         const float* b, std::int64_t ldb,
+                                                         float* c, std::int64_t ldc,
+                                                         std::int64_t r0, std::int64_t r1,
+                                                         std::int64_t n, bool accumulate) {
+  const std::int64_t full = n & ~static_cast<std::int64_t>(15);
+  const __mmask16 tail =
+      static_cast<__mmask16>((1u << static_cast<unsigned>(n - full)) - 1u);
+  for (std::int64_t r = r0; r < r1; ++r) {
+    float* crow = c + r * ldc;
+    if (!accumulate) std::memset(crow, 0, static_cast<std::size_t>(n) * sizeof(float));
+    for (std::int64_t k = rp[r]; k < rp[r + 1]; ++k) {
+      const float v = va[k];
+      const float* brow = b + static_cast<std::int64_t>(ci[k]) * ldb;
+      const __m512 vv = _mm512_set1_ps(v);
+      std::int64_t j = 0;
+      for (; j < full; j += 16) {
+        const __m512 bj = _mm512_loadu_ps(brow + j);
+        const __m512 cj = _mm512_loadu_ps(crow + j);
+        _mm512_storeu_ps(crow + j, _mm512_add_ps(cj, _mm512_mul_ps(vv, bj)));
+      }
+      if (tail != 0) {
+        const __m512 bj = _mm512_maskz_loadu_ps(tail, brow + j);
+        const __m512 cj = _mm512_maskz_loadu_ps(tail, crow + j);
+        _mm512_mask_storeu_ps(crow + j, tail, _mm512_add_ps(cj, _mm512_mul_ps(vv, bj)));
+      }
+    }
+  }
+}
+
+__attribute__((target("avx2"))) void gemm_tile_avx2(const float* a, std::int64_t lda,
+                                                    const float* b, std::int64_t ldb, float* c,
+                                                    std::int64_t ldc, std::int64_t i0,
+                                                    std::int64_t i1, std::int64_t k0,
+                                                    std::int64_t k1, std::int64_t n,
+                                                    float alpha) {
+  for (std::int64_t i = i0; i < i1; ++i) {
+    const float* arow = a + i * lda;
+    float* crow = c + i * ldc;
+    for (std::int64_t kk = k0; kk < k1; ++kk) {
+      const float av = alpha * arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = b + kk * ldb;
+      const __m256 vv = _mm256_set1_ps(av);
+      std::int64_t j = 0;
+      for (; j + 8 <= n; j += 8) {
+        const __m256 bj = _mm256_loadu_ps(brow + j);
+        const __m256 cj = _mm256_loadu_ps(crow + j);
+        _mm256_storeu_ps(crow + j, _mm256_add_ps(cj, _mm256_mul_ps(vv, bj)));
+      }
+      for (; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+__attribute__((target("avx512f"))) void gemm_tile_avx512(const float* a, std::int64_t lda,
+                                                         const float* b, std::int64_t ldb,
+                                                         float* c, std::int64_t ldc,
+                                                         std::int64_t i0, std::int64_t i1,
+                                                         std::int64_t k0, std::int64_t k1,
+                                                         std::int64_t n, float alpha) {
+  const std::int64_t full = n & ~static_cast<std::int64_t>(15);
+  const __mmask16 tail =
+      static_cast<__mmask16>((1u << static_cast<unsigned>(n - full)) - 1u);
+  for (std::int64_t i = i0; i < i1; ++i) {
+    const float* arow = a + i * lda;
+    float* crow = c + i * ldc;
+    for (std::int64_t kk = k0; kk < k1; ++kk) {
+      const float av = alpha * arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = b + kk * ldb;
+      const __m512 vv = _mm512_set1_ps(av);
+      std::int64_t j = 0;
+      for (; j < full; j += 16) {
+        const __m512 bj = _mm512_loadu_ps(brow + j);
+        const __m512 cj = _mm512_loadu_ps(crow + j);
+        _mm512_storeu_ps(crow + j, _mm512_add_ps(cj, _mm512_mul_ps(vv, bj)));
+      }
+      if (tail != 0) {
+        const __m512 bj = _mm512_maskz_loadu_ps(tail, brow + j);
+        const __m512 cj = _mm512_maskz_loadu_ps(tail, crow + j);
+        _mm512_mask_storeu_ps(crow + j, tail, _mm512_add_ps(cj, _mm512_mul_ps(vv, bj)));
+      }
+    }
+  }
+}
+
+#endif  // PLEXUS_SIMD_X86
+
+constexpr Kernels kScalarKernels{spmm_rows_scalar, gemm_tile_scalar, relu_scalar,
+                                 relu_backward_scalar, adam_step_scalar};
+#if PLEXUS_SIMD_X86
+constexpr Kernels kAvx2Kernels{spmm_rows_avx2, gemm_tile_avx2, relu_avx2, relu_backward_avx2,
+                               adam_step_avx2};
+constexpr Kernels kAvx512Kernels{spmm_rows_avx512, gemm_tile_avx512, relu_avx512,
+                                 relu_backward_avx512, adam_step_avx512};
+#endif
+
+Target best_supported() {
+  if (target_supported(Target::Avx512)) return Target::Avx512;
+  if (target_supported(Target::Avx2)) return Target::Avx2;
+  return Target::Scalar;
+}
+
+std::string lower(const char* s) {
+  std::string v(s);
+  for (char& ch : v) ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+  return v;
+}
+
+Target resolve_active() {
+  Target pick = best_supported();
+  const char* env = std::getenv("PLEXUS_SIMD");
+  bool forced = false;
+  if (env != nullptr && *env != '\0') {
+    const std::string v = lower(env);
+    if (v == "auto") {
+      // keep best_supported
+    } else if (v == "avx512") {
+      pick = Target::Avx512;
+      forced = true;
+    } else if (v == "avx2") {
+      pick = Target::Avx2;
+      forced = true;
+    } else if (v == "scalar") {
+      pick = Target::Scalar;
+      forced = true;
+    } else {
+      PLEXUS_LOG(Warn) << "PLEXUS_SIMD=" << env
+                       << " not recognized (auto|avx512|avx2|scalar); using auto";
+    }
+  }
+  if (forced && !target_supported(pick)) {
+    PLEXUS_LOG(Warn) << "PLEXUS_SIMD=" << env << " not supported by this CPU; falling back to "
+                     << target_name(best_supported());
+    pick = best_supported();
+    forced = false;
+  }
+  PLEXUS_LOG(Info) << "SIMD target: " << target_name(pick)
+                   << (forced ? " (forced via PLEXUS_SIMD)" : " (auto-detected)");
+  return pick;
+}
+
+}  // namespace
+
+const char* target_name(Target t) {
+  switch (t) {
+    case Target::Scalar: return "scalar";
+    case Target::Avx2: return "avx2";
+    case Target::Avx512: return "avx512";
+  }
+  return "?";
+}
+
+bool target_supported(Target t) {
+  if (t == Target::Scalar) return true;
+#if PLEXUS_SIMD_X86
+  if (t == Target::Avx2) return __builtin_cpu_supports("avx2") != 0;
+  if (t == Target::Avx512) return __builtin_cpu_supports("avx512f") != 0;
+#endif
+  return false;
+}
+
+Target active_target() {
+  static const Target t = resolve_active();
+  return t;
+}
+
+const Kernels& kernels(Target t) {
+  PLEXUS_CHECK(target_supported(t),
+               std::string("SIMD target not supported on this CPU: ") + target_name(t));
+#if PLEXUS_SIMD_X86
+  if (t == Target::Avx2) return kAvx2Kernels;
+  if (t == Target::Avx512) return kAvx512Kernels;
+#endif
+  return kScalarKernels;
+}
+
+const Kernels& active_kernels() {
+  static const Kernels& k = kernels(active_target());
+  return k;
+}
+
+// ---------------------------------------------------------------------------
+// bf16 wire format.
+
+std::uint16_t bf16_from_f32(float f) {
+  std::uint32_t u;
+  std::memcpy(&u, &f, sizeof(u));
+  if ((u & 0x7fffffffu) > 0x7f800000u) {
+    // NaN: truncate but force a nonzero mantissa so it stays NaN.
+    return static_cast<std::uint16_t>((u >> 16) | 0x0040u);
+  }
+  // Round to nearest, ties to even on the truncated 16 bits.
+  u += 0x7fffu + ((u >> 16) & 1u);
+  return static_cast<std::uint16_t>(u >> 16);
+}
+
+float f32_from_bf16(std::uint16_t h) {
+  const std::uint32_t u = static_cast<std::uint32_t>(h) << 16;
+  float f;
+  std::memcpy(&f, &u, sizeof(f));
+  return f;
+}
+
+void bf16_pack(const float* src, std::uint16_t* dst, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) dst[i] = bf16_from_f32(src[i]);
+}
+
+void bf16_unpack(const std::uint16_t* src, float* dst, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) dst[i] = f32_from_bf16(src[i]);
+}
+
+void bf16_assign_f32(float* dst, const std::uint16_t* src, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) dst[i] = f32_from_bf16(src[i]);
+}
+
+void bf16_accumulate_f32(float* dst, const std::uint16_t* src, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) dst[i] += f32_from_bf16(src[i]);
+}
+
+}  // namespace plexus::simd

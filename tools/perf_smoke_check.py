@@ -14,14 +14,28 @@ Thresholds live in tools/perf_smoke_thresholds.json. The gated counters
 the ring cost model — fully deterministic, so the gate is runner-independent.
 On failure every violated threshold is printed with a value-vs-limit diff.
 
-It can additionally (or instead) gate the serving stack: pass
---serve-report=PATH with a bench/micro_serve JSON report and the serve
-section of the thresholds file is checked (minimum sustained QPS, maximum
-p99 latency, nothing rejected). Serve numbers are wall-clock, so those
-margins are deliberately loose — the gate catches order-of-magnitude
-regressions and outright breakage, not percent-level drift.
+The micro_collectives report additionally carries the bf16 wire-format
+gate: with PLEXUS_WIRE-style bf16 payloads the trainer's wire bytes must
+drop to at most `wire_bytes_max_ratio` of the fp32 run (deterministic byte
+accounting; the measured ratio is exactly 0.5 on all-float workloads).
+
+It can also gate the SIMD kernel dispatch: pass --kernels-report=PATH with
+a bench/micro_kernels JSON report (--benchmark_filter to include
+SimdVsScalar) and the `simd_speedup` section is checked — the active
+target's `speedup_vs_serial` against the pinned scalar kernel table must
+clear the per-benchmark floor. Those are wall-clock ratios, so the floors
+are far below measured values; they catch the vectorized path silently
+losing to (or dispatching to) the scalar fallback.
+
+And it can gate the serving stack: pass --serve-report=PATH with a
+bench/micro_serve JSON report and the serve section of the thresholds file
+is checked (minimum sustained QPS, maximum p99 latency, nothing rejected).
+Serve numbers are wall-clock, so those margins are deliberately loose —
+the gate catches order-of-magnitude regressions and outright breakage, not
+percent-level drift.
 
 Usage: perf_smoke_check.py [micro_collectives.json] [thresholds.json]
+                           [--kernels-report=micro_kernels.json]
                            [--serve-report=micro_serve.json]
 """
 import json
@@ -143,6 +157,52 @@ def check_sparse_bytes(counters, thresholds, failures):
             )
 
 
+def check_wire_bytes(counters, thresholds, failures):
+    max_ratio = thresholds.get("wire_bytes_max_ratio")
+    names = thresholds.get("wire_bytes", [])
+    if max_ratio is None or not names:
+        return
+    for name in names:
+        ratio = get_counter(counters, name, "wire_bytes_ratio", failures)
+        fp32_mb = get_counter(counters, name, "fp32_wire_mb", failures)
+        bf16_mb = get_counter(counters, name, "bf16_wire_mb", failures)
+        if ratio is None or fp32_mb is None or bf16_mb is None:
+            continue
+        ok = fp32_mb > 0 and ratio <= max_ratio
+        print(
+            f"[{'OK' if ok else 'FAIL'}] {name}: bf16 {fmt_mb(bf16_mb)} vs fp32 "
+            f"{fmt_mb(fp32_mb)} wire bytes (ratio {ratio:.3f}, limit {max_ratio})"
+        )
+        if not ok:
+            failures.append(
+                f"{name}: bf16 wire bytes {fmt_mb(bf16_mb)} not below fp32 {fmt_mb(fp32_mb)} by "
+                f"the required margin (ratio {ratio:.3f} > limit {max_ratio})"
+            )
+
+
+def check_simd_speedup(counters, thresholds, failures):
+    gates = thresholds.get("simd_speedup", [])
+    if not gates:
+        failures.append("thresholds file has no 'simd_speedup' section")
+        return
+    for gate in gates:
+        name = gate["benchmark"]
+        speedup = get_counter(counters, name, "speedup_vs_serial", failures)
+        if speedup is None:
+            continue
+        target = counters[name].get("label", "")
+        ok = speedup >= gate["min_speedup"]
+        print(
+            f"[{'OK' if ok else 'FAIL'}] {name}: {speedup:.2f}x vs pinned scalar kernels "
+            f"(min {gate['min_speedup']}x{', target ' + target if target else ''})"
+        )
+        if not ok:
+            failures.append(
+                f"{name}: SIMD speedup {speedup:.2f}x below the {gate['min_speedup']}x floor "
+                f"({'target ' + target if target else 'unknown target'})"
+            )
+
+
 def check_serve(counters, thresholds, failures):
     serve = thresholds.get("serve")
     if serve is None:
@@ -168,13 +228,16 @@ def check_serve(counters, thresholds, failures):
 
 def main():
     serve_report = None
+    kernels_report = None
     positionals = []
     for arg in sys.argv[1:]:
         if arg.startswith("--serve-report="):
             serve_report = arg.split("=", 1)[1]
+        elif arg.startswith("--kernels-report="):
+            kernels_report = arg.split("=", 1)[1]
         else:
             positionals.append(arg)
-    if not positionals and serve_report is None:
+    if not positionals and serve_report is None and kernels_report is None:
         print(__doc__.strip(), file=sys.stderr)
         return 2
     thresholds_path = (
@@ -191,6 +254,9 @@ def main():
         check_pipelined_vs_blocking(counters, thresholds, failures)
         check_adaptive_vs_best_fixed(counters, thresholds, failures)
         check_sparse_bytes(counters, thresholds, failures)
+        check_wire_bytes(counters, thresholds, failures)
+    if kernels_report is not None:
+        check_simd_speedup(load_counters(kernels_report), thresholds, failures)
     if serve_report is not None:
         check_serve(load_counters(serve_report), thresholds, failures)
 
@@ -203,8 +269,10 @@ def main():
     if positionals:
         checked.append(
             "pipelining hides communication, the adaptive depth matches or beats every "
-            "fixed depth, and sparse aggregation moves fewer bytes"
+            "fixed depth, sparse aggregation moves fewer bytes, and bf16 halves the wire"
         )
+    if kernels_report is not None:
+        checked.append("the SIMD kernels beat the pinned scalar fallback")
     if serve_report is not None:
         checked.append("the serving stack sustains the gated QPS within the p99 latency cap")
     print(f"\nperf-smoke passed: {'; '.join(checked)}.")
