@@ -24,6 +24,15 @@
 // always, every k-th epoch with --checkpoint-every=k); --resume continues a
 // checkpointed run bitwise (see docs/SERVING.md).
 //
+// Out-of-core streaming (docs/ARCHITECTURE.md): --write-shards=DIR generates
+// the proxy dataset straight to a sharded block-file directory without ever
+// materialising the graph in memory (graph::rmat_to_shards) and exits;
+// --stream-dir=DIR then trains out of that directory, streaming adjacency
+// blocks through an LRU cache bounded by --rss-budget=MB (default:
+// PLEXUS_RSS_MB, else unbounded) with an IO prefetch pipeline of
+// --prefetch-depth blocks (default: adaptive). Epoch losses are
+// bitwise-identical to the in-memory run over the same proxy.
+//
 // The old positional form `plexus_train [dataset] [nodes] [gx] [gy] [gz]
 // [epochs] [backend] [agg]` (gx=0 = model-chosen gy-GPU grid) still works but
 // is deprecated.
@@ -35,6 +44,7 @@
 #include "core/dataset_view.hpp"
 #include "core/trainer.hpp"
 #include "graph/datasets.hpp"
+#include "graph/rmat_shards.hpp"
 #include "perfmodel/perfmodel.hpp"
 #include "sim/machine.hpp"
 #include "util/arg_parser.hpp"
@@ -84,6 +94,16 @@ int main(int argc, char** argv) {
   args.add_flag("checkpoint", "dir", "write a checkpoint directory (final epoch; see -every)");
   args.add_flag("checkpoint-every", "k", "also checkpoint every k-th epoch", "0");
   args.add_flag("resume", "dir", "resume from a checkpoint directory (bitwise continuation)");
+  args.add_flag("write-shards", "dir",
+                "generate the proxy straight to a sharded dataset directory and exit "
+                "(out-of-core; bitwise-equal to preprocessing in memory)");
+  args.add_flag("stream-dir", "dir",
+                "train out-of-core from a sharded dataset directory (losses bitwise-equal "
+                "to the in-memory run)");
+  args.add_flag("rss-budget", "MB",
+                "streaming block-cache budget in MB (default: PLEXUS_RSS_MB, else unbounded)");
+  args.add_flag("prefetch-depth", "n",
+                "streaming IO prefetch depth (default: adaptive from the perf model)");
 
   switch (args.parse(argc, argv)) {
     case ArgParser::Status::Help: std::fputs(args.usage().c_str(), stdout); return 0;
@@ -160,6 +180,18 @@ int main(int argc, char** argv) {
     return fail(args, "bad --checkpoint-every '" + args.value("checkpoint-every") + "'");
   }
   const std::string resume_dir = args.value("resume");
+  const std::string write_shards_dir = args.value("write-shards");
+  const std::string stream_dir = args.value("stream-dir");
+  std::int64_t rss_budget_mb = -1;
+  if (args.is_set("rss-budget") &&
+      (!args.value_int64("rss-budget", rss_budget_mb) || rss_budget_mb < 0)) {
+    return fail(args, "bad --rss-budget '" + args.value("rss-budget") + "'");
+  }
+  int prefetch_depth = -1;
+  if (args.is_set("prefetch-depth") &&
+      (!args.value_int("prefetch-depth", prefetch_depth) || prefetch_depth < 1)) {
+    return fail(args, "bad --prefetch-depth '" + args.value("prefetch-depth") + "'");
+  }
 
   const bool distributed = backend == plexus::comm::Backend::Mpi;
   if (distributed && !plexus::comm::mpi_transport_available()) {
@@ -214,6 +246,33 @@ int main(int argc, char** argv) {
   opt.wire = wire;
   opt.checkpoint_dir = checkpoint_dir;
   opt.checkpoint_every = checkpoint_every;
+  if (rss_budget_mb >= 0) opt.rss_budget_bytes = rss_budget_mb << 20;
+  if (prefetch_depth > 0) opt.prefetch_depth = prefetch_depth;
+
+  if (!write_shards_dir.empty()) {
+    if (distributed) {
+      std::fprintf(stderr, "--write-shards generates on one process; run it without --backend=mpi\n");
+      return 1;
+    }
+    // Same proxy + preprocess parameters the in-memory path uses, so the
+    // directory is byte-identical to preprocessing make_proxy(...) in memory
+    // and the streamed losses gate bitwise against the in-memory run.
+    auto spec = plexus::graph::proxy_shards_spec(info, nodes, /*seed=*/1);
+    spec.scheme = static_cast<int>(opt.scheme);
+    spec.num_layers = opt.model.num_layers();
+    spec.pad_multiple = volume;
+    spec.preprocess_seed = opt.preprocess_seed;
+    spec.parts = volume;
+    const auto r = plexus::graph::rmat_to_shards(write_shards_dir, spec);
+    std::printf(
+        "wrote sharded %s proxy to %s: %lld nodes (%lld padded), %lld edges, %lld nnz per "
+        "version, %.1f MB on disk, %.1f MB peak buffer\n",
+        dataset.c_str(), write_shards_dir.c_str(), static_cast<long long>(r.num_nodes),
+        static_cast<long long>(r.padded_nodes), static_cast<long long>(r.num_edges),
+        static_cast<long long>(r.adjacency_nnz), static_cast<double>(r.bytes_written) / 1e6,
+        static_cast<double>(r.peak_buffer_bytes) / 1e6);
+    return 0;
+  }
 
   const char* agg_label =
       agg.has_value() ? plexus::core::aggregation_name(*agg) : "model default";
@@ -231,6 +290,20 @@ int main(int argc, char** argv) {
     }
     result = distributed ? plexus::core::resume_plexus_rank(resume_dir, opt, rt.rank)
                          : plexus::core::resume_plexus(resume_dir, opt);
+  } else if (!stream_dir.empty()) {
+    if (distributed) {
+      std::fprintf(stderr,
+                   "--stream-dir runs the threaded cluster; the mpi backend already streams "
+                   "per-rank shards (drop --backend=mpi)\n");
+      return 1;
+    }
+    std::printf(
+        "streaming %s out-of-core on a %dx%dx%d grid, %d epochs, budget %s, "
+        "%s transport, dense aggregation, %s wire, %s simd\n",
+        stream_dir.c_str(), gx, gy, gz, epochs,
+        rss_budget_mb >= 0 ? (std::to_string(rss_budget_mb) + " MB").c_str() : "unbounded",
+        plexus::comm::backend_name(backend), wire_label, simd_label);
+    result = plexus::core::train_plexus_streaming(stream_dir, opt);
   } else if (!distributed) {
     const auto g = plexus::graph::make_proxy(info, nodes, /*seed=*/1);
     std::printf(
@@ -288,6 +361,19 @@ int main(int argc, char** argv) {
     }
     std::printf("validation accuracy %.3f | avg epoch %.2f ms on %s\n", result.val_accuracy,
                 result.avg_epoch_seconds(2) * 1e3, machine.name.c_str());
+    if (!stream_dir.empty()) {
+      // After, not inside, the epoch lines: the streamed run's epoch lines
+      // must diff clean against the in-memory run's (the CI loss gate).
+      double io_bytes = 0.0;
+      double io_s = 0.0;
+      for (const auto& s : result.epochs) {
+        io_bytes += s.io_bytes_streamed;
+        io_s += s.io_exposed_seconds;
+      }
+      std::printf("streamed %.2f MB of adjacency blocks from disk, %.2f ms exposed IO "
+                  "(wall clock)\n",
+                  io_bytes / 1e6, io_s * 1e3);
+    }
     if (!checkpoint_dir.empty()) {
       std::printf("checkpoint written to %s\n", checkpoint_dir.c_str());
     }

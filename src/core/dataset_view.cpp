@@ -3,6 +3,10 @@
 #include <utility>
 
 #include "core/shard.hpp"
+#include "loader/file_io.hpp"
+#include "loader/mapped_block.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/partition2d.hpp"
 #include "util/error.hpp"
 
 namespace plexus::core {
@@ -30,6 +34,8 @@ dense::Matrix InMemoryDatasetView::feature_block(std::int64_t r0, std::int64_t r
 
 const std::vector<std::int32_t>& InMemoryDatasetView::labels() const { return ds_->labels; }
 
+std::int64_t InMemoryDatasetView::adjacency_nnz() const { return ds_->adj_even.nnz(); }
+
 const std::vector<std::uint8_t>& InMemoryDatasetView::mask(Split split) const {
   switch (split) {
     case Split::Train: return ds_->train_mask;
@@ -50,6 +56,11 @@ ShardedDatasetView::ShardedDatasetView(std::string dir) : dir_(std::move(dir)) {
   train_total_ = pm.train_total;
   scheme_ = static_cast<PermutationScheme>(pm.scheme);
   adjacency_versions_ = pm.adjacency_versions;
+  grid_rows_ = meta.grid_rows;
+  grid_cols_ = meta.grid_cols;
+  adjacency_nnz_ = meta.adjacency_nnz;
+  row_bounds_ = sparse::block_bounds(padded_nodes_, grid_rows_);
+  col_bounds_ = sparse::block_bounds(padded_nodes_, grid_cols_);
   PLEXUS_CHECK(num_nodes_ <= padded_nodes_ && feature_dim_ <= padded_feature_dim_,
                "sharded dataset: inconsistent metadata in " + dir_);
   labels_ = io::load_labels(dir_);
@@ -59,15 +70,103 @@ ShardedDatasetView::ShardedDatasetView(std::string dir) : dir_(std::move(dir)) {
                "sharded dataset: labels/masks do not cover the padded nodes");
 }
 
+ShardedDatasetView::ShardedDatasetView(std::string dir, std::int64_t rss_budget_bytes)
+    : ShardedDatasetView(std::move(dir)) {
+  cache_ = std::make_unique<io::BlockCache>(rss_budget_bytes);
+}
+
 sparse::Csr ShardedDatasetView::adjacency_block(int version, std::int64_t r0, std::int64_t r1,
                                                std::int64_t c0, std::int64_t c1) const {
+  if (cache_ != nullptr) {
+    std::int64_t discard = 0;
+    return adjacency_block_counted(version, r0, r1, c0, c1, &discard);
+  }
   const bool odd = version % 2 != 0 && adjacency_versions_ > 1;
   return io::load_adjacency_block(dir_, r0, r1, c0, c1, &stats_, odd ? "adjo" : "adj");
 }
 
+sparse::Csr ShardedDatasetView::adjacency_block_counted(int version, std::int64_t r0,
+                                                        std::int64_t r1, std::int64_t c0,
+                                                        std::int64_t c1,
+                                                        std::int64_t* io_bytes) const {
+  const bool odd = version % 2 != 0 && adjacency_versions_ > 1;
+  const std::string prefix = odd ? "adjo" : "adj";
+  if (cache_ != nullptr) return streamed_adjacency_block(prefix, r0, r1, c0, c1, io_bytes);
+  // Non-streaming fall-through keeps a local LoadStats: the counted entry
+  // point may be called from a worker thread, and the shared mutable
+  // `stats_` is only safe on the single owning rank thread.
+  io::LoadStats local;
+  auto csr = io::load_adjacency_block(dir_, r0, r1, c0, c1, &local, prefix);
+  if (io_bytes != nullptr) *io_bytes = local.bytes_read;
+  return csr;
+}
+
+sparse::Csr ShardedDatasetView::streamed_adjacency_block(const std::string& prefix,
+                                                         std::int64_t r0, std::int64_t r1,
+                                                         std::int64_t c0, std::int64_t c1,
+                                                         std::int64_t* io_bytes) const {
+  if (io_bytes != nullptr) *io_bytes = 0;
+  sparse::Coo coo;
+  coo.num_rows = r1 - r0;
+  coo.num_cols = c1 - c0;
+  // Identical stripe walk and COO emission order to io::load_adjacency_block,
+  // so the resulting CSR is bitwise-identical to the blocking loader's — the
+  // streaming epoch's determinism contract rests on this loop.
+  for (std::int32_t r = 0; r < grid_rows_; ++r) {
+    if (row_bounds_[static_cast<std::size_t>(r) + 1] <= r0 ||
+        row_bounds_[static_cast<std::size_t>(r)] >= r1) {
+      continue;
+    }
+    for (std::int32_t c = 0; c < grid_cols_; ++c) {
+      if (col_bounds_[static_cast<std::size_t>(c) + 1] <= c0 ||
+          col_bounds_[static_cast<std::size_t>(c)] >= c1) {
+        continue;
+      }
+      const auto block = cache_->get(io::adjacency_block_path(dir_, prefix, r, c), io_bytes);
+      io::ByteReader in(*block);
+      PLEXUS_CHECK(in.pod<std::uint64_t>() == io::kPlxMagic, "bad magic in " + block->path());
+      const auto row0 = in.pod<std::int64_t>();
+      const auto col0 = in.pod<std::int64_t>();
+      const auto rows = in.pod<std::int64_t>();
+      in.pod<std::int64_t>();  // cols
+      const auto nnz = in.pod<std::int64_t>();
+      PLEXUS_CHECK(rows >= 0 && nnz >= 0, "corrupt block header in " + block->path());
+      const auto row_ptr = in.array<std::int64_t>(static_cast<std::size_t>(rows) + 1);
+      const auto col_idx = in.array<std::int32_t>(static_cast<std::size_t>(nnz));
+      const auto vals = in.array<float>(static_cast<std::size_t>(nnz));
+      std::int64_t prev = 0;
+      for (std::int64_t lr = 0; lr < rows; ++lr) {
+        const auto k0 = row_ptr[static_cast<std::size_t>(lr)];
+        const auto k1 = row_ptr[static_cast<std::size_t>(lr) + 1];
+        // Validate contiguity before the window skip: a corrupt row_ptr must
+        // surface even when the bad row lies outside the requested window.
+        PLEXUS_CHECK(k0 == prev && k1 >= k0 && k1 <= nnz,
+                     "corrupt row pointer in " + block->path());
+        prev = k1;
+        const auto gr = row0 + lr;
+        if (gr < r0 || gr >= r1) continue;
+        for (std::int64_t k = k0; k < k1; ++k) {
+          const auto gc = col0 + col_idx[static_cast<std::size_t>(k)];
+          if (gc < c0 || gc >= c1) continue;
+          coo.push(gr - r0, gc - c0, vals[static_cast<std::size_t>(k)]);
+        }
+      }
+      PLEXUS_CHECK(row_ptr[0] == 0 && prev == nnz,
+                   "corrupt row pointer in " + block->path());
+    }
+  }
+  return sparse::Csr::from_coo(coo, false);
+}
+
 dense::Matrix ShardedDatasetView::feature_block(std::int64_t r0, std::int64_t r1,
                                                std::int64_t c0, std::int64_t c1) const {
-  return io::load_feature_block(dir_, r0, r1, c0, c1, &stats_);
+  // In streaming mode the view is shared across rank threads; don't touch
+  // the unsynchronised stats_.
+  return io::load_feature_block(dir_, r0, r1, c0, c1, cache_ != nullptr ? nullptr : &stats_);
+}
+
+io::BlockCache::Stats ShardedDatasetView::cache_stats() const {
+  return cache_ != nullptr ? cache_->stats() : io::BlockCache::Stats{};
 }
 
 const std::vector<std::int32_t>& ShardedDatasetView::labels() const { return labels_; }

@@ -20,11 +20,13 @@
 /// gate its losses against the in-process backends.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/preprocess.hpp"
 #include "dense/matrix.hpp"
+#include "loader/block_cache.hpp"
 #include "loader/shard_io.hpp"
 #include "sparse/csr.hpp"
 
@@ -61,6 +63,27 @@ class DatasetView {
   virtual const std::vector<std::int32_t>& labels() const = 0;
   virtual const std::vector<std::uint8_t>& mask(Split split) const = 0;
 
+  /// True for a view whose adjacency is meant to be *streamed* every epoch
+  /// (the out-of-core path) instead of materialised once per rank. A
+  /// streaming view's adjacency reads must be thread-safe: the model runs
+  /// them from per-rank ShardStream worker threads.
+  virtual bool streaming() const { return false; }
+
+  /// Total nnz of one adjacency version, when the provider knows it without
+  /// reading the payload (0 otherwise). Feeds the streaming planner's
+  /// per-block nnz estimate.
+  virtual std::int64_t adjacency_nnz() const { return 0; }
+
+  /// adjacency_block plus the bytes the request actually pulled from disk
+  /// (0 for in-memory providers and for fully cache-resident windows) — the
+  /// EpochStats::io_bytes_streamed feed.
+  virtual sparse::Csr adjacency_block_counted(int version, std::int64_t r0, std::int64_t r1,
+                                              std::int64_t c0, std::int64_t c1,
+                                              std::int64_t* io_bytes) const {
+    if (io_bytes != nullptr) *io_bytes = 0;
+    return adjacency_block(version, r0, r1, c0, c1);
+  }
+
  protected:
   std::int64_t num_nodes_ = 0;
   std::int64_t padded_nodes_ = 0;
@@ -83,6 +106,7 @@ class InMemoryDatasetView final : public DatasetView {
                               std::int64_t c1) const override;
   const std::vector<std::int32_t>& labels() const override;
   const std::vector<std::uint8_t>& mask(Split split) const override;
+  std::int64_t adjacency_nnz() const override;
 
  private:
   const PlexusDataset* ds_;
@@ -92,9 +116,20 @@ class InMemoryDatasetView final : public DatasetView {
 /// reads only the metadata, labels and masks; adjacency/feature block
 /// requests stream exactly the intersecting block files. One view per rank —
 /// the accumulated `load_stats()` are not synchronised across threads.
+///
+/// The budgeted constructor turns the view into a *streaming* provider: one
+/// view shared by every rank thread, adjacency windows served out of a
+/// memory-mapped LRU BlockCache bounded by `rss_budget_bytes` (< 0 =
+/// unlimited). The streamed read path is thread-safe and never touches
+/// `load_stats()`; cache_stats() carries the accounting instead.
 class ShardedDatasetView final : public DatasetView {
  public:
   explicit ShardedDatasetView(std::string dir);
+
+  /// Streaming-mode view: adjacency windows go through a BlockCache holding
+  /// at most `rss_budget_bytes` of unpinned block files. Produces windows
+  /// bitwise-identical to the plain constructor's.
+  ShardedDatasetView(std::string dir, std::int64_t rss_budget_bytes);
 
   sparse::Csr adjacency_block(int version, std::int64_t r0, std::int64_t r1, std::int64_t c0,
                               std::int64_t c1) const override;
@@ -103,17 +138,39 @@ class ShardedDatasetView final : public DatasetView {
   const std::vector<std::int32_t>& labels() const override;
   const std::vector<std::uint8_t>& mask(Split split) const override;
 
+  bool streaming() const override { return cache_ != nullptr; }
+  std::int64_t adjacency_nnz() const override { return adjacency_nnz_; }
+  sparse::Csr adjacency_block_counted(int version, std::int64_t r0, std::int64_t r1,
+                                      std::int64_t c0, std::int64_t c1,
+                                      std::int64_t* io_bytes) const override;
+
   const std::string& dir() const { return dir_; }
 
   /// Bytes/files this view has streamed so far — the evidence that a rank
-  /// loaded only its own shard's blocks.
+  /// loaded only its own shard's blocks. Not meaningful (and not written)
+  /// in streaming mode; see cache_stats().
   const io::LoadStats& load_stats() const { return stats_; }
 
+  /// Block-cache accounting of the streaming mode (all zeros otherwise).
+  io::BlockCache::Stats cache_stats() const;
+
  private:
+  /// Streamed equivalent of io::load_adjacency_block: same stripe walk,
+  /// same COO emission order, blocks served from the cache.
+  sparse::Csr streamed_adjacency_block(const std::string& prefix, std::int64_t r0,
+                                       std::int64_t r1, std::int64_t c0, std::int64_t c1,
+                                       std::int64_t* io_bytes) const;
+
   std::string dir_;
   std::int32_t adjacency_versions_ = 1;
+  std::int32_t grid_rows_ = 0;
+  std::int32_t grid_cols_ = 0;
+  std::int64_t adjacency_nnz_ = 0;
+  std::vector<std::int64_t> row_bounds_;
+  std::vector<std::int64_t> col_bounds_;
   std::vector<std::int32_t> labels_;
   io::ShardedMasks masks_;
+  std::unique_ptr<io::BlockCache> cache_;
   mutable io::LoadStats stats_;
 };
 

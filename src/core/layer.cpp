@@ -5,10 +5,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <deque>
+#include <future>
 #include <span>
 #include <string>
 #include <utility>
 
+#include "core/shard_stream.hpp"
 #include "dense/gemm.hpp"
 #include "dense/ops.hpp"
 #include "sim/kernels.hpp"
@@ -16,6 +18,7 @@
 #include "sparse/spmm.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace plexus::core {
 
@@ -66,9 +69,12 @@ DistGcnLayer::DistGcnLayer(std::int64_t padded_nodes, const Grid3D& grid, int ra
                            int layer_index, int num_layers, std::int64_t in_dim_padded,
                            std::int64_t out_dim_padded, std::int64_t in_dim_valid,
                            std::int64_t out_dim_valid, const AdjacencyShard* adj,
-                           const PlexusOptions& opts, std::uint64_t seed)
+                           const PlexusOptions& opts, std::uint64_t seed, ShardStream* stream,
+                           const LayerStreamPlan* stream_plan)
     : grid_(&grid),
       adj_(adj),
+      stream_(stream),
+      splan_(stream_plan),
       opts_(opts),
       layer_(layer_index),
       roles_(roles_for_layer(layer_index)) {
@@ -90,8 +96,19 @@ DistGcnLayer::DistGcnLayer(std::int64_t padded_nodes, const Grid3D& grid, int ra
   dout_p_ = out_dim_padded / ext_p_;
   PLEXUS_CHECK(in_dim_padded % ext_q_ == 0 && out_dim_padded % ext_p_ == 0,
                "layer dims must be padded to the grid volume");
-  PLEXUS_CHECK(adj_->a.rows() == rows_r_ && adj_->a.cols() == rows_p_,
-               "adjacency shard does not match layer roles");
+  if (adj_ != nullptr) {
+    PLEXUS_CHECK(adj_->a.rows() == rows_r_ && adj_->a.cols() == rows_p_,
+                 "adjacency shard does not match layer roles");
+  } else {
+    PLEXUS_CHECK(stream_ != nullptr && splan_ != nullptr,
+                 "layer needs an adjacency shard or a stream plan");
+    PLEXUS_CHECK(splan_->rows.size() == rows_r_ && splan_->cols.size() == rows_p_,
+                 "stream plan does not match layer roles");
+    // The selective exchange plans from the resident nnz structure, which a
+    // streamed shard does not have — the model forces Dense when streaming.
+    PLEXUS_CHECK(opts_.aggregation == Aggregation::Dense,
+                 "streaming epochs require dense aggregation");
+  }
 
   // W block (rows = Q slice of Din, cols = P slice of Dout), flat 1/R slice.
   const Slice wrows = uniform_slice(in_dim_padded, ext_q_, coord_q_);
@@ -157,6 +174,72 @@ int DistGcnLayer::resolve_depth(sim::RankContext& ctx, const sparse::Csr& a,
   const double t_ring = comm::collective_time(op, eb * max_rows * din_q_, g.size(), g.link,
                                               g.a2a_distance_penalty);
   *cache = comm::choose_pipeline_depth(t_spmm_min, t_ring, nb);
+  return *cache;
+}
+
+namespace {
+
+/// Largest block length and nonempty block count of a bounds vector.
+void bounds_shape(const std::vector<std::int64_t>& bounds, std::int64_t* max_rows,
+                  int* nonempty) {
+  *max_rows = 0;
+  *nonempty = 0;
+  for (std::size_t k = 0; k + 1 < bounds.size(); ++k) {
+    const std::int64_t len = bounds[k + 1] - bounds[k];
+    if (len == 0) continue;
+    ++*nonempty;
+    *max_rows = std::max(*max_rows, len);
+  }
+}
+
+}  // namespace
+
+int DistGcnLayer::resolve_depth_streamed(sim::RankContext& ctx,
+                                         const std::vector<std::int64_t>& bounds,
+                                         std::int64_t dense_rows, comm::GroupId gid,
+                                         comm::Collective op, int* cache) {
+  if (opts_.pipeline_depth > 0) return opts_.pipeline_depth;
+  if (*cache > 0) return *cache;
+  const int nb = static_cast<int>(bounds.size()) - 1;
+  std::int64_t max_rows = 0;
+  int nonempty = 0;
+  bounds_shape(bounds, &max_rows, &nonempty);
+  const std::int64_t est_nnz =
+      std::max<std::int64_t>(1, splan_->est_nnz / std::max(1, nonempty));
+  const sim::SpmmShape shape{est_nnz, std::max<std::int64_t>(1, max_rows), dense_rows, din_q_};
+  const double t_spmm = sim::spmm_time(*ctx.machine, shape);
+  const auto& g = ctx.comm.world().group(gid);
+  const auto eb = static_cast<std::int64_t>(ctx.comm.wire_float_bytes());
+  const double t_ring = comm::collective_time(op, eb * max_rows * din_q_, g.size(), g.link,
+                                              g.a2a_distance_penalty);
+  *cache = comm::choose_pipeline_depth(t_spmm, t_ring, nb);
+  return *cache;
+}
+
+int DistGcnLayer::resolve_prefetch_depth(sim::RankContext& ctx,
+                                         const std::vector<std::int64_t>& bounds,
+                                         std::int64_t dense_rows, int* cache) {
+  const int nb = static_cast<int>(bounds.size()) - 1;
+  if (opts_.prefetch_depth > 0) return std::clamp(opts_.prefetch_depth, 1, std::max(1, nb));
+  if (*cache > 0) return *cache;
+  std::int64_t max_rows = 0;
+  int nonempty = 0;
+  bounds_shape(bounds, &max_rows, &nonempty);
+  const std::int64_t est_nnz =
+      std::max<std::int64_t>(1, splan_->est_nnz / std::max(1, nonempty));
+  // On-disk bytes of one block window: col idx (i32) + value (f32) per
+  // nonzero, plus the row-pointer run.
+  const std::int64_t block_bytes = est_nnz * 8 + (max_rows + 1) * 8;
+  const double t_disk = static_cast<double>(block_bytes) / ctx.machine->disk_bw;
+  const sim::SpmmShape shape{est_nnz, std::max<std::int64_t>(1, max_rows), dense_rows, din_q_};
+  const double t_spmm = sim::spmm_time(*ctx.machine, shape);
+  std::int64_t depth = comm::choose_pipeline_depth(t_spmm, t_disk, nb);
+  if (opts_.rss_budget_bytes >= 0) {
+    // In-flight windows are pinned (they dodge the cache's trim), so the
+    // prefetch window itself must fit the budget.
+    depth = std::min(depth, std::max<std::int64_t>(1, opts_.rss_budget_bytes / block_bytes));
+  }
+  *cache = std::clamp(static_cast<int>(depth), 1, std::max(1, nb));
   return *cache;
 }
 
@@ -327,8 +410,11 @@ dense::Matrix DistGcnLayer::forward(sim::RankContext& ctx, const dense::Matrix& 
   }
   const bool sparse_agg = opts_.aggregation != Aggregation::Dense && fwd_sparse_.sparse;
 
-  auto charge_spmm_block = [&](std::int64_t b0, std::int64_t b1, int k) {
-    const sim::SpmmShape shape{adj_->a.range_nnz(b0, b1), b1 - b0, rows_p_, din_q_};
+  // The streamed path charges the block's own nnz (== range_nnz of the
+  // assembled shard), so the sim cost — noise seed included — is identical
+  // to the resident path's.
+  auto charge_spmm_block = [&](std::int64_t nnz, std::int64_t b0, std::int64_t b1, int k) {
+    const sim::SpmmShape shape{nnz, b1 - b0, rows_p_, din_q_};
     const std::uint64_t noise_seed = util::hash_combine(
         epoch_seed, util::hash_combine(static_cast<std::uint64_t>(layer_),
                                        util::hash_combine(static_cast<std::uint64_t>(ctx.rank()),
@@ -338,7 +424,50 @@ dense::Matrix DistGcnLayer::forward(sim::RankContext& ctx, const dense::Matrix& 
     timers.spmm += t_block;
   };
 
-  if (sparse_agg) {
+  if (stream_ != nullptr) {
+    // Out-of-core aggregation (the streaming epoch): block loads are posted
+    // as IO handles into their own pipeline deque, so disk reads (and any
+    // cache misses behind them) overlap earlier blocks' SpMMs exactly like
+    // the per-block collectives do. Only the wait that compute could not
+    // cover lands in timers.io_exposed.
+    const auto bounds = sparse::block_bounds(rows_r_, nb);
+    const int depth = resolve_depth_streamed(ctx, bounds, rows_p_, p_group_,
+                                             comm::Collective::AllReduce, &fwd_depth_);
+    const int pf = resolve_prefetch_depth(ctx, bounds, rows_p_, &fwd_io_depth_);
+    std::deque<std::pair<std::future<BlockLoad>, int>> loads;
+    int next = 0;
+    auto fill = [&] {
+      while (static_cast<int>(loads.size()) < pf && next < nb) {
+        const int k = next++;
+        const std::int64_t b0 = bounds[static_cast<std::size_t>(k)];
+        const std::int64_t b1 = bounds[static_cast<std::size_t>(k) + 1];
+        if (b0 == b1) continue;
+        loads.emplace_back(stream_->post(splan_->version, splan_->rows.begin + b0,
+                                         splan_->rows.begin + b1, splan_->cols.begin,
+                                         splan_->cols.end, /*transpose=*/false),
+                           k);
+      }
+    };
+    fill();
+    std::deque<comm::CommHandle> inflight;
+    while (!loads.empty()) {
+      const int k = loads.front().second;
+      util::WallTimer io_timer;
+      BlockLoad bl = loads.front().first.get();
+      timers.io_exposed += io_timer.seconds();
+      timers.io_bytes += bl.bytes_read;
+      loads.pop_front();
+      fill();  // repost before computing, so the IO worker never idles
+      const std::int64_t b0 = bounds[static_cast<std::size_t>(k)];
+      const std::int64_t b1 = bounds[static_cast<std::size_t>(k) + 1];
+      sparse::spmm_into_rows(bl.csr, f_in, h_, b0);
+      charge_spmm_block(bl.csr.nnz(), b0, b1, k);
+      std::span<float> rows{h_.row(b0), static_cast<std::size_t>((b1 - b0) * din_q_)};
+      inflight.push_back(ctx.comm.iall_reduce_sum<float>(p_group_, rows));
+      trim_pipeline(inflight, depth);
+    }
+    drain_pipeline(inflight);
+  } else if (sparse_agg) {
     // Per block: SpMM, pack the support rows, sparse all-to-all to the chunk
     // owners; on retire, fold the received contributions into the reduced
     // chunk and re-gather the equal chunks with a dense all-gather. Two
@@ -361,7 +490,7 @@ dense::Matrix DistGcnLayer::forward(sim::RankContext& ctx, const dense::Matrix& 
       const std::int64_t b1 = bounds[static_cast<std::size_t>(k) + 1];
       if (b0 == b1) continue;  // bounds are grid-derived, identical on all members
       sparse::spmm_rows(adj_->a, f_in, h_, b0, b1);
-      charge_spmm_block(b0, b1, k);
+      charge_spmm_block(adj_->a.range_nnz(b0, b1), b0, b1, k);
       auto& blk = fwd_sparse_.blocks[static_cast<std::size_t>(k)];
       float* sp = blk.send_buf.data();
       for (const auto r : blk.send_rows) {
@@ -388,7 +517,7 @@ dense::Matrix DistGcnLayer::forward(sim::RankContext& ctx, const dense::Matrix& 
       const std::int64_t b1 = bounds[static_cast<std::size_t>(k) + 1];
       if (b0 == b1) continue;  // bounds are grid-derived, identical on all members
       sparse::spmm_rows(adj_->a, f_in, h_, b0, b1);
-      charge_spmm_block(b0, b1, k);
+      charge_spmm_block(adj_->a.range_nnz(b0, b1), b0, b1, k);
       std::span<float> rows{h_.row(b0), static_cast<std::size_t>((b1 - b0) * din_q_)};
       inflight.push_back(ctx.comm.iall_reduce_sum<float>(p_group_, rows));
       trim_pipeline(inflight, depth);
@@ -492,12 +621,73 @@ dense::Matrix DistGcnLayer::backward(sim::RankContext& ctx, const dense::Matrix&
     sparse_agg = bwd_sparse_.sparse;
   }
 
-  auto charge_spmm_block = [&](std::int64_t b0, std::int64_t b1) {
-    const sim::SpmmShape shape{adj_->a_t.range_nnz(b0, b1), b1 - b0, rows_r_, din_q_};
+  auto charge_spmm_block = [&](std::int64_t nnz, std::int64_t b0, std::int64_t b1) {
+    const sim::SpmmShape shape{nnz, b1 - b0, rows_r_, din_q_};
     const double t = sim::spmm_time(m, shape);
     ctx.comm.charge_compute(t);
     timers.spmm += t;
   };
+
+  if (stream_ != nullptr) {
+    // Streamed dF: rows [b0, b1) of A^T are the column window [b0, b1) of A,
+    // so the stream loads that window and transposes it on the IO worker —
+    // the counting sort hides behind compute too. Bitwise-identical to rows
+    // [b0, b1) of the resident transpose (same canonical source-row order).
+    const auto bounds = scatter ? sparse::block_bounds_aligned(rows_p_, nb, ext_r_)
+                                : sparse::block_bounds(rows_p_, nb);
+    const int depth =
+        final_reduce == FinalReduce::None
+            ? 1
+            : resolve_depth_streamed(ctx, bounds, rows_r_, r_group_,
+                                     scatter ? comm::Collective::ReduceScatter
+                                             : comm::Collective::AllReduce,
+                                     &bwd_depth_);
+    const int pf = resolve_prefetch_depth(ctx, bounds, rows_r_, &bwd_io_depth_);
+    std::deque<std::pair<std::future<BlockLoad>, int>> loads;
+    int next = 0;
+    auto fill = [&] {
+      while (static_cast<int>(loads.size()) < pf && next < nb) {
+        const int k = next++;
+        const std::int64_t b0 = bounds[static_cast<std::size_t>(k)];
+        const std::int64_t b1 = bounds[static_cast<std::size_t>(k) + 1];
+        if (b0 == b1) continue;
+        loads.emplace_back(stream_->post(splan_->version, splan_->rows.begin,
+                                         splan_->rows.end, splan_->cols.begin + b0,
+                                         splan_->cols.begin + b1, /*transpose=*/true),
+                           k);
+      }
+    };
+    fill();
+    std::deque<comm::CommHandle> inflight;
+    while (!loads.empty()) {
+      const int k = loads.front().second;
+      util::WallTimer io_timer;
+      BlockLoad bl = loads.front().first.get();
+      timers.io_exposed += io_timer.seconds();
+      timers.io_bytes += bl.bytes_read;
+      loads.pop_front();
+      fill();
+      const std::int64_t b0 = bounds[static_cast<std::size_t>(k)];
+      const std::int64_t b1 = bounds[static_cast<std::size_t>(k) + 1];
+      sparse::spmm_into_rows(bl.csr, dh, df_in, b0);
+      charge_spmm_block(bl.csr.nnz(), b0, b1);
+      std::span<const float> rows{df_in.row(b0), static_cast<std::size_t>((b1 - b0) * din_q_)};
+      if (final_reduce == FinalReduce::AllReduce) {
+        std::span<float> inout{df_in.row(b0), rows.size()};
+        inflight.push_back(ctx.comm.iall_reduce_sum<float>(r_group_, inout));
+        trim_pipeline(inflight, depth);
+      } else if (scatter) {
+        std::span<float> out =
+            grad_slice.subspan(static_cast<std::size_t>(b0 / ext_r_ * din_q_),
+                               rows.size() / static_cast<std::size_t>(ext_r_));
+        inflight.push_back(ctx.comm.ireduce_scatter_sum<float>(r_group_, rows, out));
+        trim_pipeline(inflight, depth);
+      }
+    }
+    drain_pipeline(inflight);
+    if (scatter) return {};
+    return df_in;
+  }
 
   if (sparse_agg) {
     // Mirror of the forward sparse pipeline over the R group: SpMM, pack,
@@ -530,7 +720,7 @@ dense::Matrix DistGcnLayer::backward(sim::RankContext& ctx, const dense::Matrix&
       const std::int64_t b1 = bounds[static_cast<std::size_t>(k) + 1];
       if (b0 == b1) continue;
       sparse::spmm_rows(adj_->a_t, dh, df_in, b0, b1);
-      charge_spmm_block(b0, b1);
+      charge_spmm_block(adj_->a_t.range_nnz(b0, b1), b0, b1);
       auto& blk = bwd_sparse_.blocks[static_cast<std::size_t>(k)];
       float* sp = blk.send_buf.data();
       for (const auto r : blk.send_rows) {
@@ -566,7 +756,7 @@ dense::Matrix DistGcnLayer::backward(sim::RankContext& ctx, const dense::Matrix&
     const std::int64_t b1 = bounds[static_cast<std::size_t>(k) + 1];
     if (b0 == b1) continue;
     sparse::spmm_rows(adj_->a_t, dh, df_in, b0, b1);
-    charge_spmm_block(b0, b1);
+    charge_spmm_block(adj_->a_t.range_nnz(b0, b1), b0, b1);
     std::span<const float> rows{df_in.row(b0), static_cast<std::size_t>((b1 - b0) * din_q_)};
     if (final_reduce == FinalReduce::AllReduce) {
       std::span<float> inout{df_in.row(b0), rows.size()};

@@ -28,6 +28,8 @@
 
 namespace plexus::core {
 
+class ShardStream;
+
 /// Strategy for the blocked aggregation collectives (forward H all-reduce
 /// over P, backward dF all-reduce / reduce-scatter over R).
 enum class Aggregation {
@@ -79,6 +81,16 @@ struct PlexusOptions {
   /// bitwise-identical for any depth — only the exposed comm time changes,
   /// and the adaptive choice exposes no more than any fixed depth.
   int pipeline_depth = 0;
+  /// Streaming epochs only: number of block loads the prefetch thread keeps
+  /// in flight ahead of the consuming SpMM. 0 (the default) = adaptive — the
+  /// perf model balances per-block SpMM time against per-block disk time
+  /// (comm::choose_pipeline_depth over sim::Machine::disk_bw), clamped so the
+  /// in-flight windows stay inside rss_budget_bytes. Like pipeline_depth a
+  /// pure scheduling knob: losses are bitwise-identical for any depth.
+  int prefetch_depth = 0;
+  /// Streaming epochs only: RSS budget (bytes) the block cache and prefetch
+  /// window planner honour. < 0 = unbounded.
+  std::int64_t rss_budget_bytes = -1;
   /// Aggregation strategy (dense ring vs sparsity-aware selective exchange).
   Aggregation aggregation = Aggregation::Dense;
   dense::AdamConfig adam;
@@ -91,11 +103,16 @@ struct PlexusOptions {
 /// trainable features), or left to the caller entirely.
 enum class FinalReduce { None, AllReduce, ReduceScatter };
 
-/// Per-rank accumulated simulated kernel time, by category.
+/// Per-rank accumulated simulated kernel time, by category. The io fields
+/// are *wall-clock* streaming accounting (exposed block-load wait and bytes
+/// actually pulled from disk) — they are never charged onto the simulated
+/// clock, so they do not contribute to total().
 struct KernelTimers {
   double spmm = 0.0;
   double gemm = 0.0;
   double elementwise = 0.0;
+  double io_exposed = 0.0;       ///< wall seconds a streamed SpMM waited on IO
+  std::int64_t io_bytes = 0;     ///< bytes streamed from disk (cache misses)
   double total() const { return spmm + gemm + elementwise; }
 };
 
@@ -103,10 +120,19 @@ class DistGcnLayer {
  public:
   /// `padded_nodes` is the dataset's padded node count (the only dataset
   /// fact a layer needs — rows shard as padded_nodes / extent).
+  ///
+  /// Pass either `adj` (resident shard: the classic path) or, for the
+  /// out-of-core streaming epoch, adj == nullptr plus a ShardStream and the
+  /// layer's LayerStreamPlan — then every aggregation block is loaded from
+  /// disk through the stream's prefetch pipeline instead of read from the
+  /// shard, with bitwise-identical results. Streaming requires
+  /// Aggregation::Dense (the selective exchange needs the resident nnz
+  /// structure up front).
   DistGcnLayer(std::int64_t padded_nodes, const Grid3D& grid, int rank, int layer_index,
                int num_layers, std::int64_t in_dim_padded, std::int64_t out_dim_padded,
                std::int64_t in_dim_valid, std::int64_t out_dim_valid, const AdjacencyShard* adj,
-               const PlexusOptions& opts, std::uint64_t seed);
+               const PlexusOptions& opts, std::uint64_t seed, ShardStream* stream = nullptr,
+               const LayerStreamPlan* stream_plan = nullptr);
 
   /// Forward: f_in is the (N/P x Din/Q) input block (layer 0's flat-sharded
   /// features must be gathered by the caller). Applies ReLU unless `last`.
@@ -137,6 +163,7 @@ class DistGcnLayer {
   void apply_grad(sim::RankContext& ctx, KernelTimers& timers);
 
   const LayerRoles& roles() const { return roles_; }
+  bool streaming() const { return stream_ != nullptr; }
   comm::GroupId r_group() const { return r_group_; }
   std::int64_t weight_slice_size() const { return static_cast<std::int64_t>(w_slice_.size()); }
 
@@ -166,6 +193,20 @@ class DistGcnLayer {
   int resolve_depth(sim::RankContext& ctx, const sparse::Csr& a,
                     const std::vector<std::int64_t>& bounds, std::int64_t dense_rows,
                     comm::GroupId gid, comm::Collective op, int* cache);
+
+  /// Streaming twin of resolve_depth: the shard is not resident, so the
+  /// per-block SpMM time comes from the stream plan's uniform nnz estimate.
+  /// Still a purely local scheduling decision.
+  int resolve_depth_streamed(sim::RankContext& ctx, const std::vector<std::int64_t>& bounds,
+                             std::int64_t dense_rows, comm::GroupId gid, comm::Collective op,
+                             int* cache);
+
+  /// In-flight block loads the streaming loops keep posted: the fixed
+  /// PlexusOptions::prefetch_depth, or (0 = adaptive) the perf-model balance
+  /// of per-block SpMM time against per-block disk time, clamped to the RSS
+  /// budget. Cached per direction.
+  int resolve_prefetch_depth(sim::RankContext& ctx, const std::vector<std::int64_t>& bounds,
+                             std::int64_t dense_rows, int* cache);
 
   /// One aggregation block of the sparse selective-exchange plan. The block's
   /// rows are split into `group size` equal chunks, chunk c owned by member c;
@@ -216,6 +257,8 @@ class DistGcnLayer {
 
   const Grid3D* grid_;
   const AdjacencyShard* adj_;
+  ShardStream* stream_ = nullptr;            ///< streaming mode: block loader
+  const LayerStreamPlan* splan_ = nullptr;   ///< streaming mode: shard window
   PlexusOptions opts_;
   int layer_;
   LayerRoles roles_;
@@ -250,6 +293,10 @@ class DistGcnLayer {
   // shards and links are fixed for the layer's lifetime.
   int fwd_depth_ = 0;
   int bwd_depth_ = 0;
+
+  // Cached adaptive prefetch depths of the streaming IO pipeline.
+  int fwd_io_depth_ = 0;
+  int bwd_io_depth_ = 0;
 
   // Sparse selective-aggregation plans, one per direction (the nnz structure
   // and groups are fixed for the layer's lifetime).

@@ -34,13 +34,26 @@ DistGcn::DistGcn(sim::RankContext& ctx, const DatasetView& view, const Grid3D& g
   PLEXUS_CHECK(padded_dims_[0] == view.padded_feature_dim(),
                "dataset must be preprocessed with the same pad multiple as the grid volume");
 
-  adj_store_ = std::make_unique<AdjacencyStore>(view, grid, ctx.rank(), L);
+  // Out-of-core mode: a budgeted sharded view streams adjacency blocks from
+  // disk instead of materialising shards. Streaming is a pure scheduling /
+  // memory knob — every arithmetic result is bitwise-identical to resident
+  // mode — but it requires dense aggregation (the sparse strategy needs the
+  // whole shard resident to plan its row sets).
+  const bool streaming = view.streaming();
+  if (streaming) {
+    PLEXUS_CHECK(spec_.options.aggregation == Aggregation::Dense,
+                 "streaming epochs require dense aggregation");
+    stream_ = std::make_unique<ShardStream>(view);
+  }
+
+  adj_store_ = std::make_unique<AdjacencyStore>(view, grid, ctx.rank(), L, streaming);
   for (int l = 0; l < L; ++l) {
     layers_.push_back(std::make_unique<DistGcnLayer>(
         view.padded_nodes(), grid, ctx.rank(), l, L, padded_dims_[static_cast<std::size_t>(l)],
         padded_dims_[static_cast<std::size_t>(l) + 1], valid_dims[static_cast<std::size_t>(l)],
-        valid_dims[static_cast<std::size_t>(l) + 1], &adj_store_->layer(l), spec_.options,
-        spec_.seed));
+        valid_dims[static_cast<std::size_t>(l) + 1],
+        streaming ? nullptr : &adj_store_->layer(l), spec_.options, spec_.seed, stream_.get(),
+        streaming ? &adj_store_->layer_stream(l) : nullptr));
   }
 
   // Input feature shard: block (rows along P0, cols along Q0), sharded 1/R0
@@ -168,6 +181,8 @@ EpochStats DistGcn::train_epoch(sim::RankContext& ctx, int epoch) {
   s.comm_seconds = ctx.comm.stats().total_seconds() - comm0;
   s.hidden_comm_seconds = ctx.comm.stats().total_hidden_seconds() - hidden0;
   s.comm_wire_bytes = static_cast<double>(ctx.comm.stats().total_wire_bytes() - wire0);
+  s.io_exposed_seconds = timers.io_exposed;
+  s.io_bytes_streamed = static_cast<double>(timers.io_bytes);
   return s;
 }
 

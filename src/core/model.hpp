@@ -15,6 +15,7 @@
 #include "core/layer.hpp"
 #include "core/loss.hpp"
 #include "core/preprocess.hpp"
+#include "core/shard_stream.hpp"
 #include "dense/optim.hpp"
 #include "sim/cluster.hpp"
 
@@ -52,6 +53,13 @@ struct EpochStats {
   /// (comm::wire_bytes per op, summed) — the counter the sparse aggregation
   /// strategy shrinks. The trainer max-reduces it like the timings.
   double comm_wire_bytes = 0.0;
+  /// Streaming epochs only: *wall-clock* seconds this rank stalled waiting on
+  /// block-load futures (exposed IO — everything the prefetch thread hid is
+  /// excluded). Zero in resident mode. Max-reduced like the timings.
+  double io_exposed_seconds = 0.0;
+  /// Streaming epochs only: bytes of shard block files read from disk by this
+  /// rank's prefetch thread this epoch. Zero in resident mode.
+  double io_bytes_streamed = 0.0;
   double compute_seconds() const { return spmm_seconds + gemm_seconds + elementwise_seconds; }
   /// Everything the rank spent not computing (= epoch - local compute). The
   /// clock only advances through compute charges and exposed collective
@@ -116,6 +124,9 @@ class DistGcn {
   GcnSpec spec_;
   std::vector<std::int64_t> padded_dims_;  ///< per-layer in/out dims, size L+1
   std::unique_ptr<AdjacencyStore> adj_store_;
+  /// Streaming views only: the per-rank IO worker that loads adjacency block
+  /// windows for the layers' software pipelines. Null in resident mode.
+  std::unique_ptr<ShardStream> stream_;
   std::vector<std::unique_ptr<DistGcnLayer>> layers_;
 
   // Trainable input features: a 1/R0 slice of the (N/P0 x D0/Q0) block,

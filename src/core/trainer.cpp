@@ -1,5 +1,6 @@
 #include "core/trainer.hpp"
 
+#include <cstdlib>
 #include <mutex>
 
 #include "comm/world.hpp"
@@ -42,8 +43,21 @@ std::vector<double> TrainResult::losses() const {
 GcnSpec resolve_options(const TrainOptions& opt) {
   GcnSpec spec = opt.model;
   if (opt.pipeline_depth >= 0) spec.options.pipeline_depth = opt.pipeline_depth;
+  if (opt.prefetch_depth >= 0) spec.options.prefetch_depth = opt.prefetch_depth;
   if (opt.aggregation.has_value()) spec.options.aggregation = *opt.aggregation;
+  const std::int64_t budget =
+      opt.rss_budget_bytes >= 0 ? opt.rss_budget_bytes : env_rss_budget_bytes();
+  if (budget >= 0) spec.options.rss_budget_bytes = budget;
   return spec;
+}
+
+std::int64_t env_rss_budget_bytes() {
+  const char* env = std::getenv("PLEXUS_RSS_MB");
+  if (env == nullptr || *env == '\0') return -1;
+  char* end = nullptr;
+  const long long mb = std::strtoll(env, &end, 10);
+  if (end == env || mb < 0) return -1;
+  return static_cast<std::int64_t>(mb) << 20;
 }
 
 GcnSpec spec_from_model_state(const io::ModelState& s) {
@@ -185,6 +199,8 @@ EpochStats reduce_epoch_stats(comm::Communicator& comm, comm::GroupId wg, EpochS
   s.comm_seconds = comm.all_reduce_max_scalar(wg, s.comm_seconds);
   s.hidden_comm_seconds = comm.all_reduce_max_scalar(wg, s.hidden_comm_seconds);
   s.comm_wire_bytes = comm.all_reduce_max_scalar(wg, s.comm_wire_bytes);
+  s.io_exposed_seconds = comm.all_reduce_max_scalar(wg, s.io_exposed_seconds);
+  s.io_bytes_streamed = comm.all_reduce_max_scalar(wg, s.io_bytes_streamed);
   return s;
 }
 
@@ -219,6 +235,21 @@ TrainResult resume_plexus_rank(const std::string& checkpoint_dir, const TrainOpt
   const ShardedDatasetView view(checkpoint_dir);
   return run_rank(view, ropt, ResumePlan{&state, static_cast<int>(state.epochs_completed)},
                   my_rank);
+}
+
+TrainResult train_plexus_streaming(const std::string& shard_dir, const TrainOptions& opt) {
+  TrainOptions sopt = opt;
+  // Streaming epochs require dense aggregation: the sparse strategy plans its
+  // row exchange from a resident shard.
+  sopt.aggregation = Aggregation::Dense;
+  const std::int64_t budget =
+      opt.rss_budget_bytes >= 0 ? opt.rss_budget_bytes : env_rss_budget_bytes();
+  // One budgeted view shared by every rank thread: the shared BlockCache is
+  // what makes the budget a bound on the whole process, not per rank. Block
+  // loads go through each rank's ShardStream worker; BlockCache::get is
+  // thread-safe and mmap/read happens outside its lock.
+  const ShardedDatasetView view(shard_dir, budget);
+  return run_threaded(view, sopt, ResumePlan{});
 }
 
 TrainResult train_plexus(const graph::Graph& g, const TrainOptions& opt) {

@@ -45,6 +45,23 @@ struct TrainOptions {
   /// bitwise-identical for any depth; only the exposed communication time
   /// changes, and the adaptive choice exposes no more than any fixed depth.
   int pipeline_depth = -1;
+  /// Prefetch depth of the streaming-epoch IO pipeline (see
+  /// PlexusOptions::prefetch_depth): how many adjacency block loads the layer
+  /// keeps posted to the ShardStream ahead of compute. Same contract as
+  /// pipeline_depth: < 0 (default) inherits model.options.prefetch_depth
+  /// (whose default, 0, is adaptive from the perf model's disk bandwidth);
+  /// > 0 overrides with a fixed depth. Pure scheduling knob — losses are
+  /// bitwise-identical for any depth; only exposed IO time and peak cache
+  /// residency change. Ignored by resident (non-streaming) runs.
+  int prefetch_depth = -1;
+  /// RSS budget in bytes for the streaming block cache (see
+  /// PlexusOptions::rss_budget_bytes and loader::BlockCache). < 0 (default)
+  /// defers to the PLEXUS_RSS_MB environment variable (unset = unbounded
+  /// cache); >= 0 overrides. Only consulted by train_plexus_streaming (it
+  /// sizes the budgeted ShardedDatasetView) and by the layers' adaptive
+  /// prefetch-depth clamp. Pure memory knob: losses are bitwise-identical
+  /// for any budget.
+  std::int64_t rss_budget_bytes = -1;
   /// Aggregation strategy for the blocked collectives (see
   /// core::Aggregation): Dense ring collectives, Sparse selective row
   /// exchange, or Auto (per layer/direction cost-model choice). Follows the
@@ -98,6 +115,11 @@ struct TrainOptions {
 /// Everything else passes through opt.model untouched.
 GcnSpec resolve_options(const TrainOptions& opt);
 
+/// PLEXUS_RSS_MB parsed to bytes (megabytes << 20), or -1 when the variable
+/// is unset, malformed or negative. The environment-level default behind
+/// TrainOptions::rss_budget_bytes.
+std::int64_t env_rss_budget_bytes();
+
 /// Rebuild the GcnSpec a checkpoint was trained with (exactly what
 /// gather_state flattened into the ModelState spec fields).
 GcnSpec spec_from_model_state(const io::ModelState& s);
@@ -142,6 +164,17 @@ TrainResult train_plexus(const PlexusDataset& ds, const TrainOptions& opt);
 
 /// Convenience: preprocess `g` (padding to the grid volume) and train.
 TrainResult train_plexus(const graph::Graph& g, const TrainOptions& opt);
+
+/// Out-of-core streaming epochs on the threaded in-process cluster: opens
+/// `shard_dir` (a graph::rmat_to_shards / save_checkpoint-layout directory)
+/// through ONE budgeted ShardedDatasetView shared by every rank thread, so
+/// adjacency blocks are memory-mapped/read on demand through an LRU
+/// BlockCache whose resident bytes never exceed the resolved RSS budget
+/// (opt.rss_budget_bytes, else PLEXUS_RSS_MB, else unbounded). Forces dense
+/// aggregation (the sparse planner needs resident shards). Losses and
+/// simulated clocks are bitwise-identical to an in-memory train_plexus run
+/// over the same directory — streaming is a pure memory/scheduling knob.
+TrainResult train_plexus_streaming(const std::string& shard_dir, const TrainOptions& opt);
 
 /// One-process-per-rank driver: runs rank `my_rank`'s share of the training
 /// over the distributed transport selected by opt.backend (Backend::Mpi —

@@ -1,0 +1,61 @@
+#include "loader/block_cache.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace plexus::io {
+
+std::shared_ptr<const MappedBlock> BlockCache::get(const std::string& path,
+                                                   std::int64_t* miss_bytes) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (const auto it = index_.find(path); it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);  // touch: move to front
+      ++stats_.hits;
+      return lru_.front().block;
+    }
+  }
+  // Load outside the lock so rank threads overlap their disk reads. Two
+  // threads racing on the same path both pay the read; the first insert
+  // wins and the loser adopts it, so the cache never holds duplicates.
+  auto block = MappedBlock::open(path);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.misses;
+  stats_.bytes_loaded += block->size_bytes();
+  if (miss_bytes != nullptr) *miss_bytes += block->size_bytes();
+  if (const auto it = index_.find(path); it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return lru_.front().block;
+  }
+  // Insert a second reference and keep `block` as the caller's pin: trim
+  // must see use_count > 1 so the entry being handed out is never evicted
+  // out from under its own get() (budget 0 would otherwise drop it here).
+  lru_.push_front(Entry{path, block});
+  index_.emplace(path, lru_.begin());
+  stats_.resident_bytes += block->size_bytes();
+  trim_locked();
+  stats_.peak_resident_bytes = std::max(stats_.peak_resident_bytes, stats_.resident_bytes);
+  return block;
+}
+
+void BlockCache::trim_locked() {
+  if (budget_ < 0) return;  // unlimited
+  auto it = lru_.end();
+  while (stats_.resident_bytes > budget_ && it != lru_.begin()) {
+    --it;
+    // use_count() == 1 means only the cache holds it; anything higher is a
+    // pinned in-flight block that must survive the trim.
+    if (it->block.use_count() > 1) continue;
+    stats_.resident_bytes -= it->block->size_bytes();
+    ++stats_.evictions;
+    index_.erase(it->path);
+    it = lru_.erase(it);
+  }
+}
+
+BlockCache::Stats BlockCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace plexus::io

@@ -1,0 +1,67 @@
+#pragma once
+/// \file block_cache.hpp
+/// LRU cache of mapped shard blocks, bounded by the training RSS budget
+/// (TrainOptions::rss_budget_bytes / --rss-budget / PLEXUS_RSS_MB). The
+/// cache is what turns "stream every block from disk" into "stream each
+/// block once per eviction window": a streaming epoch touches the same
+/// adjacency blocks every layer and every epoch, and whatever fits under
+/// the budget stays mapped.
+///
+/// Pinning: the shared_ptr returned by get() doubles as a pin. trim never
+/// drops a block something else still references, so a prefetch in flight
+/// (or a window mid-SpMM) keeps its bytes even at budget 0; the entry is
+/// reclaimed on the next trim after the last external reference dies.
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "loader/mapped_block.hpp"
+
+namespace plexus::io {
+
+class BlockCache {
+ public:
+  /// budget_bytes >= 0 bounds resident (unpinned) bytes; 0 keeps nothing
+  /// once callers drop their references. budget_bytes < 0 is unlimited.
+  explicit BlockCache(std::int64_t budget_bytes) : budget_(budget_bytes) {}
+
+  /// Fetch `path`, loading it (a miss) if absent. Thread-safe; the load
+  /// itself runs outside the lock so rank threads stream concurrently.
+  /// `miss_bytes`, when given, accumulates the bytes this call read from
+  /// disk (0 on a hit) — the EpochStats::io_bytes_streamed feed.
+  std::shared_ptr<const MappedBlock> get(const std::string& path,
+                                         std::int64_t* miss_bytes = nullptr);
+
+  struct Stats {
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t bytes_loaded = 0;         // total bytes read from disk
+    std::int64_t evictions = 0;
+    std::int64_t resident_bytes = 0;       // currently held by the cache
+    std::int64_t peak_resident_bytes = 0;  // high-water mark after trimming
+  };
+  Stats stats() const;
+  std::int64_t budget_bytes() const { return budget_; }
+
+ private:
+  struct Entry {
+    std::string path;
+    std::shared_ptr<const MappedBlock> block;
+  };
+  using LruList = std::list<Entry>;
+
+  /// Drop least-recently-used unpinned entries until resident <= budget.
+  void trim_locked();
+
+  const std::int64_t budget_;
+  mutable std::mutex mutex_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<std::string, LruList::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace plexus::io

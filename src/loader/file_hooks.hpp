@@ -1,0 +1,47 @@
+#pragma once
+/// \file file_hooks.hpp
+/// Fault-injection seam for the loader's read path. Tests install a
+/// FileHooks to stand in for std::fread and inject short reads, EINTR-style
+/// interruptions, or arbitrary byte corruption; every loader read — the
+/// pod/array helpers in file_io.hpp and the MappedBlock portable fallback —
+/// funnels through checked_fread, so an injected fault reaches the mmap +
+/// prefetch streaming path exactly like it reaches the blocking one. While
+/// any hook is installed MappedBlock refuses to mmap and uses the stdio
+/// fallback instead (a fault cannot be injected into a page fault).
+///
+/// The seam is process-global and thread-safe: the prefetch worker threads
+/// of a streaming epoch observe the same hook the test installed.
+
+#include <cstdio>
+#include <functional>
+#include <utility>
+
+namespace plexus::io {
+
+struct FileHooks {
+  /// Replacement for std::fread with the identical contract (returns the
+  /// number of complete items read; a short count with the stream error
+  /// flag set and errno == EINTR is retried by checked_fread).
+  std::function<std::size_t(void*, std::size_t, std::size_t, std::FILE*)> fread;
+};
+
+void set_file_hooks(FileHooks hooks);
+void clear_file_hooks();
+bool file_hooks_active();
+
+/// RAII installer for tests; clears the hook even when the test throws.
+class ScopedFileHooks {
+ public:
+  explicit ScopedFileHooks(FileHooks hooks) { set_file_hooks(std::move(hooks)); }
+  ~ScopedFileHooks() { clear_file_hooks(); }
+  ScopedFileHooks(const ScopedFileHooks&) = delete;
+  ScopedFileHooks& operator=(const ScopedFileHooks&) = delete;
+};
+
+/// std::fread through the hook seam. Transient EINTR short reads (error
+/// flag + errno == EINTR) are retried transparently after clearing the
+/// stream state; any other short read is returned as-is so the caller's
+/// "read failed" check surfaces a clean diagnostic instead of a crash.
+std::size_t checked_fread(void* dst, std::size_t size, std::size_t count, std::FILE* f);
+
+}  // namespace plexus::io

@@ -1,0 +1,67 @@
+#include "loader/file_hooks.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <memory>
+#include <mutex>
+
+namespace plexus::io {
+namespace {
+
+// Fast path: a relaxed-ish atomic flag so the common no-hooks case costs one
+// load. The shared_ptr behind it lets prefetch worker threads keep using a
+// hook object that the test thread swaps or clears concurrently.
+std::atomic<bool> g_hooks_active{false};
+std::mutex g_hooks_mutex;
+std::shared_ptr<const FileHooks> g_hooks;  // guarded by g_hooks_mutex
+
+std::shared_ptr<const FileHooks> current_hooks() {
+  std::lock_guard<std::mutex> lock(g_hooks_mutex);
+  return g_hooks;
+}
+
+}  // namespace
+
+void set_file_hooks(FileHooks hooks) {
+  std::lock_guard<std::mutex> lock(g_hooks_mutex);
+  g_hooks = std::make_shared<const FileHooks>(std::move(hooks));
+  g_hooks_active.store(true, std::memory_order_release);
+}
+
+void clear_file_hooks() {
+  std::lock_guard<std::mutex> lock(g_hooks_mutex);
+  g_hooks.reset();
+  g_hooks_active.store(false, std::memory_order_release);
+}
+
+bool file_hooks_active() { return g_hooks_active.load(std::memory_order_acquire); }
+
+std::size_t checked_fread(void* dst, std::size_t size, std::size_t count, std::FILE* f) {
+  if (size == 0 || count == 0) return 0;
+  std::size_t done = 0;
+  while (done < count) {
+    errno = 0;
+    std::size_t got = 0;
+    if (g_hooks_active.load(std::memory_order_acquire)) {
+      if (const auto hooks = current_hooks(); hooks != nullptr && hooks->fread) {
+        got = hooks->fread(static_cast<char*>(dst) + done * size, size, count - done, f);
+      } else {
+        got = std::fread(static_cast<char*>(dst) + done * size, size, count - done, f);
+      }
+    } else {
+      got = std::fread(static_cast<char*>(dst) + done * size, size, count - done, f);
+    }
+    done += got;
+    if (done == count) break;
+    if (std::ferror(f) != 0 && errno == EINTR) {
+      // A signal interrupted the underlying read. Clear the sticky stream
+      // error and resume where the partial read stopped.
+      std::clearerr(f);
+      continue;
+    }
+    break;  // genuine EOF or error: return the short count, caller diagnoses
+  }
+  return done;
+}
+
+}  // namespace plexus::io

@@ -13,7 +13,8 @@
 #include <utility>
 #include <vector>
 
-#include "loader/shard_io.hpp"  // LoadStats
+#include "loader/file_hooks.hpp"  // checked_fread: the fault-injection seam
+#include "loader/shard_io.hpp"    // LoadStats
 #include "util/error.hpp"
 
 namespace plexus::io {
@@ -73,7 +74,7 @@ void write_array(std::FILE* f, const T* data, std::size_t count) {
 template <typename T>
 T read_pod(std::FILE* f, LoadStats* stats) {
   T v{};
-  PLEXUS_CHECK(std::fread(&v, sizeof(T), 1, f) == 1, "read failed");
+  PLEXUS_CHECK(checked_fread(&v, sizeof(T), 1, f) == 1, "read failed");
   if (stats != nullptr) stats->bytes_read += static_cast<std::int64_t>(sizeof(T));
   return v;
 }
@@ -82,7 +83,7 @@ template <typename T>
 std::vector<T> read_array(std::FILE* f, std::size_t count, LoadStats* stats) {
   std::vector<T> v(count);
   if (count > 0) {
-    PLEXUS_CHECK(std::fread(v.data(), sizeof(T), count, f) == count, "read failed");
+    PLEXUS_CHECK(checked_fread(v.data(), sizeof(T), count, f) == count, "read failed");
   }
   if (stats != nullptr) {
     stats->bytes_read += static_cast<std::int64_t>(count * sizeof(T));

@@ -1,0 +1,89 @@
+#include "loader/mapped_block.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "loader/file_hooks.hpp"
+#include "loader/file_io.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PLEXUS_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace plexus::io {
+namespace {
+
+bool use_mmap() {
+#if defined(PLEXUS_HAVE_MMAP)
+  // Fault injection must see every byte the streaming path consumes, so an
+  // installed hook forces the stdio fallback (a short read cannot be
+  // injected into a page fault). PLEXUS_NO_MMAP exercises the portable
+  // path on mmap-capable hosts.
+  if (file_hooks_active()) return false;
+  const char* env = std::getenv("PLEXUS_NO_MMAP");
+  if (env != nullptr && *env != '\0' && *env != '0') return false;
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+std::shared_ptr<const MappedBlock> MappedBlock::open(const std::string& path) {
+  std::shared_ptr<MappedBlock> block(new MappedBlock());
+  block->path_ = path;
+#if defined(PLEXUS_HAVE_MMAP)
+  if (use_mmap()) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    PLEXUS_CHECK(fd >= 0, "cannot open " + path);
+    struct stat st{};
+    const bool stat_ok = ::fstat(fd, &st) == 0;
+    if (!stat_ok) ::close(fd);
+    PLEXUS_CHECK(stat_ok, "cannot stat " + path);
+    const auto len = static_cast<std::size_t>(st.st_size);
+    if (len == 0) {
+      ::close(fd);
+      return block;
+    }
+    void* map = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);  // the mapping holds its own reference
+    PLEXUS_CHECK(map != MAP_FAILED, "mmap failed for " + path);
+#if defined(MADV_WILLNEED)
+    ::madvise(map, len, MADV_WILLNEED);  // the prefetch thread reads it next
+#endif
+    block->map_ = map;
+    block->map_len_ = len;
+    block->data_ = static_cast<const std::byte*>(map);
+    block->size_ = len;
+    return block;
+  }
+#endif
+  // Portable fallback: pull the whole file through the hookable stdio path.
+  File f = open_file(path, "rb");
+  PLEXUS_CHECK(std::fseek(f.get(), 0, SEEK_END) == 0, "cannot seek in " + path);
+  const long end = std::ftell(f.get());
+  PLEXUS_CHECK(end >= 0, "cannot size " + path);
+  std::rewind(f.get());
+  const auto len = static_cast<std::size_t>(end);
+  if (len > 0) {
+    block->heap_.resize((len + sizeof(std::uint64_t) - 1) / sizeof(std::uint64_t));
+    PLEXUS_CHECK(checked_fread(block->heap_.data(), 1, len, f.get()) == len,
+                 "short read in " + path);
+    block->data_ = reinterpret_cast<const std::byte*>(block->heap_.data());
+    block->size_ = len;
+  }
+  return block;
+}
+
+MappedBlock::~MappedBlock() {
+#if defined(PLEXUS_HAVE_MMAP)
+  if (map_ != nullptr) ::munmap(map_, map_len_);
+#endif
+}
+
+}  // namespace plexus::io

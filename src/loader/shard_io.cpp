@@ -18,7 +18,7 @@ namespace {
 constexpr std::uint64_t kMagic = kPlxMagic;
 
 std::string adj_path(const std::string& dir, const std::string& prefix, int r, int c) {
-  return dir + "/" + prefix + "_" + std::to_string(r) + "_" + std::to_string(c) + ".plx";
+  return adjacency_block_path(dir, prefix, r, c);
 }
 std::string feat_path(const std::string& dir, int r) {
   return dir + "/feat_" + std::to_string(r) + ".plx";
@@ -52,6 +52,11 @@ AdjBlock read_adj_block(const std::string& path, LoadStats* stats) {
 }
 
 }  // namespace
+
+std::string adjacency_block_path(const std::string& dir, const std::string& prefix, int r,
+                                 int c) {
+  return dir + "/" + prefix + "_" + std::to_string(r) + "_" + std::to_string(c) + ".plx";
+}
 
 void write_adjacency_blocks(const std::string& dir, const std::string& prefix,
                             const sparse::Csr& adj, std::int32_t grid_rows,

@@ -91,6 +91,10 @@ sparse::Csr load_adjacency_block(const std::string& dir, std::int64_t r0, std::i
 dense::Matrix load_feature_block(const std::string& dir, std::int64_t r0, std::int64_t r1,
                                  std::int64_t c0, std::int64_t c1, LoadStats* stats = nullptr);
 
+/// Path of the `<prefix>_<r>_<c>.plx` block file inside `dir` — the naming
+/// contract shared by write_adjacency_blocks and the streamed block cache.
+std::string adjacency_block_path(const std::string& dir, const std::string& prefix, int r, int c);
+
 /// Naive loader: reads the *entire* dataset, then extracts the window
 /// (the baseline of section 5.4's comparison).
 sparse::Csr load_adjacency_block_naive(const std::string& dir, std::int64_t r0, std::int64_t r1,

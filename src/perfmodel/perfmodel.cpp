@@ -227,6 +227,55 @@ int choose_pipeline_depth(const sim::Machine& machine, const WorkloadStats& w,
   return comm::choose_pipeline_depth(t_spmm, t_ring, nb);
 }
 
+int choose_prefetch_depth(const sim::Machine& machine, std::int64_t block_bytes,
+                          double block_spmm_seconds, int num_blocks,
+                          std::int64_t rss_budget_bytes) {
+  PLEXUS_CHECK(block_bytes >= 0, "choose_prefetch_depth: bad block size");
+  const int nb = std::max(1, num_blocks);
+  const double t_disk =
+      static_cast<double>(block_bytes) / std::max(1.0, machine.disk_bw);
+  int depth = comm::choose_pipeline_depth(block_spmm_seconds, t_disk, nb);
+  if (rss_budget_bytes >= 0 && block_bytes > 0) {
+    depth = std::min<int>(depth,
+                          std::max<std::int64_t>(1, rss_budget_bytes / block_bytes));
+  }
+  return std::clamp(depth, 1, nb);
+}
+
+double estimate_per_gpu_bytes(const WorkloadStats& w, const sim::GridShape& g,
+                              int adjacency_versions, double elem_bytes) {
+  PLEXUS_CHECK(adjacency_versions >= 1, "estimate_per_gpu_bytes: bad version count");
+  const double n = static_cast<double>(w.num_nodes);
+  const double nnz = static_cast<double>(w.num_nonzeros);
+  const double gpus = static_cast<double>(g.x) * g.y * g.z;
+
+  // Adjacency: one shard per distinct plane in use (planes cycle mod 3), per
+  // version, stored with its transpose. CSR = col_idx (4B) + vals (elem) per
+  // nonzero, row_ptr (8B) per row.
+  double adjacency = 0.0;
+  const int planes = std::min(3, w.num_layers());
+  for (int l = 0; l < planes; ++l) {
+    const LayerRoles roles = roles_for_layer(l);
+    const double er = extent(g, roles.r);
+    const double ep = extent(g, roles.p);
+    const double shard_nnz = nnz / (er * ep);
+    const double csr = shard_nnz * (4.0 + elem_bytes) + (n / er + 1.0) * 8.0;
+    adjacency += static_cast<double>(adjacency_versions) * 2.0 * csr;
+  }
+
+  // Activations + gradients: H, dH, the forward stash and the aggregation
+  // scratch — 4 live (N * dim / gpus) blocks over the layer dim sum.
+  double dim_sum = 0.0;
+  for (const auto d : w.layer_dims) dim_sum += static_cast<double>(d);
+  const double activations = 4.0 * n * dim_sum / gpus * elem_bytes;
+
+  // Trainable features plus their two Adam moments.
+  const double features =
+      3.0 * n * static_cast<double>(w.layer_dims.front()) / gpus * elem_bytes;
+
+  return adjacency + activations + features;
+}
+
 bool choose_sparse_aggregation(const sim::Machine& machine, const WorkloadStats& w,
                                const sim::GridShape& g, int layer, int agg_row_blocks,
                                bool backward, int wire_elem_bytes) {

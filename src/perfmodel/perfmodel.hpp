@@ -85,6 +85,37 @@ int choose_pipeline_depth(const sim::Machine& machine, const WorkloadStats& w,
                           const sim::GridShape& g, int layer, int agg_row_blocks,
                           int wire_elem_bytes = 4);
 
+/// Streaming-epoch IO prefetch depth (the out-of-core counterpart of
+/// choose_pipeline_depth): how many adjacency block loads to keep posted to
+/// the ShardStream ahead of the aggregation SpMM, chosen by balancing the
+/// per-block sequential-read time (block_bytes / machine.disk_bw) against
+/// the per-block SpMM time with the same pipelining rule
+/// (comm::choose_pipeline_depth). `rss_budget_bytes >= 0` additionally clamps
+/// the depth so the in-flight blocks alone cannot exceed the budget. Always
+/// in [1, max(1, num_blocks)]. This is the workload-level form wired through
+/// `PlexusOptions::prefetch_depth == 0`; DistGcnLayer applies the same rule
+/// to its exact local shard estimates.
+int choose_prefetch_depth(const sim::Machine& machine, std::int64_t block_bytes,
+                          double block_spmm_seconds, int num_blocks,
+                          std::int64_t rss_budget_bytes = -1);
+
+/// Estimated peak per-GPU training bytes for a configuration — what the
+/// billion-edge planner checks against device memory. Counts, per rank:
+///   * the distinct adjacency shards actually materialised (one per unique
+///     plane l % 3 in use, times `adjacency_versions` for the double
+///     permutation, times 2 for the stored transpose), in CSR bytes
+///     (nnz * (4 + elem) + (rows + 1) * 8 under the uniform-shard-density
+///     assumption of section 5.1);
+///   * activations + gradients: 4 live (N * dim / gpus) blocks per layer sum
+///     (H, dH, plus the forward stash and the aggregation scratch);
+///   * trainable input features with their two Adam moments (3x the flat
+///     feature slice).
+/// `elem_bytes` prices the dense element (4 = fp32). Streaming mode drops the
+/// adjacency term to the BlockCache budget instead — this function prices the
+/// fully resident mode.
+double estimate_per_gpu_bytes(const WorkloadStats& w, const sim::GridShape& g,
+                              int adjacency_versions = 2, double elem_bytes = 4.0);
+
 /// Workload-level dense-vs-sparse choice for a layer's blocked aggregation
 /// (the selective row exchange of core::Aggregation::Sparse). Estimates the
 /// per-block support density from the average shard degree under the

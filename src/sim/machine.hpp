@@ -31,6 +31,9 @@ struct Machine {
   // Memory.
   double mem_bw = 1.5e12;          ///< HBM bytes/s
   double l2_bytes = 40e6;          ///< L2 capacity
+  double disk_bw = 2.0e9;          ///< sustained sequential read bytes/s of the
+                                   ///< node-local storage the streaming epoch
+                                   ///< pulls shard blocks from (NVMe-class)
 
   // Network (paper eq. 4.6 parameters).
   double beta_intra = 200e9;       ///< intra-node ring bandwidth, bytes/s

@@ -96,6 +96,37 @@ void spmm_rows_serial(const Csr& a, const dense::Matrix& b, dense::Matrix& c, st
   spmm_row_range(a, b, c, r0, r1, accumulate);
 }
 
+void spmm_into_rows(const Csr& a, const dense::Matrix& b, dense::Matrix& c, std::int64_t out_r0) {
+  PLEXUS_CHECK(a.cols() == b.rows(), "spmm_into_rows: inner dimension mismatch");
+  PLEXUS_CHECK(c.cols() == b.cols(), "spmm_into_rows: output shape mismatch");
+  PLEXUS_CHECK(0 <= out_r0 && out_r0 + a.rows() <= c.rows(),
+               "spmm_into_rows: output window out of range");
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  const auto va = a.vals();
+  // Same dispatch policy as spmm_range_dispatch, with the output pointer
+  // offset to the window start (the SIMD kernel's ldc is independent of the
+  // row index range).
+  float* out = c.data() + out_r0 * c.cols();
+  const auto run = [&](std::int64_t r0, std::int64_t r1) {
+    simd::active_kernels().spmm_rows(rp.data(), ci.data(), va.data(), b.data(), b.cols(), out,
+                                     c.cols(), r0, r1, b.cols(), /*accumulate=*/false);
+  };
+  const int t = util::intra_rank_threads();
+  if (t <= 1 || a.rows() <= 1 || a.nnz() * b.cols() < util::kSerialWorkCutoff) {
+    run(0, a.rows());
+    return;
+  }
+  const auto bounds = nnz_balanced_bounds(a, 0, a.rows(), t);
+  util::parallel_for_grain(0, static_cast<std::int64_t>(bounds.size()) - 1, 1,
+                           [&](std::int64_t, std::int64_t p0, std::int64_t p1) {
+                             for (std::int64_t p = p0; p < p1; ++p) {
+                               run(bounds[static_cast<std::size_t>(p)],
+                                   bounds[static_cast<std::size_t>(p) + 1]);
+                             }
+                           });
+}
+
 void spmm(const Csr& a, const dense::Matrix& b, dense::Matrix& c) {
   spmm_rows(a, b, c, 0, a.rows());
 }

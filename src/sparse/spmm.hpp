@@ -31,6 +31,13 @@ void spmm_rows(const Csr& a, const dense::Matrix& b, dense::Matrix& c, std::int6
 void spmm_rows_serial(const Csr& a, const dense::Matrix& b, dense::Matrix& c, std::int64_t r0,
                       std::int64_t r1, bool accumulate = false);
 
+/// Window variant for streamed shards: A is a *block* of some larger matrix
+/// (its row 0 corresponds to global row `out_r0`); computes all of A * B into
+/// rows [out_r0, out_r0 + A.rows()) of C. Bitwise-identical to spmm_rows over
+/// the assembled matrix, since each output row's accumulation order is the
+/// row's own nonzero order either way.
+void spmm_into_rows(const Csr& a, const dense::Matrix& b, dense::Matrix& c, std::int64_t out_r0);
+
 /// Convenience allocation wrapper.
 dense::Matrix spmm(const Csr& a, const dense::Matrix& b);
 

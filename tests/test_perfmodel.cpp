@@ -156,3 +156,55 @@ TEST(PerfModel, ChoosePipelineDepthTracksCommIntensity) {
     EXPECT_LE(dl, 8);
   }
 }
+
+TEST(PerfModel, ChoosePrefetchDepth) {
+  const auto& m = psim::Machine::perlmutter_a100();
+  // One block: nothing to prefetch ahead of.
+  EXPECT_EQ(pp::choose_prefetch_depth(m, 1 << 20, 1e-3, 1), 1);
+  // A disk far slower than the SpMM wants lookahead.
+  psim::Machine slow = m;
+  slow.disk_bw = 1.0e8;  // 100 MB/s: ~10ms per 1 MB block vs 0.1ms of compute
+  const int deep = pp::choose_prefetch_depth(slow, 1 << 20, 1e-4, 8);
+  EXPECT_GE(deep, 2);
+  EXPECT_LE(deep, 8);
+  // The RSS budget clamps in-flight blocks: two blocks' worth caps at 2.
+  EXPECT_EQ(pp::choose_prefetch_depth(slow, 1 << 20, 1e-4, 8, (1 << 20) * 2),
+            std::min(deep, 2));
+  // A budget below one block still posts one load at a time.
+  EXPECT_EQ(pp::choose_prefetch_depth(slow, 1 << 20, 1e-4, 8, 1), 1);
+  // Always within [1, num_blocks] regardless of the cost ratio.
+  for (const int nb : {1, 3, 8, 64}) {
+    for (const double spmm : {1e-6, 1e-3, 1.0}) {
+      const int d = pp::choose_prefetch_depth(m, 4 << 20, spmm, nb);
+      EXPECT_GE(d, 1);
+      EXPECT_LE(d, nb);
+    }
+  }
+}
+
+TEST(PerfModel, EstimatePerGpuBytesPinnedValue) {
+  // Tiny single-layer workload on one GPU: every term is computable by hand.
+  pp::WorkloadStats w;
+  w.num_nodes = 100;
+  w.num_nonzeros = 1000;
+  w.layer_dims = {8, 4};  // one layer, so one plane in use
+  // CSR shard = nnz*(4+4) + (rows+1)*8; two versions, each with transpose.
+  const double adjacency = 2.0 * 2.0 * (1000.0 * 8.0 + 101.0 * 8.0);
+  const double activations = 4.0 * 100.0 * (8.0 + 4.0) * 4.0;
+  const double features = 3.0 * 100.0 * 8.0 * 4.0;
+  EXPECT_NEAR(pp::estimate_per_gpu_bytes(w, {1, 1, 1}), adjacency + activations + features,
+              1e-6);
+  // A single adjacency version halves exactly the adjacency term.
+  EXPECT_NEAR(pp::estimate_per_gpu_bytes(w, {1, 1, 1}, /*adjacency_versions=*/1),
+              adjacency / 2.0 + activations + features, 1e-6);
+}
+
+TEST(PerfModel, EstimatePerGpuBytesShrinksWithMoreGpus) {
+  const auto w = products_stats();
+  const double b64 = pp::estimate_per_gpu_bytes(w, {4, 4, 4});
+  const double b512 = pp::estimate_per_gpu_bytes(w, {8, 8, 8});
+  EXPECT_GT(b64, b512);
+  EXPECT_GT(b512, 0.0);
+  // More versions can only cost more memory.
+  EXPECT_LT(pp::estimate_per_gpu_bytes(w, {4, 4, 4}, 1), pp::estimate_per_gpu_bytes(w, {4, 4, 4}, 2));
+}
